@@ -1,0 +1,78 @@
+//! Figure 5 — the device-placement trade-off (§3.2.2).
+//!
+//! For MP(2)-DP(4)-PP(2) (the paper's Fig 5 strategy), sweeps placement
+//! policies on the baseline mesh and on Fred-D, timing each parallelism
+//! phase in isolation. Expected shape: on the mesh every row favours
+//! two dimensions and congests the third (Fig 5a vs 5b); on Fred-D the
+//! rows coincide — placement stops mattering.
+
+use fred_bench::table::Table;
+use fred_collectives::hierarchical::merge_concurrent;
+use fred_collectives::plan::CommPlan;
+use fred_core::params::FabricConfig;
+use fred_core::placement::{Placement, PlacementPolicy, Strategy3D};
+use fred_sim::netsim::FlowNetwork;
+use fred_workloads::backend::FabricBackend;
+
+fn phase_time(backend: &FabricBackend, plans: Vec<CommPlan>) -> f64 {
+    let merged = merge_concurrent("phase", plans);
+    let mut net = FlowNetwork::new(backend.topology());
+    merged.execute(&mut net, fred_sim::flow::Priority::Bulk).as_secs() * 1e3
+}
+
+fn main() {
+    let strategy = Strategy3D::new(2, 4, 2);
+    let bytes = 1e9;
+    for config in [FabricConfig::BaselineMesh, FabricConfig::FredD] {
+        let backend = FabricBackend::new(config);
+        let mut table =
+            Table::new(vec!["placement", "MP (ms)", "DP (ms)", "PP (ms)", "worst phase"]);
+        for policy in PlacementPolicy::ALL {
+            let pl = Placement::new(strategy, policy);
+            let mp = phase_time(
+                &backend,
+                pl.all_mp_groups()
+                    .iter()
+                    .map(|g| backend.all_reduce(&backend.physical_group(g), bytes))
+                    .collect(),
+            );
+            let dp = phase_time(
+                &backend,
+                pl.all_dp_groups()
+                    .iter()
+                    .map(|g| backend.all_reduce(&backend.physical_group(g), bytes))
+                    .collect(),
+            );
+            let pp = phase_time(
+                &backend,
+                (0..strategy.dp)
+                    .flat_map(|d| (0..strategy.pp - 1).map(move |p| (d, p)))
+                    .map(|(d, p)| {
+                        backend.stage_transfer(
+                            &backend.physical_group(&pl.mp_group_npus(d, p)),
+                            &backend.physical_group(&pl.mp_group_npus(d, p + 1)),
+                            bytes,
+                        )
+                    })
+                    .collect(),
+            );
+            let worst = [("MP", mp), ("DP", dp), ("PP", pp)]
+                .into_iter()
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .unwrap();
+            table.row(vec![
+                format!("{policy:?}"),
+                format!("{mp:.3}"),
+                format!("{dp:.3}"),
+                format!("{pp:.3}"),
+                format!("{} ({:.3} ms)", worst.0, worst.1),
+            ]);
+        }
+        table.print(&format!("Fig 5 — {} placements for {strategy} (1 GB/collective)",
+            config.name()));
+    }
+    println!(
+        "\nreading: no mesh placement makes all three phases fast at once \
+         (§3.2.2: \"mathematically impossible\"); Fred-D rows are identical."
+    );
+}

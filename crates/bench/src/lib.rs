@@ -1,0 +1,9 @@
+#![warn(missing_docs)]
+
+//! # fred-bench — experiment harness
+//!
+//! One binary per figure/table of the paper's evaluation (see
+//! `DESIGN.md` §3 for the index) plus shared table-formatting helpers.
+//! Criterion benches live under `benches/`.
+
+pub mod table;

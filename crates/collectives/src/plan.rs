@@ -1,0 +1,219 @@
+//! Communication plans: serial phases of concurrent routed transfers.
+
+use fred_sim::flow::{FlowSpec, Priority};
+use fred_sim::netsim::FlowNetwork;
+use fred_sim::time::{Duration, Time};
+use fred_sim::topology::Route;
+use serde::{Deserialize, Serialize};
+
+/// Supplies the route between two endpoints (NPU indices, plus any
+/// backend-specific identifiers). Implemented by the mesh's X-Y router
+/// and the FRED fabric's tree router.
+pub trait RouteProvider {
+    /// The route from `src` to `dst`. An empty route means the endpoints
+    /// are co-located (node-local transfer).
+    fn route(&self, src: usize, dst: usize) -> Route;
+}
+
+impl<F> RouteProvider for F
+where
+    F: Fn(usize, usize) -> Route,
+{
+    fn route(&self, src: usize, dst: usize) -> Route {
+        self(src, dst)
+    }
+}
+
+/// One point-to-point transfer of a plan phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Transfer {
+    /// Source endpoint (NPU index).
+    pub src: usize,
+    /// Destination endpoint (NPU index).
+    pub dst: usize,
+    /// Payload bytes.
+    pub bytes: f64,
+    /// Route from `src` to `dst`.
+    pub route: Route,
+}
+
+/// A set of transfers executed concurrently.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Phase {
+    /// The concurrent transfers.
+    pub transfers: Vec<Transfer>,
+}
+
+impl Phase {
+    /// Total bytes moved in this phase.
+    pub fn total_bytes(&self) -> f64 {
+        self.transfers.iter().map(|t| t.bytes).sum()
+    }
+}
+
+/// An endpoint-based collective compiled to serial phases.
+///
+/// Phase `k + 1` starts only when every transfer of phase `k` has
+/// completed (the synchronous-step model standard for ring and tree
+/// collectives).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CommPlan {
+    /// Label used in reports (e.g. `"ring-allreduce"`).
+    pub label: String,
+    /// The serial phases.
+    pub phases: Vec<Phase>,
+}
+
+impl CommPlan {
+    /// Creates an empty plan with a label.
+    pub fn new(label: impl Into<String>) -> CommPlan {
+        CommPlan { label: label.into(), phases: Vec::new() }
+    }
+
+    /// Total bytes moved across all phases (the algorithm's traffic).
+    pub fn total_bytes(&self) -> f64 {
+        self.phases.iter().map(Phase::total_bytes).sum()
+    }
+
+    /// Total bytes *sent by* endpoint `npu` across all phases.
+    pub fn bytes_sent_by(&self, npu: usize) -> f64 {
+        self.phases
+            .iter()
+            .flat_map(|p| &p.transfers)
+            .filter(|t| t.src == npu)
+            .map(|t| t.bytes)
+            .sum()
+    }
+
+    /// Number of phases.
+    pub fn phase_count(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Appends the phases of `other` after this plan's phases.
+    pub fn chain(mut self, other: CommPlan) -> CommPlan {
+        self.phases.extend(other.phases);
+        self
+    }
+
+    /// Executes the plan alone on a fresh view of `net`, phase by
+    /// phase, and returns the end-to-end duration. Used by the
+    /// microbenchmarks; the trainer interleaves plans itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a route is invalid for the network's topology.
+    pub fn execute(&self, net: &mut FlowNetwork, priority: Priority) -> Duration {
+        let start = net.now();
+        for phase in &self.phases {
+            let mut outstanding = 0usize;
+            for t in &phase.transfers {
+                net.inject(FlowSpec::new(t.route.clone(), t.bytes).with_priority(priority));
+                outstanding += 1;
+            }
+            while outstanding > 0 {
+                let te = net
+                    .next_event()
+                    .expect("phase transfers in flight but no pending event");
+                net.advance_to(te);
+                outstanding -= net.drain_completed().len();
+            }
+        }
+        net.now() - start
+    }
+}
+
+/// Convenience: executes `plan` on a fresh network over `topo` and
+/// returns (duration, effective per-endpoint bandwidth) where the
+/// bandwidth is `collective_bytes / duration` — the paper's
+/// "effective NPU BW utilization" metric from §8.1.
+pub fn execute_standalone(
+    topo: fred_sim::topology::Topology,
+    plan: &CommPlan,
+    collective_bytes: f64,
+) -> (Duration, f64) {
+    let mut net = FlowNetwork::new(topo);
+    let d = plan.execute(&mut net, Priority::Bulk);
+    debug_assert_eq!(net.now(), Time::ZERO + d);
+    let bw = if d.as_secs() > 0.0 { collective_bytes / d.as_secs() } else { f64::INFINITY };
+    (d, bw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fred_sim::topology::{NodeKind, Topology};
+
+    fn line(n: usize, bw: f64) -> (Topology, Vec<fred_sim::topology::LinkId>) {
+        let mut t = Topology::new();
+        let nodes: Vec<_> =
+            (0..n).map(|i| t.add_node(NodeKind::Npu, format!("n{i}"))).collect();
+        let mut fwd = Vec::new();
+        for w in nodes.windows(2) {
+            let (f, _) = t.add_duplex_link(w[0], w[1], bw, 0.0);
+            fwd.push(f);
+        }
+        (t, fwd)
+    }
+
+    #[test]
+    fn phases_execute_serially() {
+        let (topo, l) = line(3, 100.0);
+        let mut plan = CommPlan::new("test");
+        plan.phases.push(Phase {
+            transfers: vec![Transfer { src: 0, dst: 1, bytes: 100.0, route: vec![l[0]] }],
+        });
+        plan.phases.push(Phase {
+            transfers: vec![Transfer { src: 1, dst: 2, bytes: 100.0, route: vec![l[1]] }],
+        });
+        let mut net = FlowNetwork::new(topo);
+        let d = plan.execute(&mut net, Priority::Bulk);
+        // Two serial 1-second phases.
+        assert!((d.as_secs() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_transfers_share_links() {
+        let (topo, l) = line(2, 100.0);
+        let mut plan = CommPlan::new("contended");
+        plan.phases.push(Phase {
+            transfers: vec![
+                Transfer { src: 0, dst: 1, bytes: 100.0, route: vec![l[0]] },
+                Transfer { src: 0, dst: 1, bytes: 100.0, route: vec![l[0]] },
+            ],
+        });
+        let mut net = FlowNetwork::new(topo);
+        let d = plan.execute(&mut net, Priority::Bulk);
+        assert!((d.as_secs() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accounting_helpers() {
+        let (_, l) = line(3, 100.0);
+        let mut plan = CommPlan::new("acct");
+        plan.phases.push(Phase {
+            transfers: vec![
+                Transfer { src: 0, dst: 1, bytes: 10.0, route: vec![l[0]] },
+                Transfer { src: 1, dst: 2, bytes: 20.0, route: vec![l[1]] },
+            ],
+        });
+        assert_eq!(plan.total_bytes(), 30.0);
+        assert_eq!(plan.bytes_sent_by(0), 10.0);
+        assert_eq!(plan.bytes_sent_by(1), 20.0);
+        assert_eq!(plan.bytes_sent_by(2), 0.0);
+        assert_eq!(plan.phase_count(), 1);
+    }
+
+    #[test]
+    fn chain_concatenates_phases() {
+        let a = CommPlan { label: "a".into(), phases: vec![Phase::default(), Phase::default()] };
+        let b = CommPlan { label: "b".into(), phases: vec![Phase::default()] };
+        assert_eq!(a.chain(b).phase_count(), 3);
+    }
+
+    #[test]
+    fn closure_is_a_route_provider() {
+        let provider = |_s: usize, _d: usize| -> Route { vec![] };
+        assert!(RouteProvider::route(&provider, 0, 1).is_empty());
+    }
+}

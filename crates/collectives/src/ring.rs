@@ -1,0 +1,319 @@
+//! Ring collective algorithms (§2.2, §7.2).
+//!
+//! The classic bandwidth-optimal endpoint algorithms: Reduce-Scatter and
+//! All-Gather in `n − 1` steps of `D/n` bytes per endpoint, All-Reduce
+//! as their composition (total traffic `2(n−1)/n · D` per endpoint —
+//! the 2× overhead versus in-network execution that motivates FRED).
+//!
+//! For the mesh baseline the paper uses *two concurrent chunks in
+//! reverse directions* to use both directions of every duplex link
+//! (§7.2, following Kumar & Jouppi); [`Direction::Bidirectional`]
+//! reproduces that.
+
+use serde::{Deserialize, Serialize};
+
+use crate::plan::{CommPlan, Phase, RouteProvider, Transfer};
+
+/// Chunk circulation scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Direction {
+    /// One chunk circulating clockwise.
+    Unidirectional,
+    /// Two half-size chunks circulating in opposite directions,
+    /// doubling link-direction utilisation on duplex topologies.
+    #[default]
+    Bidirectional,
+}
+
+fn ring_steps(
+    label: &str,
+    order: &[usize],
+    bytes_per_step: f64,
+    steps: usize,
+    direction: Direction,
+    routes: &impl RouteProvider,
+) -> CommPlan {
+    let n = order.len();
+    let mut plan = CommPlan::new(label);
+    // A 2-member "ring" has a single edge: clockwise and
+    // counter-clockwise are the same link, so splitting the chunk
+    // would just self-contend. Fall back to one full-size chunk.
+    let direction = if n == 2 { Direction::Unidirectional } else { direction };
+    for _ in 0..steps {
+        let mut phase = Phase::default();
+        match direction {
+            Direction::Unidirectional => {
+                for i in 0..n {
+                    let (src, dst) = (order[i], order[(i + 1) % n]);
+                    phase.transfers.push(Transfer {
+                        src,
+                        dst,
+                        bytes: bytes_per_step,
+                        route: routes.route(src, dst),
+                    });
+                }
+            }
+            Direction::Bidirectional => {
+                for i in 0..n {
+                    let (src, cw) = (order[i], order[(i + 1) % n]);
+                    let ccw = order[(i + n - 1) % n];
+                    phase.transfers.push(Transfer {
+                        src,
+                        dst: cw,
+                        bytes: bytes_per_step / 2.0,
+                        route: routes.route(src, cw),
+                    });
+                    phase.transfers.push(Transfer {
+                        src,
+                        dst: ccw,
+                        bytes: bytes_per_step / 2.0,
+                        route: routes.route(src, ccw),
+                    });
+                }
+            }
+        }
+        plan.phases.push(phase);
+    }
+    plan
+}
+
+/// Ring Reduce-Scatter of `bytes` over `order`: `n − 1` steps of `D/n`.
+///
+/// # Panics
+///
+/// Panics if `order` is empty.
+pub fn reduce_scatter(
+    order: &[usize],
+    bytes: f64,
+    direction: Direction,
+    routes: &impl RouteProvider,
+) -> CommPlan {
+    assert!(!order.is_empty(), "ring group must not be empty");
+    let n = order.len();
+    if n == 1 {
+        return CommPlan::new("ring-reduce-scatter");
+    }
+    ring_steps("ring-reduce-scatter", order, bytes / n as f64, n - 1, direction, routes)
+}
+
+/// Ring All-Gather of `bytes` over `order`: `n − 1` steps of `D/n`.
+///
+/// # Panics
+///
+/// Panics if `order` is empty.
+pub fn all_gather(
+    order: &[usize],
+    bytes: f64,
+    direction: Direction,
+    routes: &impl RouteProvider,
+) -> CommPlan {
+    assert!(!order.is_empty(), "ring group must not be empty");
+    let n = order.len();
+    if n == 1 {
+        return CommPlan::new("ring-allgather");
+    }
+    ring_steps("ring-allgather", order, bytes / n as f64, n - 1, direction, routes)
+}
+
+/// Ring All-Reduce = Reduce-Scatter followed by All-Gather:
+/// `2(n − 1)` steps, `2(n−1)/n · D` bytes sent per endpoint.
+///
+/// # Panics
+///
+/// Panics if `order` is empty.
+pub fn all_reduce(
+    order: &[usize],
+    bytes: f64,
+    direction: Direction,
+    routes: &impl RouteProvider,
+) -> CommPlan {
+    let mut plan = reduce_scatter(order, bytes, direction, routes)
+        .chain(all_gather(order, bytes, direction, routes));
+    plan.label = "ring-allreduce".into();
+    plan
+}
+
+/// All-to-All over `order`: `n − 1` shift steps; in step `j` endpoint
+/// `i` sends its `D/n` shard to endpoint `i + j`.
+///
+/// # Panics
+///
+/// Panics if `order` is empty.
+pub fn all_to_all(order: &[usize], bytes: f64, routes: &impl RouteProvider) -> CommPlan {
+    assert!(!order.is_empty(), "group must not be empty");
+    let n = order.len();
+    let mut plan = CommPlan::new("all-to-all");
+    if n == 1 {
+        return plan;
+    }
+    let shard = bytes / n as f64;
+    for j in 1..n {
+        let mut phase = Phase::default();
+        for i in 0..n {
+            let (src, dst) = (order[i], order[(i + j) % n]);
+            phase.transfers.push(Transfer { src, dst, bytes: shard, route: routes.route(src, dst) });
+        }
+        plan.phases.push(phase);
+    }
+    plan
+}
+
+/// A single point-to-point transfer as a one-phase plan.
+pub fn point_to_point(src: usize, dst: usize, bytes: f64, routes: &impl RouteProvider) -> CommPlan {
+    let mut plan = CommPlan::new("p2p");
+    plan.phases.push(Phase {
+        transfers: vec![Transfer { src, dst, bytes, route: routes.route(src, dst) }],
+    });
+    plan
+}
+
+/// A multicast implemented as concurrent unicasts from `src` to each
+/// destination (the endpoint-based fallback when the fabric has no
+/// in-network distribution).
+pub fn unicast_multicast(
+    src: usize,
+    dsts: &[usize],
+    bytes: f64,
+    routes: &impl RouteProvider,
+) -> CommPlan {
+    let mut plan = CommPlan::new("unicast-multicast");
+    let mut phase = Phase::default();
+    for &d in dsts {
+        if d != src {
+            phase.transfers.push(Transfer { src, dst: d, bytes, route: routes.route(src, d) });
+        }
+    }
+    if !phase.transfers.is_empty() {
+        plan.phases.push(phase);
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fred_sim::netsim::FlowNetwork;
+    use fred_sim::topology::{NodeKind, Route, Topology};
+
+    /// A physical ring of `n` nodes with per-direction bandwidth `bw`;
+    /// routes are single neighbour hops.
+    struct RingTopo {
+        topo: Topology,
+        cw: Vec<fred_sim::topology::LinkId>,
+        ccw: Vec<fred_sim::topology::LinkId>,
+        n: usize,
+    }
+
+    fn ring_topo(n: usize, bw: f64) -> RingTopo {
+        let mut topo = Topology::new();
+        let nodes: Vec<_> =
+            (0..n).map(|i| topo.add_node(NodeKind::Npu, format!("n{i}"))).collect();
+        let mut cw = Vec::new();
+        let mut ccw = Vec::new();
+        for i in 0..n {
+            let j = (i + 1) % n;
+            let (f, r) = topo.add_duplex_link(nodes[i], nodes[j], bw, 0.0);
+            cw.push(f);
+            ccw.push(r);
+        }
+        RingTopo { topo, cw, ccw, n }
+    }
+
+    impl RouteProvider for RingTopo {
+        fn route(&self, src: usize, dst: usize) -> Route {
+            if dst == (src + 1) % self.n {
+                vec![self.cw[src]]
+            } else if src == (dst + 1) % self.n {
+                vec![self.ccw[dst]]
+            } else {
+                panic!("ring test only routes neighbours ({src} -> {dst})")
+            }
+        }
+    }
+
+    #[test]
+    fn all_reduce_matches_alpha_beta_time() {
+        // Unidirectional ring AR on 4 nodes, 400 B payload, 100 B/s links:
+        // 2*(4-1) phases × (100 B / 100 B/s per phase) = 6 s.
+        let rt = ring_topo(4, 100.0);
+        let order: Vec<usize> = (0..4).collect();
+        let plan = all_reduce(&order, 400.0, Direction::Unidirectional, &rt);
+        assert_eq!(plan.phase_count(), 6);
+        let mut net = FlowNetwork::new(rt.topo.clone());
+        let d = plan.execute(&mut net, fred_sim::flow::Priority::Bulk);
+        assert!((d.as_secs() - 6.0).abs() < 1e-9, "got {}", d.as_secs());
+    }
+
+    #[test]
+    fn bidirectional_halves_time_on_duplex_ring() {
+        let rt = ring_topo(4, 100.0);
+        let order: Vec<usize> = (0..4).collect();
+        let plan = all_reduce(&order, 400.0, Direction::Bidirectional, &rt);
+        let mut net = FlowNetwork::new(rt.topo.clone());
+        let d = plan.execute(&mut net, fred_sim::flow::Priority::Bulk);
+        // Each phase now moves 50 B per direction concurrently: 3 s.
+        assert!((d.as_secs() - 3.0).abs() < 1e-9, "got {}", d.as_secs());
+    }
+
+    #[test]
+    fn per_endpoint_traffic_is_2_n_minus_1_over_n() {
+        let rt = ring_topo(5, 100.0);
+        let order: Vec<usize> = (0..5).collect();
+        let d = 1000.0;
+        for dir in [Direction::Unidirectional, Direction::Bidirectional] {
+            let plan = all_reduce(&order, d, dir, &rt);
+            let per_npu = plan.bytes_sent_by(2);
+            let expected = 2.0 * 4.0 / 5.0 * d;
+            assert!((per_npu - expected).abs() < 1e-6, "{dir:?}: {per_npu} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_and_all_gather_have_n_minus_1_phases() {
+        let rt = ring_topo(6, 1.0);
+        let order: Vec<usize> = (0..6).collect();
+        assert_eq!(
+            reduce_scatter(&order, 60.0, Direction::Unidirectional, &rt).phase_count(),
+            5
+        );
+        assert_eq!(all_gather(&order, 60.0, Direction::Unidirectional, &rt).phase_count(), 5);
+    }
+
+    #[test]
+    fn singleton_groups_are_free() {
+        let rt = ring_topo(3, 1.0);
+        assert_eq!(all_reduce(&[1], 100.0, Direction::Unidirectional, &rt).phase_count(), 0);
+        assert_eq!(all_to_all(&[2], 100.0, &rt).phase_count(), 0);
+    }
+
+    #[test]
+    fn all_to_all_shifts_by_distance() {
+        let rt = ring_topo(4, 1.0);
+        // Only check structure; routes need neighbours so use a full
+        // route closure instead.
+        let routes = |_s: usize, _d: usize| -> Route { vec![] };
+        let plan = all_to_all(&[0, 1, 2, 3], 100.0, &routes);
+        assert_eq!(plan.phase_count(), 3);
+        for (jm1, phase) in plan.phases.iter().enumerate() {
+            let j = jm1 + 1;
+            for (i, t) in phase.transfers.iter().enumerate() {
+                assert_eq!(t.src, i);
+                assert_eq!(t.dst, (i + j) % 4);
+                assert!((t.bytes - 25.0).abs() < 1e-12);
+            }
+        }
+        drop(rt);
+    }
+
+    #[test]
+    fn p2p_and_multicast_structure() {
+        let routes = |_s: usize, _d: usize| -> Route { vec![] };
+        let p = point_to_point(3, 7, 42.0, &routes);
+        assert_eq!(p.phase_count(), 1);
+        assert_eq!(p.total_bytes(), 42.0);
+        let m = unicast_multicast(0, &[0, 1, 2], 10.0, &routes);
+        // Self-send skipped: 2 transfers of 10 B each (full payload per dst).
+        assert_eq!(m.phases[0].transfers.len(), 2);
+        assert_eq!(m.total_bytes(), 20.0);
+    }
+}

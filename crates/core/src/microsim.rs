@@ -1,0 +1,450 @@
+//! Cycle-level packet model of one FRED switch (§5.4, §6.2.3).
+//!
+//! The flow-level simulator (`fred-sim`) deliberately abstracts packets
+//! away; this module models the mechanisms the paper specifies at the
+//! packet level for a *single* switch, so their costs and invariants can
+//! be measured directly:
+//!
+//! * **Virtual cut-through with credits** — each input port has one
+//!   buffer per virtual channel (24 KB data VCs, 2 KB control VC);
+//!   flits (512 B) advance only when buffer space exists.
+//! * **One phase at a time** — the switch's circuit configuration
+//!   serves one communication operation; a newly arriving
+//!   higher-priority operation *preempts* the current one at a packet
+//!   boundary (§5.4), after a small reconfiguration delay.
+//! * **Go-Back-N retransmission** — packets (4 KB = 8 flits) may be
+//!   dropped (injected fault); the receiver NACKs and the sources roll
+//!   back to the NACKed packet. A cumulative ACK is returned every 16
+//!   data packets; the model accounts its bandwidth overhead.
+//!
+//! The switch core itself is nonblocking for a routed phase (proved in
+//! [`crate::routing`]), so the model charges one flit per cycle per
+//! port — line rate — whenever every source buffer of the active
+//! message has a flit available.
+
+use serde::{Deserialize, Serialize};
+
+use crate::flow::Flow;
+
+/// Priority classes map one-to-one onto data VCs (MP > PP > DP).
+pub use fred_sim::flow::Priority;
+
+/// Static parameters of the packet model (defaults follow §6.2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MicroSimParams {
+    /// Flit size in bytes (512 B).
+    pub flit_bytes: usize,
+    /// Data packet size in flits (4 KB / 512 B = 8).
+    pub packet_flits: usize,
+    /// Data VC buffer capacity per port, in flits (24 KB / 512 B = 48).
+    pub data_vc_flits: usize,
+    /// Cycles to reconfigure the μSwitch fabric to another stored phase.
+    pub reconfig_cycles: u64,
+    /// Cumulative ACK period, in data packets (16).
+    pub ack_period_packets: u64,
+    /// Control (ACK/NACK) packet size in bytes (512 B).
+    pub control_packet_bytes: usize,
+    /// Probability that a delivered packet is corrupted/dropped
+    /// (fault-injection knob for exercising Go-Back-N; 0.0 = ideal).
+    pub drop_probability: f64,
+    /// Round-trip cycles for a NACK to reach the sources.
+    pub nack_rtt_cycles: u64,
+}
+
+impl Default for MicroSimParams {
+    fn default() -> Self {
+        MicroSimParams {
+            flit_bytes: 512,
+            packet_flits: 8,
+            data_vc_flits: 48,
+            reconfig_cycles: 4,
+            ack_period_packets: 16,
+            control_packet_bytes: 512,
+            drop_probability: 0.0,
+            nack_rtt_cycles: 8,
+        }
+    }
+}
+
+/// One communication operation offered to the switch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Message {
+    /// The flow (reduction inputs / broadcast outputs).
+    pub flow: Flow,
+    /// Priority class (selects the VC and the preemption order).
+    pub priority: Priority,
+    /// Payload bytes *per source port*.
+    pub bytes: usize,
+    /// Cycle at which the sources start injecting.
+    pub arrival_cycle: u64,
+}
+
+/// Per-message outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MessageStats {
+    /// Cycle the message finished (last flit delivered and acknowledged).
+    pub completion_cycle: u64,
+    /// Total data flits forwarded, including retransmissions.
+    pub flits_forwarded: u64,
+    /// Packets retransmitted by Go-Back-N.
+    pub packets_retransmitted: u64,
+    /// Times this message was preempted by a higher-priority one.
+    pub preemptions: u64,
+    /// Peak VC-buffer occupancy observed, in flits — bounded by the
+    /// 24 KB (48-flit) credit allowance of §6.2.3 and reaching it only
+    /// while the message sits preempted.
+    pub max_buffer_flits: u64,
+}
+
+/// Aggregate outcome of a simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MicroSimReport {
+    /// Per-message statistics, in offered order.
+    pub messages: Vec<MessageStats>,
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Control (ACK/NACK) bytes as a fraction of data bytes delivered.
+    pub ack_overhead: f64,
+    /// Total phase reconfigurations performed.
+    pub reconfigurations: u64,
+}
+
+#[derive(Debug, Clone)]
+struct MsgState {
+    msg: Message,
+    total_flits: u64,
+    /// Flits injected into each source port's VC buffer (same for all
+    /// sources — they progress in lockstep at the switch).
+    injected: u64,
+    /// Flits forwarded through the switch (reduced/broadcast).
+    forwarded: u64,
+    /// Per-source-port VC buffer occupancy, flits.
+    buffer: u64,
+    /// Flits forwarded counter including retransmissions.
+    forwarded_total: u64,
+    retransmissions: u64,
+    preemptions: u64,
+    /// Pending NACK: (cycle it takes effect, packet index to roll back to).
+    pending_nack: Option<(u64, u64)>,
+    done_cycle: Option<u64>,
+    ack_bytes: u64,
+    max_buffer: u64,
+}
+
+/// A deterministic xorshift PRNG so fault injection is reproducible.
+#[derive(Debug, Clone)]
+struct XorShift(u64);
+
+impl XorShift {
+    fn next_f64(&mut self) -> f64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Cycle-level simulator of one FRED switch.
+#[derive(Debug, Clone)]
+pub struct MicroSim {
+    params: MicroSimParams,
+    messages: Vec<MsgState>,
+    rng: XorShift,
+}
+
+impl MicroSim {
+    /// Creates a simulator with the given parameters and fault seed.
+    pub fn new(params: MicroSimParams, seed: u64) -> MicroSim {
+        MicroSim { params, messages: Vec::new(), rng: XorShift(seed | 1) }
+    }
+
+    /// Offers a message to the switch.
+    pub fn offer(&mut self, msg: Message) {
+        let p = &self.params;
+        let flits = msg.bytes.div_ceil(p.flit_bytes) as u64;
+        // Round up to whole packets.
+        let flits = flits.div_ceil(p.packet_flits as u64) * p.packet_flits as u64;
+        self.messages.push(MsgState {
+            msg,
+            total_flits: flits.max(p.packet_flits as u64),
+            injected: 0,
+            forwarded: 0,
+            buffer: 0,
+            forwarded_total: 0,
+            retransmissions: 0,
+            preemptions: 0,
+            pending_nack: None,
+            done_cycle: None,
+            ack_bytes: 0,
+            max_buffer: 0,
+        });
+    }
+
+    /// Runs until every offered message completes, returning the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation exceeds an internal safety bound
+    /// (indicating livelock), which cannot happen for valid inputs.
+    pub fn run(mut self) -> MicroSimReport {
+        let p = self.params;
+        let mut cycle: u64 = 0;
+        let mut active: Option<usize> = None;
+        let mut reconfig_left: u64 = 0;
+        let mut reconfigurations: u64 = 0;
+        let safety: u64 = 10_000_000;
+
+        while self.messages.iter().any(|m| m.done_cycle.is_none()) {
+            assert!(cycle < safety, "microsim exceeded safety bound (livelock?)");
+
+            // 1. Apply matured NACKs (roll sources back, Go-Back-N).
+            for m in &mut self.messages {
+                if let Some((at, packet)) = m.pending_nack {
+                    if cycle >= at {
+                        let flit = packet * p.packet_flits as u64;
+                        m.forwarded = flit;
+                        m.injected = flit;
+                        m.buffer = 0;
+                        m.pending_nack = None;
+                        m.retransmissions += 1;
+                    }
+                }
+            }
+
+            // 2. Source injection: one flit per cycle per source port,
+            //    subject to VC buffer credit.
+            for m in &mut self.messages {
+                if m.done_cycle.is_none()
+                    && m.msg.arrival_cycle <= cycle
+                    && m.pending_nack.is_none()
+                    && m.injected < m.total_flits
+                    && (m.buffer as usize) < p.data_vc_flits
+                {
+                    m.injected += 1;
+                    m.buffer += 1;
+                    m.max_buffer = m.max_buffer.max(m.buffer);
+                }
+            }
+
+            // 3. Phase selection with preemption at packet boundaries.
+            let best = self
+                .messages
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| {
+                    m.done_cycle.is_none()
+                        && m.msg.arrival_cycle <= cycle
+                        && m.pending_nack.is_none()
+                })
+                .min_by_key(|(i, m)| (m.msg.priority.rank(), *i))
+                .map(|(i, _)| i);
+            match (active, best) {
+                (None, Some(b)) => {
+                    active = Some(b);
+                    reconfig_left = p.reconfig_cycles;
+                    reconfigurations += 1;
+                }
+                (Some(a), Some(b)) if a != b => {
+                    let cur = &self.messages[a];
+                    let cur_done = cur.done_cycle.is_some() || cur.pending_nack.is_some();
+                    let higher =
+                        self.messages[b].msg.priority.rank() < cur.msg.priority.rank();
+                    let at_packet_boundary = cur.forwarded % p.packet_flits as u64 == 0;
+                    if cur_done || (higher && at_packet_boundary) {
+                        if !cur_done {
+                            self.messages[a].preemptions += 1;
+                        }
+                        active = Some(b);
+                        reconfig_left = p.reconfig_cycles;
+                        reconfigurations += 1;
+                    }
+                }
+                (Some(a), _) if self.messages[a].done_cycle.is_some() => {
+                    active = None;
+                }
+                _ => {}
+            }
+
+            // 4. Forward one flit of the active message (line rate).
+            if let Some(a) = active {
+                if reconfig_left > 0 {
+                    reconfig_left -= 1;
+                } else {
+                    let drop_roll = self.rng.next_f64();
+                    let m = &mut self.messages[a];
+                    if m.done_cycle.is_none() && m.pending_nack.is_none() && m.buffer > 0 {
+                        m.buffer -= 1;
+                        m.forwarded += 1;
+                        m.forwarded_total += 1;
+                        if m.forwarded % p.packet_flits as u64 == 0 {
+                            let packet = m.forwarded / p.packet_flits as u64 - 1;
+                            if drop_roll < p.drop_probability {
+                                // Receiver NACKs; control packet accounted.
+                                m.pending_nack = Some((cycle + p.nack_rtt_cycles, packet));
+                                m.ack_bytes += p.control_packet_bytes as u64;
+                            } else {
+                                if (packet + 1) % p.ack_period_packets == 0 {
+                                    m.ack_bytes += p.control_packet_bytes as u64;
+                                }
+                                if m.forwarded == m.total_flits {
+                                    m.done_cycle = Some(cycle + 1);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            cycle += 1;
+        }
+
+        let data_bytes: u64 = self
+            .messages
+            .iter()
+            .map(|m| m.total_flits * p.flit_bytes as u64)
+            .sum();
+        let ack_bytes: u64 = self.messages.iter().map(|m| m.ack_bytes).sum();
+        MicroSimReport {
+            messages: self
+                .messages
+                .iter()
+                .map(|m| MessageStats {
+                    completion_cycle: m.done_cycle.expect("all complete"),
+                    flits_forwarded: m.forwarded_total,
+                    packets_retransmitted: m.retransmissions,
+                    preemptions: m.preemptions,
+                    max_buffer_flits: m.max_buffer,
+                })
+                .collect(),
+            cycles: cycle,
+            ack_overhead: if data_bytes == 0 { 0.0 } else { ack_bytes as f64 / data_bytes as f64 },
+            reconfigurations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ar_message(bytes: usize, priority: Priority, arrival: u64) -> Message {
+        Message {
+            flow: Flow::all_reduce([0usize, 1, 2, 3]).unwrap(),
+            priority,
+            bytes,
+            arrival_cycle: arrival,
+        }
+    }
+
+    #[test]
+    fn single_message_runs_at_line_rate() {
+        let p = MicroSimParams::default();
+        let mut sim = MicroSim::new(p, 1);
+        // 64 KB = 128 flits.
+        sim.offer(ar_message(64 * 1024, Priority::Dp, 0));
+        let report = sim.run();
+        let stats = report.messages[0];
+        // Line rate: ~1 flit/cycle + injection pipeline + reconfig.
+        let flits = 128;
+        assert!(stats.completion_cycle <= flits + p.reconfig_cycles + 4,
+            "took {} cycles for {flits} flits", stats.completion_cycle);
+        assert_eq!(stats.packets_retransmitted, 0);
+        assert_eq!(stats.preemptions, 0);
+    }
+
+    #[test]
+    fn higher_priority_preempts_at_packet_boundary() {
+        let p = MicroSimParams::default();
+        let mut sim = MicroSim::new(p, 1);
+        sim.offer(ar_message(64 * 1024, Priority::Dp, 0)); // long DP op
+        sim.offer(ar_message(8 * 1024, Priority::Mp, 20)); // short MP op
+        let report = sim.run();
+        let dp = report.messages[0];
+        let mp = report.messages[1];
+        assert!(dp.preemptions >= 1, "DP op was never preempted");
+        // The MP op must finish long before the DP op.
+        assert!(mp.completion_cycle < dp.completion_cycle);
+        // And not long after its own ideal completion (16 flits).
+        assert!(mp.completion_cycle < 20 + 16 + 3 * p.reconfig_cycles + p.packet_flits as u64 + 4);
+    }
+
+    #[test]
+    fn ack_overhead_is_below_one_percent() {
+        // §6.2.3: accumulative ack per 16 packets keeps overhead < 1%.
+        let mut sim = MicroSim::new(MicroSimParams::default(), 1);
+        sim.offer(ar_message(1024 * 1024, Priority::Dp, 0));
+        let report = sim.run();
+        assert!(report.ack_overhead < 0.01, "ack overhead {}", report.ack_overhead);
+        assert!(report.ack_overhead > 0.0);
+    }
+
+    #[test]
+    fn go_back_n_retransmits_dropped_packets() {
+        let params = MicroSimParams { drop_probability: 0.2, ..MicroSimParams::default() };
+        let mut sim = MicroSim::new(params, 42);
+        sim.offer(ar_message(64 * 1024, Priority::Dp, 0));
+        let report = sim.run();
+        let stats = report.messages[0];
+        assert!(stats.packets_retransmitted > 0, "no retransmissions at 20% drop");
+        // All 128 real flits were eventually delivered, plus retries.
+        assert!(stats.flits_forwarded > 128);
+        // Completion still bounded.
+        assert!(stats.completion_cycle < 100_000);
+    }
+
+    #[test]
+    fn lossless_run_is_deterministic() {
+        let run = |seed| {
+            let mut sim = MicroSim::new(MicroSimParams::default(), seed);
+            sim.offer(ar_message(32 * 1024, Priority::Dp, 0));
+            sim.offer(ar_message(16 * 1024, Priority::Mp, 10));
+            sim.run()
+        };
+        // Without drops the seed must not matter.
+        assert_eq!(run(1).messages, run(999).messages);
+    }
+
+    #[test]
+    fn equal_priority_is_fifo() {
+        let mut sim = MicroSim::new(MicroSimParams::default(), 1);
+        sim.offer(ar_message(16 * 1024, Priority::Dp, 0));
+        sim.offer(ar_message(16 * 1024, Priority::Dp, 0));
+        let report = sim.run();
+        assert!(report.messages[0].completion_cycle < report.messages[1].completion_cycle);
+        assert_eq!(report.messages[0].preemptions, 0);
+    }
+
+    #[test]
+    fn credit_backpressure_bounds_buffers() {
+        // While preempted, the DP message keeps injecting until its VC
+        // buffer fills; credits then stop the source at exactly the
+        // 24 KB / 48-flit allowance (§6.2.3).
+        let p = MicroSimParams::default();
+        let mut sim = MicroSim::new(p, 1);
+        sim.offer(ar_message(128 * 1024, Priority::Dp, 0));
+        sim.offer(ar_message(64 * 1024, Priority::Mp, 10));
+        let report = sim.run();
+        let dp = report.messages[0];
+        assert!(dp.preemptions >= 1);
+        assert_eq!(dp.max_buffer_flits as usize, p.data_vc_flits,
+            "preempted message should fill its VC allowance exactly");
+        // The MP message only buffers while waiting out the DP packet
+        // boundary plus the reconfiguration — far below the allowance.
+        let mp_bound = (p.packet_flits as u64) + p.reconfig_cycles + 2;
+        assert!(
+            report.messages[1].max_buffer_flits <= mp_bound,
+            "MP buffered {} > {mp_bound}",
+            report.messages[1].max_buffer_flits
+        );
+    }
+
+    #[test]
+    fn tiny_message_rounds_up_to_one_packet() {
+        let mut sim = MicroSim::new(MicroSimParams::default(), 1);
+        sim.offer(ar_message(100, Priority::Control, 0));
+        let report = sim.run();
+        assert_eq!(report.messages[0].flits_forwarded, 8);
+    }
+}

@@ -1,0 +1,272 @@
+//! μSwitches — the fundamental FRED building blocks (Fig 7e–g).
+//!
+//! FRED's key idea is to "break the switch into the most fundamental
+//! components, and add small compute capability to each component" (§4).
+//! A μSwitch is a 2×2 (or 2×1 / 1×2) element that, depending on its
+//! variant, can additionally *reduce* its two inputs (R), *distribute*
+//! one input to both outputs (D), or both (RD).
+//!
+//! This module defines the variants, their per-phase operating
+//! configurations, and a functional evaluation used by the routing
+//! verifier to prove that a configured interconnect computes exactly the
+//! reduction/broadcast each flow asked for.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The hardware variant of a μSwitch, fixed at design time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MicroKind {
+    /// Plain Clos 2×2 element: permutation only.
+    Plain,
+    /// R-μSwitch (Fig 7e): can reduce its two inputs onto one output.
+    Reduce,
+    /// D-μSwitch (Fig 7f): can broadcast one input to both outputs.
+    Distribute,
+    /// RD-μSwitch (Fig 7g): both features.
+    ReduceDistribute,
+}
+
+impl MicroKind {
+    /// Whether this variant supports the reduction feature.
+    pub fn can_reduce(self) -> bool {
+        matches!(self, MicroKind::Reduce | MicroKind::ReduceDistribute)
+    }
+
+    /// Whether this variant supports the distribution feature.
+    pub fn can_distribute(self) -> bool {
+        matches!(self, MicroKind::Distribute | MicroKind::ReduceDistribute)
+    }
+}
+
+impl fmt::Display for MicroKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MicroKind::Plain => "uSwitch",
+            MicroKind::Reduce => "R-uSwitch",
+            MicroKind::Distribute => "D-uSwitch",
+            MicroKind::ReduceDistribute => "RD-uSwitch",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The operating configuration of one 2×2 μSwitch during one
+/// communication phase. This is what the control unit stores per phase
+/// (§6.2.3: "each packet header has the index to the μSwitch
+/// configuration bits").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum MicroOp {
+    /// Unused this phase.
+    #[default]
+    Idle,
+    /// in0→out0, in1→out1.
+    Straight,
+    /// in0→out1, in1→out0.
+    Cross,
+    /// Only one input forwarded to only one output.
+    Forward {
+        /// Which input (0/1) is forwarded.
+        input: u8,
+        /// Which output (0/1) receives it.
+        output: u8,
+    },
+    /// Reduction feature active: in0 ⊕ in1 → the given output (R/RD only).
+    ReduceTo {
+        /// Which output (0/1) carries the reduced value.
+        output: u8,
+    },
+    /// Distribution feature active: the given input → both outputs (D/RD only).
+    BroadcastFrom {
+        /// Which input (0/1) is broadcast.
+        input: u8,
+    },
+    /// Both features: in0 ⊕ in1 broadcast to both outputs (RD only; used
+    /// by a 2-port All-Reduce that bottoms out in a single μSwitch).
+    ReduceBroadcast,
+}
+
+impl MicroOp {
+    /// Whether this configuration requires the reduction feature.
+    pub fn needs_reduce(self) -> bool {
+        matches!(self, MicroOp::ReduceTo { .. } | MicroOp::ReduceBroadcast)
+    }
+
+    /// Whether this configuration requires the distribution feature.
+    pub fn needs_distribute(self) -> bool {
+        matches!(self, MicroOp::BroadcastFrom { .. } | MicroOp::ReduceBroadcast)
+    }
+
+    /// Whether the μSwitch is in use at all.
+    pub fn is_active(self) -> bool {
+        self != MicroOp::Idle
+    }
+
+    /// Checks that a μSwitch of `kind` can execute this configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapabilityError`] when the configuration needs a feature
+    /// the variant lacks.
+    pub fn check_capability(self, kind: MicroKind) -> Result<(), CapabilityError> {
+        if self.needs_reduce() && !kind.can_reduce() {
+            return Err(CapabilityError { kind, op: self });
+        }
+        if self.needs_distribute() && !kind.can_distribute() {
+            return Err(CapabilityError { kind, op: self });
+        }
+        Ok(())
+    }
+
+    /// Functionally evaluates the μSwitch: element-wise over the two
+    /// input payloads, producing the two output payloads. Reduction is
+    /// element-wise addition (the common All-Reduce operator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a required input is `None` or, in debug builds, if the
+    /// two reduced payloads have different lengths.
+    pub fn eval(self, in0: Option<&[f64]>, in1: Option<&[f64]>) -> [Option<Vec<f64>>; 2] {
+        let take = |x: Option<&[f64]>, which: &str| -> Vec<f64> {
+            x.unwrap_or_else(|| panic!("uSwitch config {self:?} requires {which} input"))
+                .to_vec()
+        };
+        match self {
+            MicroOp::Idle => [None, None],
+            MicroOp::Straight => [in0.map(<[f64]>::to_vec), in1.map(<[f64]>::to_vec)],
+            MicroOp::Cross => [in1.map(<[f64]>::to_vec), in0.map(<[f64]>::to_vec)],
+            MicroOp::Forward { input, output } => {
+                let v = take(if input == 0 { in0 } else { in1 }, "selected");
+                let mut out = [None, None];
+                out[output as usize] = Some(v);
+                out
+            }
+            MicroOp::ReduceTo { output } => {
+                let v = reduce(&take(in0, "first"), &take(in1, "second"));
+                let mut out = [None, None];
+                out[output as usize] = Some(v);
+                out
+            }
+            MicroOp::BroadcastFrom { input } => {
+                let v = take(if input == 0 { in0 } else { in1 }, "selected");
+                [Some(v.clone()), Some(v)]
+            }
+            MicroOp::ReduceBroadcast => {
+                let v = reduce(&take(in0, "first"), &take(in1, "second"));
+                [Some(v.clone()), Some(v)]
+            }
+        }
+    }
+}
+
+/// Element-wise sum of two payloads.
+///
+/// # Panics
+///
+/// Panics if the payload lengths differ.
+pub fn reduce(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "reduced payloads must have equal length");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// A μSwitch configuration that exceeds the hardware variant's features.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapabilityError {
+    /// The hardware variant.
+    pub kind: MicroKind,
+    /// The offending configuration.
+    pub op: MicroOp,
+}
+
+impl fmt::Display for CapabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cannot execute {:?}", self.kind, self.op)
+    }
+}
+
+impl std::error::Error for CapabilityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_feature_matrix() {
+        assert!(!MicroKind::Plain.can_reduce());
+        assert!(!MicroKind::Plain.can_distribute());
+        assert!(MicroKind::Reduce.can_reduce());
+        assert!(!MicroKind::Reduce.can_distribute());
+        assert!(!MicroKind::Distribute.can_reduce());
+        assert!(MicroKind::Distribute.can_distribute());
+        assert!(MicroKind::ReduceDistribute.can_reduce());
+        assert!(MicroKind::ReduceDistribute.can_distribute());
+    }
+
+    #[test]
+    fn capability_check_rejects_unsupported_ops() {
+        assert!(MicroOp::ReduceTo { output: 0 }.check_capability(MicroKind::Plain).is_err());
+        assert!(MicroOp::ReduceTo { output: 0 }.check_capability(MicroKind::Reduce).is_ok());
+        assert!(MicroOp::BroadcastFrom { input: 1 }
+            .check_capability(MicroKind::Reduce)
+            .is_err());
+        assert!(MicroOp::ReduceBroadcast
+            .check_capability(MicroKind::ReduceDistribute)
+            .is_ok());
+        assert!(MicroOp::Straight.check_capability(MicroKind::Plain).is_ok());
+    }
+
+    #[test]
+    fn eval_straight_and_cross() {
+        let a = [1.0, 2.0];
+        let b = [3.0, 4.0];
+        let [o0, o1] = MicroOp::Straight.eval(Some(&a), Some(&b));
+        assert_eq!(o0.unwrap(), a.to_vec());
+        assert_eq!(o1.unwrap(), b.to_vec());
+        let [o0, o1] = MicroOp::Cross.eval(Some(&a), Some(&b));
+        assert_eq!(o0.unwrap(), b.to_vec());
+        assert_eq!(o1.unwrap(), a.to_vec());
+    }
+
+    #[test]
+    fn eval_reduce_sums_elementwise() {
+        let [o0, o1] = MicroOp::ReduceTo { output: 1 }.eval(Some(&[1.0, 2.0]), Some(&[10.0, 20.0]));
+        assert!(o0.is_none());
+        assert_eq!(o1.unwrap(), vec![11.0, 22.0]);
+    }
+
+    #[test]
+    fn eval_broadcast_duplicates() {
+        let [o0, o1] = MicroOp::BroadcastFrom { input: 0 }.eval(Some(&[5.0]), None);
+        assert_eq!(o0.unwrap(), vec![5.0]);
+        assert_eq!(o1.unwrap(), vec![5.0]);
+    }
+
+    #[test]
+    fn eval_reduce_broadcast_combines_both() {
+        let [o0, o1] = MicroOp::ReduceBroadcast.eval(Some(&[1.0]), Some(&[2.0]));
+        assert_eq!(o0.unwrap(), vec![3.0]);
+        assert_eq!(o1.unwrap(), vec![3.0]);
+    }
+
+    #[test]
+    fn eval_forward_routes_single_port() {
+        let [o0, o1] = MicroOp::Forward { input: 1, output: 0 }.eval(None, Some(&[9.0]));
+        assert_eq!(o0.unwrap(), vec![9.0]);
+        assert!(o1.is_none());
+    }
+
+    #[test]
+    fn idle_produces_nothing() {
+        let [o0, o1] = MicroOp::Idle.eval(None, None);
+        assert!(o0.is_none() && o1.is_none());
+        assert!(!MicroOp::Idle.is_active());
+        assert!(MicroOp::Straight.is_active());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires")]
+    fn missing_reduce_input_panics() {
+        let _ = MicroOp::ReduceTo { output: 0 }.eval(Some(&[1.0]), None);
+    }
+}

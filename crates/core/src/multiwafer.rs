@@ -1,0 +1,333 @@
+//! Beyond a single wafer (§8.3 discussion).
+//!
+//! When a model needs more than one wafer, the paper sketches a
+//! hierarchical scheme: a global All-Reduce decomposes into
+//!
+//! 1. a special **intra-wafer Reduce-Scatter** performed by FRED where
+//!    only the boundary NPUs (those with I/O access) hold the results,
+//! 2. an **inter-wafer All-Reduce** over those boundary NPUs across
+//!    wafers, and
+//! 3. a final **intra-wafer All-Gather** broadcasting the result to
+//!    every NPU on each wafer.
+//!
+//! This module builds a multi-wafer topology (each wafer a
+//! [`WaferFabric`], wafers joined by inter-wafer links between their
+//! I/O controllers) and compiles the three-step global All-Reduce into
+//! flows for the simulator.
+
+use fred_sim::flow::{FlowSpec, Priority};
+use fred_sim::topology::{LinkId, NodeId, NodeKind, Topology};
+
+use crate::fabric::WaferFabric;
+use crate::params::{FabricConfig, PhysicalParams};
+
+/// A cluster of FRED wafers joined by inter-wafer links.
+#[derive(Debug, Clone)]
+pub struct MultiWafer {
+    topo: Topology,
+    wafers: usize,
+    npus_per_wafer: usize,
+    boundary_per_wafer: usize,
+    /// `npu[(w, i)]` node ids, wafer-major.
+    npus: Vec<NodeId>,
+    npu_up: Vec<LinkId>,
+    npu_down: Vec<LinkId>,
+    l1_up: Vec<LinkId>,
+    l1_down: Vec<LinkId>,
+    l1_of_npu: Vec<usize>,
+    l1_count_per_wafer: usize,
+    /// Inter-wafer ring links between boundary aggregation points:
+    /// `ring[(w, b)]` connects wafer w's boundary b to wafer w+1's.
+    ring_fwd: Vec<LinkId>,
+    ring_rev: Vec<LinkId>,
+    boundary_nodes: Vec<NodeId>,
+}
+
+impl MultiWafer {
+    /// Builds `wafers` copies of the 20-NPU FRED wafer, joined by an
+    /// inter-wafer ring of `inter_bw` bytes/s per boundary channel.
+    /// Each wafer exposes `boundary` aggregation points (bonded groups
+    /// of I/O controllers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wafers < 2` or `boundary == 0`.
+    pub fn new(
+        wafers: usize,
+        config: FabricConfig,
+        boundary: usize,
+        inter_bw: f64,
+    ) -> MultiWafer {
+        assert!(wafers >= 2, "a multi-wafer system needs at least 2 wafers");
+        assert!(boundary > 0);
+        let params = PhysicalParams::paper();
+        let single = WaferFabric::new(config, &params);
+        let npus_per_wafer = single.npu_count();
+        let l1_count = single.l1_count();
+        let lat = params.link_latency;
+
+        let mut topo = Topology::new();
+        let mut npus = Vec::new();
+        let mut npu_up = Vec::new();
+        let mut npu_down = Vec::new();
+        let mut l1_up = Vec::new();
+        let mut l1_down = Vec::new();
+        let mut l1_of_npu = Vec::new();
+        let mut boundary_nodes = Vec::new();
+
+        for w in 0..wafers {
+            let l1s: Vec<NodeId> = (0..l1_count)
+                .map(|i| topo.add_node(NodeKind::SwitchL1, format!("w{w}.l1.{i}")))
+                .collect();
+            let l2 = topo.add_node(NodeKind::SwitchL2, format!("w{w}.l2"));
+            for i in 0..npus_per_wafer {
+                let npu = topo.add_node(NodeKind::Npu, format!("w{w}.npu{i}"));
+                let l1 = i / (npus_per_wafer / l1_count);
+                let (up, down) = topo.add_duplex_link(npu, l1s[l1], params.npu_bw, lat);
+                npus.push(npu);
+                npu_up.push(up);
+                npu_down.push(down);
+                l1_of_npu.push(l1);
+            }
+            for &l1 in &l1s {
+                let (up, down) = topo.add_duplex_link(l1, l2, config.l1_l2_bw(), lat);
+                l1_up.push(up);
+                l1_down.push(down);
+            }
+            // Boundary aggregation points hang off L1 switches
+            // round-robin, at the inter-wafer channel bandwidth.
+            for b in 0..boundary {
+                let node =
+                    topo.add_node(NodeKind::IoController, format!("w{w}.boundary{b}"));
+                let l1 = l1s[b % l1_count];
+                topo.add_duplex_link(node, l1, inter_bw, lat);
+                boundary_nodes.push(node);
+            }
+        }
+
+        // Inter-wafer ring per boundary channel.
+        let mut ring_fwd = Vec::new();
+        let mut ring_rev = Vec::new();
+        for w in 0..wafers {
+            for b in 0..boundary {
+                let here = boundary_nodes[w * boundary + b];
+                let there = boundary_nodes[((w + 1) % wafers) * boundary + b];
+                let (f, r) = topo.add_duplex_link(here, there, inter_bw, 10.0 * lat);
+                ring_fwd.push(f);
+                ring_rev.push(r);
+            }
+        }
+
+        MultiWafer {
+            topo,
+            wafers,
+            npus_per_wafer,
+            boundary_per_wafer: boundary,
+            npus,
+            npu_up,
+            npu_down,
+            l1_up,
+            l1_down,
+            l1_of_npu,
+            l1_count_per_wafer: l1_count,
+            ring_fwd,
+            ring_rev,
+            boundary_nodes,
+        }
+    }
+
+    /// The composed topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// A clone of the topology for the simulator.
+    pub fn clone_topology(&self) -> Topology {
+        self.topo.clone()
+    }
+
+    /// Number of wafers.
+    pub fn wafers(&self) -> usize {
+        self.wafers
+    }
+
+    /// NPUs per wafer.
+    pub fn npus_per_wafer(&self) -> usize {
+        self.npus_per_wafer
+    }
+
+    /// Total NPUs in the cluster.
+    pub fn total_npus(&self) -> usize {
+        self.wafers * self.npus_per_wafer
+    }
+
+    /// Node id of NPU `i` on wafer `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn npu(&self, w: usize, i: usize) -> NodeId {
+        assert!(w < self.wafers && i < self.npus_per_wafer);
+        self.npus[w * self.npus_per_wafer + i]
+    }
+
+    /// Node id of boundary aggregation point `b` on wafer `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn boundary(&self, w: usize, b: usize) -> NodeId {
+        assert!(w < self.wafers && b < self.boundary_per_wafer);
+        self.boundary_nodes[w * self.boundary_per_wafer + b]
+    }
+
+    /// Compiles the §8.3 three-step global All-Reduce of `bytes` over
+    /// every NPU of every wafer into concurrent flows (pipelined,
+    /// in-network on each wafer):
+    ///
+    /// 1. intra-wafer Reduce-Scatter toward the boundary: every NPU
+    ///    pushes `bytes` up; each boundary point ends with a
+    ///    `bytes / boundary` shard of the wafer-reduced data;
+    /// 2. inter-wafer ring All-Reduce of each shard across wafers
+    ///    (`2(W−1)/W` of the shard per boundary link);
+    /// 3. intra-wafer All-Gather: `bytes` broadcast back down to every
+    ///    NPU.
+    pub fn global_all_reduce(&self, bytes: f64, priority: Priority, tag: u64) -> Vec<FlowSpec> {
+        let mut flows = Vec::new();
+        let shard = bytes / self.boundary_per_wafer as f64;
+        let w_traffic = 2.0 * (self.wafers as f64 - 1.0) / self.wafers as f64;
+        for w in 0..self.wafers {
+            for i in 0..self.npus_per_wafer {
+                let g = w * self.npus_per_wafer + i;
+                // Step 1 up + step 3 down on every NPU link.
+                flows.push(
+                    FlowSpec::new(vec![self.npu_up[g]], bytes)
+                        .with_priority(priority)
+                        .with_tag(tag),
+                );
+                flows.push(
+                    FlowSpec::new(vec![self.npu_down[g]], bytes)
+                        .with_priority(priority)
+                        .with_tag(tag),
+                );
+            }
+            for l in 0..self.l1_count_per_wafer {
+                let g = w * self.l1_count_per_wafer + l;
+                // Partial sums converge over L2 (step 1) and the result
+                // fans back out (step 3).
+                flows.push(
+                    FlowSpec::new(vec![self.l1_up[g]], bytes)
+                        .with_priority(priority)
+                        .with_tag(tag),
+                );
+                flows.push(
+                    FlowSpec::new(vec![self.l1_down[g]], bytes)
+                        .with_priority(priority)
+                        .with_tag(tag),
+                );
+            }
+            // Step 2: ring All-Reduce of each boundary shard.
+            for b in 0..self.boundary_per_wafer {
+                let g = w * self.boundary_per_wafer + b;
+                flows.push(
+                    FlowSpec::new(vec![self.ring_fwd[g]], shard * w_traffic / 2.0)
+                        .with_priority(priority)
+                        .with_tag(tag),
+                );
+                flows.push(
+                    FlowSpec::new(vec![self.ring_rev[g]], shard * w_traffic / 2.0)
+                        .with_priority(priority)
+                        .with_tag(tag),
+                );
+            }
+        }
+        flows
+    }
+
+    /// Index of the L1 switch serving NPU `i` of wafer `w` (used by
+    /// tests).
+    pub fn l1_of(&self, w: usize, i: usize) -> usize {
+        self.l1_of_npu[w * self.npus_per_wafer + i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fred_sim::netsim::FlowNetwork;
+
+    fn cluster(wafers: usize) -> MultiWafer {
+        MultiWafer::new(wafers, FabricConfig::FredD, 4, 256e9)
+    }
+
+    #[test]
+    fn builds_expected_shape() {
+        let mw = cluster(3);
+        assert_eq!(mw.wafers(), 3);
+        assert_eq!(mw.total_npus(), 60);
+        assert_eq!(mw.npus_per_wafer(), 20);
+        assert_eq!(mw.l1_of(2, 19), 4);
+        // Nodes: per wafer 5 L1 + 1 L2 + 20 NPU + 4 boundary = 30.
+        assert_eq!(mw.topology().node_count(), 90);
+    }
+
+    #[test]
+    fn global_allreduce_routes_validate() {
+        let mw = cluster(2);
+        let flows = mw.global_all_reduce(1e9, Priority::Dp, 0);
+        for f in &flows {
+            mw.topology().validate_route(&f.route).unwrap();
+        }
+        // Per wafer: 40 NPU flows + 10 L1 flows + 8 ring flows.
+        assert_eq!(flows.len(), 2 * (40 + 10 + 8));
+    }
+
+    #[test]
+    fn inter_wafer_bandwidth_dominates_completion() {
+        // With skinny inter-wafer channels the global AR is bound by
+        // step 2; with fat channels it is bound by the on-wafer 3 TBps.
+        let d = 10e9;
+        let time_with = |inter_bw: f64| {
+            let mw = MultiWafer::new(2, FabricConfig::FredD, 4, inter_bw);
+            let mut net = FlowNetwork::new(mw.clone_topology());
+            net.inject_batch(mw.global_all_reduce(d, Priority::Dp, 0));
+            let done = net.run_to_completion();
+            done.iter().map(|c| c.completed_at.as_secs()).fold(0.0, f64::max)
+        };
+        let skinny = time_with(64e9);
+        let fat = time_with(10e12);
+        assert!(skinny > fat * 2.0, "skinny {skinny} vs fat {fat}");
+        // Fat channels: bound by npu links at D / 3 TBps.
+        assert!((fat - d / 3e12).abs() / (d / 3e12) < 0.2, "fat {fat}");
+        // Skinny: bound by the shard ring on 64 GB/s channels.
+        let shard = d / 4.0;
+        let expected = shard * 0.5 / 64e9; // 2(W-1)/W / 2 per direction
+        assert!((skinny - expected).abs() / expected < 0.2, "skinny {skinny} vs {expected}");
+    }
+
+    #[test]
+    fn scaling_wafers_keeps_on_wafer_traffic_constant() {
+        let d = 1e9;
+        for w in [2usize, 3, 4] {
+            let mw = cluster(w);
+            let flows = mw.global_all_reduce(d, Priority::Dp, 0);
+            // Every NPU link still carries exactly D (in-network
+            // property preserved across the hierarchy).
+            let npu_flows: Vec<_> = flows
+                .iter()
+                .filter(|f| {
+                    let link = mw.topology().link(f.route[0]);
+                    mw.topology().node(link.src).kind == NodeKind::Npu
+                })
+                .collect();
+            assert_eq!(npu_flows.len(), mw.total_npus());
+            assert!(npu_flows.iter().all(|f| f.bytes == d));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn single_wafer_rejected() {
+        let _ = cluster(1);
+    }
+}

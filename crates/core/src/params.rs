@@ -1,0 +1,218 @@
+//! Physical system parameters (Table 3) and the evaluation
+//! configurations (Table 5).
+//!
+//! All bandwidths are in **bytes per second per direction** unless noted
+//! otherwise; areas in mm²; power in watts.
+
+use serde::{Deserialize, Serialize};
+
+/// One terabyte per second.
+pub const TBPS: f64 = 1e12;
+/// One gigabyte per second.
+pub const GBPS: f64 = 1e9;
+
+/// Physical constants of the wafer-scale system (Table 3, §6.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhysicalParams {
+    /// NPUs on the wafer (power-limited to ~21; the paper uses 20).
+    pub npu_count: usize,
+    /// I/O controllers bridging to external memory.
+    pub io_count: usize,
+    /// Per-NPU FP16 peak compute, FLOP/s (H100-like).
+    pub npu_flops: f64,
+    /// Per-direction NPU network bandwidth (3 TBps send + 3 TBps recv).
+    pub npu_bw: f64,
+    /// Local HBM bandwidth (3 TBps).
+    pub hbm_bw: f64,
+    /// Per-NPU HBM capacity in bytes (80 GB).
+    pub hbm_capacity: f64,
+    /// Per I/O controller bandwidth (CXL 3: 128 GBps).
+    pub io_bw: f64,
+    /// Wafer-scale link propagation latency (20 ns).
+    pub link_latency: f64,
+    /// Wafer power budget (15 kW).
+    pub wafer_power_budget: f64,
+    /// Per-NPU power: compute + 5 HBM stacks (700 W).
+    pub npu_power: f64,
+    /// Usable wafer area (300 mm wafer ≈ 70,000 mm²).
+    pub wafer_area: f64,
+    /// NPU chiplet + memory area (1,314 mm²).
+    pub npu_area: f64,
+    /// Per I/O controller area (20 mm²).
+    pub io_area: f64,
+    /// Wafer-scale I/O escape density, bytes/s per mm of chiplet
+    /// perimeter per metal layer (53.7 GB/mm × 2 layers ≈ 107.4 GBps/mm).
+    pub io_density: f64,
+}
+
+impl PhysicalParams {
+    /// The paper's 20-NPU instance (Table 3, §6.2.2).
+    pub fn paper() -> PhysicalParams {
+        PhysicalParams {
+            npu_count: 20,
+            io_count: 18,
+            npu_flops: 1000e12,
+            npu_bw: 3.0 * TBPS,
+            hbm_bw: 3.0 * TBPS,
+            hbm_capacity: 80e9,
+            io_bw: 128.0 * GBPS,
+            link_latency: 20e-9,
+            wafer_power_budget: 15_000.0,
+            npu_power: 700.0,
+            wafer_area: 70_000.0,
+            npu_area: 1314.0,
+            io_area: 20.0,
+            io_density: 2.0 * 53.7 * GBPS,
+        }
+    }
+}
+
+impl Default for PhysicalParams {
+    fn default() -> Self {
+        PhysicalParams::paper()
+    }
+}
+
+/// The five evaluated fabric configurations (Table 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FabricConfig {
+    /// 5×4 2D mesh, 750 GBps links, 3.75 TBps bisection, endpoint
+    /// collectives.
+    BaselineMesh,
+    /// FRED tree with baseline-equal bisection (L1–L2 downscaled from
+    /// 12 TBps to 1.5 TBps per L1), endpoint collectives.
+    FredA,
+    /// Fred-A plus in-network collective execution.
+    FredB,
+    /// FRED tree with full 12 TBps L1–L2 (30 TBps bisection), endpoint
+    /// collectives.
+    FredC,
+    /// Fred-C plus in-network collective execution (the full design).
+    FredD,
+}
+
+impl FabricConfig {
+    /// All configurations in Table 5 order.
+    pub const ALL: [FabricConfig; 5] = [
+        FabricConfig::BaselineMesh,
+        FabricConfig::FredA,
+        FabricConfig::FredB,
+        FabricConfig::FredC,
+        FabricConfig::FredD,
+    ];
+
+    /// Whether this is a FRED (tree) topology.
+    pub fn is_fred(self) -> bool {
+        !matches!(self, FabricConfig::BaselineMesh)
+    }
+
+    /// Whether in-network collective execution is enabled.
+    pub fn in_network_collectives(self) -> bool {
+        matches!(self, FabricConfig::FredB | FabricConfig::FredD)
+    }
+
+    /// L1→L2 bandwidth per L1 switch, bytes/s per direction.
+    ///
+    /// Fred-A/B downscale to 1.5 TBps to match the baseline's 3.75 TBps
+    /// bisection (5 × 1.5 / 2); Fred-C/D use the full 12 TBps (= 4
+    /// attached NPUs × 3 TBps; 30 TBps bisection).
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`FabricConfig::BaselineMesh`], which has no L1/L2
+    /// hierarchy.
+    pub fn l1_l2_bw(self) -> f64 {
+        match self {
+            FabricConfig::BaselineMesh => {
+                panic!("the baseline mesh has no L1-L2 links")
+            }
+            FabricConfig::FredA | FabricConfig::FredB => 1.5 * TBPS,
+            FabricConfig::FredC | FabricConfig::FredD => 12.0 * TBPS,
+        }
+    }
+
+    /// Display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            FabricConfig::BaselineMesh => "Baseline",
+            FabricConfig::FredA => "Fred-A",
+            FabricConfig::FredB => "Fred-B",
+            FabricConfig::FredC => "Fred-C",
+            FabricConfig::FredD => "Fred-D",
+        }
+    }
+}
+
+impl std::fmt::Display for FabricConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Baseline mesh link bandwidth: each NPU's 3 TBps split across its 4
+/// mesh ports → 750 GBps per link per direction (§7.1).
+pub const MESH_LINK_BW: f64 = 750.0 * GBPS;
+
+/// Mesh dimensions of the baseline (5 columns × 4 rows).
+pub const MESH_COLS: usize = 5;
+/// Mesh dimensions of the baseline (5 columns × 4 rows).
+pub const MESH_ROWS: usize = 4;
+
+/// NPUs attached to each FRED L1 switch (Fig 8).
+pub const NPUS_PER_L1: usize = 4;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_instance_matches_table3() {
+        let p = PhysicalParams::paper();
+        assert_eq!(p.npu_count, 20);
+        assert_eq!(p.io_count, 18);
+        assert_eq!(p.npu_bw, 3e12);
+        assert_eq!(p.io_bw, 128e9);
+        assert_eq!(p.link_latency, 20e-9);
+        // Power budget permits at most 21 NPUs (§6.2.2).
+        let max_npus = (p.wafer_power_budget / p.npu_power).floor() as usize;
+        assert_eq!(max_npus, 21);
+        assert!(p.npu_count <= max_npus);
+    }
+
+    #[test]
+    fn bisection_bandwidths_match_table5() {
+        // Baseline: 5 links across the vertical cut × 750 GBps = 3.75 TBps.
+        assert_eq!(MESH_LINK_BW * MESH_COLS as f64, 3.75e12);
+        // Fred-A: 5 L1 switches × 1.5 TBps / 2 halves = 3.75 TBps.
+        assert_eq!(FabricConfig::FredA.l1_l2_bw() * 5.0 / 2.0, 3.75e12);
+        // Fred-C: 5 × 12 / 2 = 30 TBps.
+        assert_eq!(FabricConfig::FredC.l1_l2_bw() * 5.0 / 2.0, 30e12);
+    }
+
+    #[test]
+    fn feature_flags_per_variant() {
+        use FabricConfig::*;
+        assert!(!BaselineMesh.is_fred());
+        for c in [FredA, FredB, FredC, FredD] {
+            assert!(c.is_fred());
+        }
+        assert!(!FredA.in_network_collectives());
+        assert!(FredB.in_network_collectives());
+        assert!(!FredC.in_network_collectives());
+        assert!(FredD.in_network_collectives());
+    }
+
+    #[test]
+    #[should_panic(expected = "no L1-L2")]
+    fn mesh_has_no_tree_links() {
+        let _ = FabricConfig::BaselineMesh.l1_l2_bw();
+    }
+
+    #[test]
+    fn npu_area_accounting_matches_section_6_2_2() {
+        let p = PhysicalParams::paper();
+        let total = p.npu_count as f64 * p.npu_area + p.io_count as f64 * p.io_area;
+        assert_eq!(total, 26_640.0);
+        assert!(total < p.wafer_area);
+    }
+}

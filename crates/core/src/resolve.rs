@@ -1,0 +1,226 @@
+//! Routing-conflict resolution strategies (§5.3).
+//!
+//! When a flow set cannot be routed concurrently, the paper lists four
+//! ways out. Option (2), more middle subnetworks, is a construction
+//! parameter ([`Interconnect::new`] with m = 3), and option (4),
+//! placement, lives in [`crate::placement`]. This module implements the
+//! other two as runtime strategies:
+//!
+//! * **Option 1 — blocking**: peel conflicting flows off and run them
+//!   in a later batch ([`route_with_blocking`]). Costly in performance
+//!   (serialisation) but always succeeds.
+//! * **Option 3 — decomposition**: route the conflict-free subset
+//!   in-switch and demote the rest to endpoint-based (unicast ring)
+//!   execution, which is nonblocking on the Clos for m ≥ 2
+//!   ([`route_with_decomposition`]). No flow is blocked, but the
+//!   demoted flows pay the 2(n−1)/n endpoint traffic.
+
+use crate::conflict::ConflictGraph;
+use crate::flow::{validate_phase, Flow, FlowError, FlowIdx};
+use crate::interconnect::Interconnect;
+use crate::routing::{route_flows, RoutedNetwork, RouteFlowsError};
+
+/// One serial batch produced by [`route_with_blocking`]: the flows
+/// (by index into the original slice) and their compiled routing.
+#[derive(Debug, Clone)]
+pub struct RoutedBatch {
+    /// Indices into the original flow slice.
+    pub members: Vec<FlowIdx>,
+    /// The batch's conflict-free routing.
+    pub routed: RoutedNetwork,
+}
+
+/// Option 1: partitions `flows` into serial batches, each conflict-free
+/// on `net`. Batches are built greedily — when routing fails, the flow
+/// with the highest top-level conflict degree is deferred to the next
+/// batch.
+///
+/// # Errors
+///
+/// Returns [`FlowError`] if the flow set itself is invalid (overlapping
+/// ports). A valid flow set always yields at least singleton batches.
+pub fn route_with_blocking(
+    net: &Interconnect,
+    flows: &[Flow],
+) -> Result<Vec<RoutedBatch>, FlowError> {
+    validate_phase(flows, net.ports())?;
+    let mut remaining: Vec<usize> = (0..flows.len()).collect();
+    let mut batches = Vec::new();
+    while !remaining.is_empty() {
+        let mut candidate = remaining.clone();
+        loop {
+            let subset: Vec<Flow> = candidate.iter().map(|&i| flows[i].clone()).collect();
+            match route_flows(net, &subset) {
+                Ok(routed) => {
+                    let members: Vec<FlowIdx> =
+                        candidate.iter().map(|&i| FlowIdx(i)).collect();
+                    remaining.retain(|i| !candidate.contains(i));
+                    batches.push(RoutedBatch { members, routed });
+                    break;
+                }
+                Err(RouteFlowsError::Conflict(_)) => {
+                    debug_assert!(
+                        candidate.len() > 1,
+                        "a single flow can always be routed"
+                    );
+                    // Defer the flow with the highest conflict degree.
+                    let graph =
+                        ConflictGraph::from_flows(&subset, |p| net.unit_of_port(p));
+                    let worst = (0..subset.len())
+                        .max_by_key(|&i| {
+                            (graph.neighbors(i).len(), subset[i].max_port())
+                        })
+                        .expect("non-empty candidate set");
+                    candidate.remove(worst);
+                }
+                Err(RouteFlowsError::InvalidFlows(e)) => return Err(e),
+            }
+        }
+    }
+    Ok(batches)
+}
+
+/// Result of [`route_with_decomposition`].
+#[derive(Debug, Clone)]
+pub struct Decomposition {
+    /// Flows kept in-switch (indices into the original slice) and their
+    /// routing.
+    pub in_switch: RoutedBatch,
+    /// Flows demoted to endpoint-based execution (§5.3 option 3: e.g.
+    /// ring All-Reduce at the NPUs, which is pure unicast traffic and
+    /// rearrangeably nonblocking on the fabric).
+    pub endpoint: Vec<FlowIdx>,
+}
+
+/// Option 3: keeps the largest greedily-found conflict-free subset
+/// in-switch and returns the rest for endpoint execution — no flow is
+/// blocked.
+///
+/// # Errors
+///
+/// Returns [`FlowError`] if the flow set itself is invalid.
+pub fn route_with_decomposition(
+    net: &Interconnect,
+    flows: &[Flow],
+) -> Result<Decomposition, FlowError> {
+    validate_phase(flows, net.ports())?;
+    let mut candidate: Vec<usize> = (0..flows.len()).collect();
+    let mut endpoint = Vec::new();
+    loop {
+        let subset: Vec<Flow> = candidate.iter().map(|&i| flows[i].clone()).collect();
+        match route_flows(net, &subset) {
+            Ok(routed) => {
+                return Ok(Decomposition {
+                    in_switch: RoutedBatch {
+                        members: candidate.iter().map(|&i| FlowIdx(i)).collect(),
+                        routed,
+                    },
+                    endpoint,
+                });
+            }
+            Err(RouteFlowsError::Conflict(_)) => {
+                debug_assert!(!candidate.is_empty());
+                let graph = ConflictGraph::from_flows(&subset, |p| net.unit_of_port(p));
+                let worst = (0..subset.len())
+                    .max_by_key(|&i| (graph.neighbors(i).len(), subset[i].max_port()))
+                    .expect("non-empty candidate set");
+                endpoint.push(FlowIdx(candidate.remove(worst)));
+            }
+            Err(RouteFlowsError::InvalidFlows(e)) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_flows() -> Vec<Flow> {
+        // Pairwise conflicting on m = 2 (triangle in the conflict graph).
+        vec![
+            Flow::all_reduce([0usize, 2]).unwrap(),
+            Flow::all_reduce([3usize, 4]).unwrap(),
+            Flow::all_reduce([1usize, 5]).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn conflict_free_sets_stay_in_one_batch() {
+        let net = Interconnect::new(2, 8).unwrap();
+        let flows = vec![
+            Flow::all_reduce([0usize, 1, 2]).unwrap(),
+            Flow::all_reduce([3usize, 4, 5]).unwrap(),
+        ];
+        let batches = route_with_blocking(&net, &flows).unwrap();
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].members.len(), 2);
+    }
+
+    #[test]
+    fn blocking_serialises_the_triangle_on_m2() {
+        let net = Interconnect::new(2, 8).unwrap();
+        let flows = triangle_flows();
+        let batches = route_with_blocking(&net, &flows).unwrap();
+        assert!(batches.len() >= 2, "triangle must need >= 2 batches on m=2");
+        // Every flow appears exactly once across batches.
+        let mut all: Vec<usize> =
+            batches.iter().flat_map(|b| b.members.iter().map(|f| f.0)).collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2]);
+        // Each batch verifies functionally.
+        for b in &batches {
+            let subset: Vec<Flow> =
+                b.members.iter().map(|f| flows[f.0].clone()).collect();
+            b.routed.verify(&subset).unwrap();
+        }
+    }
+
+    #[test]
+    fn m3_needs_no_blocking_for_the_triangle() {
+        let net = Interconnect::new(3, 8).unwrap();
+        let batches = route_with_blocking(&net, &triangle_flows()).unwrap();
+        assert_eq!(batches.len(), 1);
+    }
+
+    #[test]
+    fn decomposition_demotes_minimum_flows() {
+        let net = Interconnect::new(2, 8).unwrap();
+        let flows = triangle_flows();
+        let d = route_with_decomposition(&net, &flows).unwrap();
+        // A triangle needs exactly one demotion to become 2-colourable.
+        assert_eq!(d.endpoint.len(), 1);
+        assert_eq!(d.in_switch.members.len(), 2);
+        let subset: Vec<Flow> =
+            d.in_switch.members.iter().map(|f| flows[f.0].clone()).collect();
+        d.in_switch.routed.verify(&subset).unwrap();
+    }
+
+    #[test]
+    fn decomposition_keeps_everything_when_possible() {
+        let net = Interconnect::new(3, 8).unwrap();
+        let d = route_with_decomposition(&net, &triangle_flows()).unwrap();
+        assert!(d.endpoint.is_empty());
+        assert_eq!(d.in_switch.members.len(), 3);
+    }
+
+    #[test]
+    fn invalid_flows_rejected() {
+        let net = Interconnect::new(2, 8).unwrap();
+        let flows = vec![Flow::unicast(0, 1), Flow::unicast(0, 2)];
+        assert!(route_with_blocking(&net, &flows).is_err());
+        assert!(route_with_decomposition(&net, &flows).is_err());
+    }
+
+    #[test]
+    fn many_random_pairs_terminate_and_cover() {
+        // Dense pairings on a big switch: blocking must terminate with
+        // full coverage whatever the conflict structure.
+        let net = Interconnect::new(2, 16).unwrap();
+        let flows: Vec<Flow> = (0..8)
+            .map(|i| Flow::all_reduce([i, 15 - i]).unwrap())
+            .collect();
+        let batches = route_with_blocking(&net, &flows).unwrap();
+        let covered: usize = batches.iter().map(|b| b.members.len()).sum();
+        assert_eq!(covered, 8);
+    }
+}

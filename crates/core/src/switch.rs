@@ -1,0 +1,263 @@
+//! A FRED switch: interconnect + control unit (Fig 7a, §6.2.3).
+//!
+//! The control unit stores, per *communication phase*, the μSwitch
+//! configuration produced by the compile-time routing pass (§5.2: "the
+//! routing algorithm ... can be executed at compile time and then saved
+//! at the control unit"). At run time, packet headers carry an index
+//! into this table; here, [`FredSwitch::execute`] selects the phase and
+//! drives payloads through the configured datapath.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::flow::Flow;
+use crate::interconnect::{Interconnect, InterconnectError};
+use crate::routing::{route_flows, EvalError, RouteFlowsError, RoutedNetwork};
+
+/// Index into the switch's stored phase table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PhaseId(pub usize);
+
+impl fmt::Display for PhaseId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "phase{}", self.0)
+    }
+}
+
+/// A stored communication phase: the flows and their compiled routing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoredPhase {
+    /// Human-readable name (e.g. `"mp-allreduce"`).
+    pub name: String,
+    /// The concurrent flows of this phase.
+    pub flows: Vec<Flow>,
+    /// The compiled per-μSwitch configuration.
+    pub routed: RoutedNetwork,
+}
+
+/// A FRED switch with a programmable control unit.
+///
+/// ```
+/// use fred_core::flow::Flow;
+/// use fred_core::switch::FredSwitch;
+///
+/// let mut sw = FredSwitch::new(3, 8)?;
+/// let phase = sw.program_phase("dp-ar", vec![Flow::all_reduce([0, 1, 2, 3])?])?;
+/// let inputs: Vec<Option<Vec<f64>>> = (0..8)
+///     .map(|p| if p < 4 { Some(vec![p as f64]) } else { None })
+///     .collect();
+/// let out = sw.execute(phase, &inputs)?;
+/// assert_eq!(out[0].as_deref(), Some(&[6.0][..])); // 0+1+2+3
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FredSwitch {
+    interconnect: Interconnect,
+    phases: Vec<StoredPhase>,
+}
+
+/// Errors from [`FredSwitch`] operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SwitchError {
+    /// Underlying interconnect construction failed.
+    Construction(InterconnectError),
+    /// The phase's flows could not be routed.
+    Routing(RouteFlowsError),
+    /// An unknown phase id was referenced.
+    UnknownPhase(PhaseId),
+    /// Datapath evaluation failed.
+    Eval(EvalError),
+}
+
+impl fmt::Display for SwitchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwitchError::Construction(e) => write!(f, "switch construction failed: {e}"),
+            SwitchError::Routing(e) => write!(f, "phase routing failed: {e}"),
+            SwitchError::UnknownPhase(p) => write!(f, "unknown {p}"),
+            SwitchError::Eval(e) => write!(f, "datapath evaluation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SwitchError {}
+
+impl From<InterconnectError> for SwitchError {
+    fn from(e: InterconnectError) -> Self {
+        SwitchError::Construction(e)
+    }
+}
+
+impl From<RouteFlowsError> for SwitchError {
+    fn from(e: RouteFlowsError) -> Self {
+        SwitchError::Routing(e)
+    }
+}
+
+impl From<EvalError> for SwitchError {
+    fn from(e: EvalError) -> Self {
+        SwitchError::Eval(e)
+    }
+}
+
+impl FredSwitch {
+    /// Creates a Fred_m(P) switch with an empty phase table.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `m < 2` or `ports < 2`.
+    pub fn new(m: usize, ports: usize) -> Result<FredSwitch, SwitchError> {
+        Ok(FredSwitch { interconnect: Interconnect::new(m, ports)?, phases: Vec::new() })
+    }
+
+    /// Port count.
+    pub fn ports(&self) -> usize {
+        self.interconnect.ports()
+    }
+
+    /// Middle subnetwork count.
+    pub fn m(&self) -> usize {
+        self.interconnect.m()
+    }
+
+    /// The static interconnect.
+    pub fn interconnect(&self) -> &Interconnect {
+        &self.interconnect
+    }
+
+    /// Compiles (routes) `flows` and stores them as a new phase.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwitchError::Routing`] if the flows cannot be routed
+    /// concurrently (a routing conflict, §5.3).
+    pub fn program_phase(
+        &mut self,
+        name: impl Into<String>,
+        flows: Vec<Flow>,
+    ) -> Result<PhaseId, SwitchError> {
+        let routed = route_flows(&self.interconnect, &flows)?;
+        debug_assert!(routed.verify(&flows).is_ok(), "routing verification failed");
+        let id = PhaseId(self.phases.len());
+        self.phases.push(StoredPhase { name: name.into(), flows, routed });
+        Ok(id)
+    }
+
+    /// Number of stored phases.
+    pub fn phase_count(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// The stored phase for `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SwitchError::UnknownPhase`] if `id` is out of range.
+    pub fn phase(&self, id: PhaseId) -> Result<&StoredPhase, SwitchError> {
+        self.phases.get(id.0).ok_or(SwitchError::UnknownPhase(id))
+    }
+
+    /// Drives `inputs` through the datapath configured for `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown phase or if a configured path is
+    /// missing its payload.
+    pub fn execute(
+        &self,
+        id: PhaseId,
+        inputs: &[Option<Vec<f64>>],
+    ) -> Result<Vec<Option<Vec<f64>>>, SwitchError> {
+        Ok(self.phase(id)?.routed.evaluate(inputs)?)
+    }
+
+    /// Estimated control-unit SRAM (bytes) needed to store all
+    /// programmed phases. The paper budgets 1.5 KB per switch
+    /// (§6.2.3); we charge 4 bits per active unit per phase, rounded up
+    /// per phase.
+    pub fn config_sram_bytes(&self) -> usize {
+        self.phases
+            .iter()
+            .map(|p| (p.routed.active_unit_count() * 4).div_ceil(8))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn programs_and_executes_phases() {
+        let mut sw = FredSwitch::new(2, 8).unwrap();
+        let ar = sw
+            .program_phase("ar", vec![Flow::all_reduce([0usize, 1, 2]).unwrap()])
+            .unwrap();
+        let uni = sw.program_phase("uni", vec![Flow::unicast(7, 0)]).unwrap();
+        assert_eq!(sw.phase_count(), 2);
+        assert_eq!(sw.phase(ar).unwrap().name, "ar");
+
+        let mut inputs: Vec<Option<Vec<f64>>> = vec![None; 8];
+        for p in 0..3 {
+            inputs[p] = Some(vec![1.0 + p as f64]);
+        }
+        let out = sw.execute(ar, &inputs).unwrap();
+        for p in 0..3 {
+            assert_eq!(out[p].as_deref(), Some(&[6.0][..]));
+        }
+        let mut inputs: Vec<Option<Vec<f64>>> = vec![None; 8];
+        inputs[7] = Some(vec![42.0]);
+        let out = sw.execute(uni, &inputs).unwrap();
+        assert_eq!(out[0].as_deref(), Some(&[42.0][..]));
+    }
+
+    #[test]
+    fn conflicting_phase_rejected_at_programming_time() {
+        let mut sw = FredSwitch::new(2, 8).unwrap();
+        let flows = vec![
+            Flow::all_reduce([0usize, 2]).unwrap(),
+            Flow::all_reduce([3usize, 4]).unwrap(),
+            Flow::all_reduce([1usize, 5]).unwrap(),
+        ];
+        assert!(matches!(
+            sw.program_phase("conflict", flows),
+            Err(SwitchError::Routing(RouteFlowsError::Conflict(_)))
+        ));
+        assert_eq!(sw.phase_count(), 0);
+    }
+
+    #[test]
+    fn unknown_phase_is_an_error() {
+        let sw = FredSwitch::new(2, 4).unwrap();
+        assert!(matches!(
+            sw.execute(PhaseId(3), &[None, None, None, None]),
+            Err(SwitchError::UnknownPhase(PhaseId(3)))
+        ));
+    }
+
+    #[test]
+    fn sram_budget_within_paper_allowance() {
+        // Program the three 3D-parallelism phases of an MP(2)-DP(5)-PP(2)
+        // strategy on a 20-port switch and check the config store stays
+        // within the paper's 1.5 KB SRAM budget.
+        let mut sw = FredSwitch::new(3, 20).unwrap();
+        use crate::placement::{Placement, PlacementPolicy, Strategy3D};
+        let pl = Placement::new(Strategy3D::new(2, 5, 2), PlacementPolicy::MpPpDp);
+        let to_flows = |groups: Vec<Vec<usize>>| -> Vec<Flow> {
+            groups
+                .into_iter()
+                .filter(|g| g.len() > 1)
+                .map(|g| Flow::all_reduce(g).unwrap())
+                .collect()
+        };
+        sw.program_phase("mp", to_flows(pl.all_mp_groups())).unwrap();
+        sw.program_phase("dp", to_flows(pl.all_dp_groups())).unwrap();
+        assert!(sw.config_sram_bytes() <= 1536, "sram = {}", sw.config_sram_bytes());
+    }
+
+    #[test]
+    fn invalid_construction_propagates() {
+        assert!(matches!(FredSwitch::new(1, 8), Err(SwitchError::Construction(_))));
+    }
+}

@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+
+//! # fred-hwmodel — area, power, wafer-budget and I/O analytics
+//!
+//! Analytical hardware models reproducing the paper's physical-design
+//! accounting:
+//!
+//! * [`area`] — FRED switch chiplet area from port bandwidth and I/O
+//!   escape density, plus the chiplet decomposition of Fig 8(b) and the
+//!   Table 4 totals; includes the §6.2.3 discussion sweep (next-gen
+//!   I/O at 250 GBps/mm → 18.4% area; UCIe-A at 1 TBps/mm → 5%),
+//! * [`power`] — switch and wiring power (0.063 pJ/bit Si-IF links),
+//! * [`wafer`] — the 15 kW / 70,000 mm² budget checks of §6.2.1–§6.2.2,
+//! * [`iohotspot`] — the mesh streaming hotspot analysis of §3.2.1.
+
+pub mod area;
+pub mod iohotspot;
+pub mod power;
+pub mod wafer;

@@ -1,0 +1,65 @@
+//! Switch and wiring power (Table 3/4, §6.2.3).
+
+use crate::area::ChipletSpec;
+
+/// Si-IF wafer-scale link energy (Table 3): 0.063 pJ per bit.
+pub const WIRE_PJ_PER_BIT: f64 = 0.063;
+
+/// Table 4's "Additional Wafer-Scale Wiring" row, W.
+pub const TABLE4_WIRING_POWER: f64 = 58.0;
+
+/// Table 4's total power row, W.
+pub const TABLE4_TOTAL_POWER: f64 = 179.35;
+
+/// Power of wires sustaining `bandwidth` bytes/s at the Si-IF energy
+/// per bit.
+pub fn wiring_power(bandwidth: f64) -> f64 {
+    bandwidth * 8.0 * WIRE_PJ_PER_BIT * 1e-12
+}
+
+/// Total switch-chiplet power of an inventory, W (excluding wiring).
+pub fn total_switch_power(inventory: &[ChipletSpec]) -> f64 {
+    inventory.iter().map(|c| c.count as f64 * c.power_w).sum()
+}
+
+/// The full Table 4 power total: chiplets + additional wiring.
+pub fn table4_power_total(inventory: &[ChipletSpec]) -> f64 {
+    total_switch_power(inventory) + TABLE4_WIRING_POWER
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::area::table4_inventory;
+
+    #[test]
+    fn table4_power_rows_add_up() {
+        let inv = table4_inventory();
+        // 15*3.75 + 10*3.40 + 10*3.11 = 121.35 W.
+        assert!((total_switch_power(&inv) - 121.35).abs() < 1e-9);
+        // + 58 W wiring = 179.35 W (Table 4 total).
+        assert!((table4_power_total(&inv) - TABLE4_TOTAL_POWER).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fred_overhead_is_about_1_percent_of_budget() {
+        // §6.2.3: "about 1.2% of the total power budget".
+        let frac = TABLE4_TOTAL_POWER / 15_000.0;
+        assert!((frac - 0.012).abs() < 0.001, "{frac}");
+    }
+
+    #[test]
+    fn wiring_row_is_consistent_with_si_if_energy() {
+        // The extra fabric wiring carries roughly the 5 L1-L2 trunks at
+        // 12 TBps per direction: 2 * 5 * 12 TBps * 0.504 pJ/B ≈ 60 W,
+        // within ~10% of the Table 4 row.
+        let p = wiring_power(2.0 * 5.0 * 12e12);
+        assert!((p - TABLE4_WIRING_POWER).abs() / TABLE4_WIRING_POWER < 0.11, "{p}");
+    }
+
+    #[test]
+    fn wiring_power_scales_linearly() {
+        assert!((wiring_power(2e12) / wiring_power(1e12) - 2.0).abs() < 1e-12);
+        assert_eq!(wiring_power(0.0), 0.0);
+    }
+}

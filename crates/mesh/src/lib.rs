@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! # fred-mesh — the baseline wafer-scale 2D mesh (§2.4, §3.2, §7.1)
+//!
+//! All published wafer-scale prototypes connect NPUs with a 2D mesh;
+//! the paper's baseline is a 5×4 mesh of 20 NPUs with 750 GBps links
+//! (3.75 TBps bisection) and 18 CXL I/O controllers on the border NPUs
+//! (one per border position per facing edge, so corners carry two).
+//!
+//! * [`topology`] — the mesh graph, X-Y routing, I/O controller and
+//!   external-memory attachment,
+//! * [`rings`] — logical-ring embedding for arbitrary NPU groups
+//!   (snake ordering, §7.2 "we build logical rings between involved
+//!   NPUs"),
+//! * [`streaming`] — the MPI-style row/column broadcast trees of Fig 4
+//!   and their channel-load analysis (the (2N−1)P hotspot law).
+
+pub mod rings;
+pub mod streaming;
+pub mod topology;
+
+pub use topology::{IoSide, MeshFabric};

@@ -1,0 +1,116 @@
+//! A small generic discrete-event queue.
+//!
+//! Higher layers (the trainer in `fred-workloads`, the switch microsim in
+//! `fred-core`) need an ordered queue of timestamped events of their own
+//! event type. [`EventQueue`] provides deterministic FIFO ordering among
+//! events scheduled for the same instant.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::Time;
+
+/// An event scheduled for a given instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scheduled<E> {
+    /// When the event fires.
+    pub at: Time,
+    /// Tie-break sequence number (insertion order).
+    pub seq: u64,
+    /// The payload.
+    pub event: E,
+}
+
+impl<E: Eq> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl<E: Eq> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered event queue with FIFO tie-breaking.
+///
+/// ```
+/// use fred_sim::events::EventQueue;
+/// use fred_sim::time::Time;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Time::from_secs(2.0), "late");
+/// q.schedule(Time::from_secs(1.0), "early");
+/// q.schedule(Time::from_secs(1.0), "early-second");
+/// assert_eq!(q.pop().unwrap().event, "early");
+/// assert_eq!(q.pop().unwrap().event, "early-second");
+/// assert_eq!(q.pop().unwrap().event, "late");
+/// assert!(q.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EventQueue<E: Eq> {
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    next_seq: u64,
+}
+
+impl<E: Eq> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> EventQueue<E> {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Schedules `event` to fire at `at`.
+    pub fn schedule(&mut self, at: Time, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Scheduled { at, seq, event }));
+    }
+
+    /// The instant of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse(s)| s.at)
+    }
+
+    /// Removes and returns the earliest pending event.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        self.heap.pop().map(|Reverse(s)| s)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time_then_insertion() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_secs(3.0), 30);
+        q.schedule(Time::from_secs(1.0), 10);
+        q.schedule(Time::from_secs(1.0), 11);
+        q.schedule(Time::from_secs(2.0), 20);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        assert_eq!(order, vec![10, 11, 20, 30]);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_secs(1.0), ());
+        assert_eq!(q.peek_time(), Some(Time::from_secs(1.0)));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.peek_time().is_none());
+        assert!(q.is_empty());
+    }
+}

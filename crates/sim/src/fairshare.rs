@@ -1,0 +1,221 @@
+//! Max-min fair bandwidth allocation with strict priority classes.
+//!
+//! Given a set of flows, each crossing a set of links, the allocator
+//! assigns each flow a rate such that, within each priority class,
+//! bandwidth is max-min fair: no flow can be given more rate without
+//! taking rate away from a flow that has equal or less. Classes are
+//! served strictly in priority order — a lower class sees only the
+//! capacity left over by higher classes. This mirrors FRED's behaviour of
+//! preempting the in-flight communication for a higher-priority one
+//! (§5.4) and the per-dimension virtual channels (§6.2.3).
+//!
+//! The implementation is the classic *progressive filling* (water
+//! filling) algorithm: repeatedly find the most congested link, fix the
+//! fair share of every unfrozen flow crossing it, and remove them.
+
+use crate::flow::Priority;
+
+/// One flow, as seen by the allocator.
+#[derive(Debug, Clone)]
+pub struct AllocFlow<'a> {
+    /// Indices (`LinkId.0`) of the links the flow crosses.
+    pub links: &'a [usize],
+    /// Priority class.
+    pub priority: Priority,
+}
+
+/// Computes max-min fair rates for `flows` over links with the given
+/// `capacities` (bytes/s, indexed by `LinkId.0`).
+///
+/// Returns one rate per flow, in input order. Flows with an empty link
+/// set get `f64::INFINITY` (node-local transfers). Flows crossing a link
+/// fully consumed by higher-priority classes get `0.0`.
+///
+/// # Panics
+///
+/// Panics if a flow references a link index out of range of
+/// `capacities`.
+pub fn max_min_rates(capacities: &[f64], flows: &[AllocFlow<'_>]) -> Vec<f64> {
+    const EPS: f64 = 1e-9;
+    let mut rates = vec![0.0_f64; flows.len()];
+    let mut remaining: Vec<f64> = capacities.to_vec();
+
+    for class in Priority::ALL {
+        // Flows of this class, by input index.
+        let members: Vec<usize> = flows
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.priority == class)
+            .map(|(i, _)| i)
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+
+        let mut unfrozen: Vec<usize> = Vec::new();
+        for &i in &members {
+            if flows[i].links.is_empty() {
+                rates[i] = f64::INFINITY;
+            } else {
+                for &l in flows[i].links {
+                    assert!(l < capacities.len(), "flow references unknown link index {l}");
+                }
+                unfrozen.push(i);
+            }
+        }
+
+        // Per-link count of unfrozen flows of this class.
+        let mut counts = vec![0usize; capacities.len()];
+        for &i in &unfrozen {
+            for &l in flows[i].links {
+                counts[l] += 1;
+            }
+        }
+
+        // Links that actually carry flows of this class (avoids scanning
+        // the whole link table every iteration).
+        let mut used_links: Vec<usize> =
+            counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(l, _)| l).collect();
+
+        while !unfrozen.is_empty() {
+            // Bottleneck link: minimum remaining/count over links with
+            // unfrozen flows.
+            let mut bottleneck: Option<(usize, f64)> = None;
+            used_links.retain(|&l| counts[l] > 0);
+            for &l in &used_links {
+                let share = (remaining[l].max(0.0)) / counts[l] as f64;
+                if bottleneck.map_or(true, |(_, s)| share < s) {
+                    bottleneck = Some((l, share));
+                }
+            }
+            let Some((bl, share)) = bottleneck else { break };
+            let share = share.max(0.0);
+
+            // Freeze every unfrozen flow crossing the bottleneck link.
+            let mut any = false;
+            unfrozen.retain(|&i| {
+                if flows[i].links.contains(&bl) {
+                    any = true;
+                    rates[i] = share;
+                    for &l in flows[i].links {
+                        remaining[l] -= share;
+                        if remaining[l] < EPS {
+                            remaining[l] = 0.0;
+                        }
+                        counts[l] -= 1;
+                    }
+                    false
+                } else {
+                    true
+                }
+            });
+            debug_assert!(any, "bottleneck link had no flows");
+        }
+    }
+
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flows<'a>(specs: &'a [(Vec<usize>, Priority)]) -> Vec<AllocFlow<'a>> {
+        specs
+            .iter()
+            .map(|(links, p)| AllocFlow { links, priority: *p })
+            .collect()
+    }
+
+    #[test]
+    fn single_flow_gets_line_rate() {
+        let specs = [(vec![0], Priority::Bulk)];
+        let r = max_min_rates(&[100.0], &flows(&specs));
+        assert_eq!(r, vec![100.0]);
+    }
+
+    #[test]
+    fn equal_flows_split_evenly() {
+        let specs = [(vec![0], Priority::Bulk), (vec![0], Priority::Bulk)];
+        let r = max_min_rates(&[100.0], &flows(&specs));
+        assert_eq!(r, vec![50.0, 50.0]);
+    }
+
+    #[test]
+    fn classic_max_min_example() {
+        // Link 0: cap 10, link 1: cap 4.
+        // f0 crosses both, f1 crosses link 1, f2 crosses link 0.
+        // Max-min: f0 = f1 = 2 (link 1 bottleneck), f2 = 8.
+        let specs = [
+            (vec![0, 1], Priority::Bulk),
+            (vec![1], Priority::Bulk),
+            (vec![0], Priority::Bulk),
+        ];
+        let r = max_min_rates(&[10.0, 4.0], &flows(&specs));
+        assert!((r[0] - 2.0).abs() < 1e-9);
+        assert!((r[1] - 2.0).abs() < 1e-9);
+        assert!((r[2] - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn higher_priority_takes_all() {
+        let specs = [(vec![0], Priority::Mp), (vec![0], Priority::Dp)];
+        let r = max_min_rates(&[100.0], &flows(&specs));
+        assert_eq!(r[0], 100.0);
+        assert_eq!(r[1], 0.0);
+    }
+
+    #[test]
+    fn lower_priority_uses_disjoint_links() {
+        let specs = [(vec![0], Priority::Mp), (vec![1], Priority::Dp)];
+        let r = max_min_rates(&[100.0, 60.0], &flows(&specs));
+        assert_eq!(r, vec![100.0, 60.0]);
+    }
+
+    #[test]
+    fn empty_route_is_infinite() {
+        let specs = [(vec![], Priority::Bulk)];
+        let r = max_min_rates(&[], &flows(&specs));
+        assert_eq!(r, vec![f64::INFINITY]);
+    }
+
+    #[test]
+    fn priority_order_within_three_classes() {
+        // MP saturates; PP and DP get nothing on the shared link but a
+        // DP-only link stays fully available.
+        let specs = [
+            (vec![0], Priority::Mp),
+            (vec![0], Priority::Pp),
+            (vec![0, 1], Priority::Dp),
+            (vec![1], Priority::Dp),
+        ];
+        let r = max_min_rates(&[10.0, 10.0], &flows(&specs));
+        assert_eq!(r[0], 10.0);
+        assert_eq!(r[1], 0.0);
+        assert_eq!(r[2], 0.0);
+        assert_eq!(r[3], 10.0);
+    }
+
+    #[test]
+    fn no_link_oversubscription() {
+        // Random-ish mix; verify feasibility: sum of rates per link <= cap.
+        let specs = [
+            (vec![0, 1], Priority::Bulk),
+            (vec![1, 2], Priority::Bulk),
+            (vec![0, 2], Priority::Bulk),
+            (vec![2], Priority::Mp),
+        ];
+        let caps = [7.0, 5.0, 3.0];
+        let fs = flows(&specs);
+        let r = max_min_rates(&caps, &fs);
+        let mut load = [0.0; 3];
+        for (f, &rate) in fs.iter().zip(&r) {
+            for &l in f.links {
+                load[l] += rate;
+            }
+        }
+        for (l, &cap) in caps.iter().enumerate() {
+            assert!(load[l] <= cap + 1e-6, "link {l} oversubscribed: {} > {cap}", load[l]);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Flows: point-to-point transfers along a fixed route.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::topology::Route;
+
+/// Identifier of an injected flow within a
+/// [`FlowNetwork`](crate::netsim::FlowNetwork).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FlowId(pub u64);
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Strict priority class of a flow, mirroring the paper's virtual-channel
+/// assignment (§5.4 / §6.2.3): one control class plus one data class per
+/// parallelism dimension, with MP > PP > DP.
+///
+/// Higher-priority flows are allocated bandwidth first; lower classes
+/// receive only leftover capacity (the flow-level analogue of FRED
+/// preempting the current communication for a higher-priority one).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum Priority {
+    /// ACK/NACK and other control traffic (highest).
+    Control,
+    /// Model/tensor-parallel traffic.
+    Mp,
+    /// Pipeline-parallel traffic.
+    Pp,
+    /// Data-parallel traffic.
+    Dp,
+    /// I/O streaming and everything else (lowest).
+    #[default]
+    Bulk,
+}
+
+impl Priority {
+    /// All classes, highest first.
+    pub const ALL: [Priority; 5] = [
+        Priority::Control,
+        Priority::Mp,
+        Priority::Pp,
+        Priority::Dp,
+        Priority::Bulk,
+    ];
+
+    /// Numeric rank, 0 = highest priority.
+    pub fn rank(self) -> usize {
+        match self {
+            Priority::Control => 0,
+            Priority::Mp => 1,
+            Priority::Pp => 2,
+            Priority::Dp => 3,
+            Priority::Bulk => 4,
+        }
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Priority::Control => "control",
+            Priority::Mp => "mp",
+            Priority::Pp => "pp",
+            Priority::Dp => "dp",
+            Priority::Bulk => "bulk",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Specification of one flow to inject into the network.
+///
+/// ```
+/// use fred_sim::flow::{FlowSpec, Priority};
+/// use fred_sim::topology::LinkId;
+///
+/// let f = FlowSpec::new(vec![LinkId(0), LinkId(1)], 4096.0)
+///     .with_priority(Priority::Mp)
+///     .with_tag(7);
+/// assert_eq!(f.bytes, 4096.0);
+/// assert_eq!(f.priority, Priority::Mp);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowSpec {
+    /// The links the flow traverses, in order. An empty route models a
+    /// node-local transfer, which completes immediately.
+    pub route: Route,
+    /// Payload size in bytes. Fractional bytes are permitted — collective
+    /// algorithms routinely divide payloads by group sizes.
+    pub bytes: f64,
+    /// Strict priority class.
+    pub priority: Priority,
+    /// Opaque tag propagated to the completion record; higher layers use
+    /// it to map completions back to collective phases.
+    pub tag: u64,
+}
+
+impl FlowSpec {
+    /// Creates a flow over `route` carrying `bytes` bytes at the default
+    /// ([`Priority::Bulk`]) priority.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is negative or not finite.
+    pub fn new(route: Route, bytes: f64) -> FlowSpec {
+        assert!(
+            bytes.is_finite() && bytes >= 0.0,
+            "flow size must be finite and non-negative, got {bytes}"
+        );
+        FlowSpec { route, bytes, priority: Priority::default(), tag: 0 }
+    }
+
+    /// Sets the priority class.
+    pub fn with_priority(mut self, priority: Priority) -> FlowSpec {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the completion tag.
+    pub fn with_tag(mut self, tag: u64) -> FlowSpec {
+        self.tag = tag;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::LinkId;
+
+    #[test]
+    fn builder_sets_fields() {
+        let f = FlowSpec::new(vec![LinkId(3)], 10.0)
+            .with_priority(Priority::Dp)
+            .with_tag(42);
+        assert_eq!(f.route, vec![LinkId(3)]);
+        assert_eq!(f.priority, Priority::Dp);
+        assert_eq!(f.tag, 42);
+    }
+
+    #[test]
+    fn priority_order_is_mp_pp_dp() {
+        assert!(Priority::Control < Priority::Mp);
+        assert!(Priority::Mp < Priority::Pp);
+        assert!(Priority::Pp < Priority::Dp);
+        assert!(Priority::Dp < Priority::Bulk);
+        assert_eq!(Priority::Mp.rank(), 1);
+        for (i, p) in Priority::ALL.iter().enumerate() {
+            assert_eq!(p.rank(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn negative_size_panics() {
+        let _ = FlowSpec::new(vec![], -1.0);
+    }
+
+    #[test]
+    fn zero_byte_flows_are_allowed() {
+        let f = FlowSpec::new(vec![], 0.0);
+        assert_eq!(f.bytes, 0.0);
+    }
+}

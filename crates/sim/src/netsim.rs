@@ -1,0 +1,541 @@
+//! The event-driven flow-level network simulator.
+//!
+//! [`FlowNetwork`] owns a [`Topology`] and a set of in-flight flows.
+//! Whenever the set of flows changes (injection or completion), per-flow
+//! rates are recomputed with the max-min fair allocator
+//! ([`crate::fairshare`]); between changes every flow progresses linearly
+//! at its assigned rate, so the next event time is known in closed form.
+//!
+//! A flow's lifecycle:
+//!
+//! 1. *injected* — starts draining immediately at its allocated rate;
+//! 2. *drained* — all bytes have left the source; the flow stops
+//!    consuming bandwidth;
+//! 3. *completed* — one route-latency later the tail arrives at the
+//!    destination and a [`CompletedFlow`] record is emitted.
+//!
+//! The separation of (2) and (3) models store-and-forward-free
+//! (cut-through) pipelining: bandwidth is held only while bytes are being
+//! pushed, and the constant propagation delay is appended at the end.
+
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+
+use crate::fairshare::{max_min_rates, AllocFlow};
+use crate::flow::{FlowId, FlowSpec, Priority};
+use crate::time::{Duration, Time};
+use crate::topology::Topology;
+
+/// Bytes below which a flow is considered fully drained (guards against
+/// floating-point residue).
+const DRAIN_EPS: f64 = 1e-6;
+
+/// Flows within this many seconds of draining are settled immediately.
+/// Guards against Zeno loops: when `remaining / rate` falls below the
+/// ULP of the current clock value, `now + dt == now` and time would
+/// stop advancing. A picosecond is far below any modelled latency.
+const TIME_EPS: f64 = 1e-12;
+
+#[derive(Debug, Clone)]
+struct ActiveFlow {
+    id: FlowId,
+    /// Route as raw link indices (allocator-friendly).
+    links: Vec<usize>,
+    priority: Priority,
+    tag: u64,
+    remaining: f64,
+    rate: f64,
+    injected_at: Time,
+    latency: Duration,
+}
+
+/// Record of a finished flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletedFlow {
+    /// The id returned by [`FlowNetwork::inject`].
+    pub id: FlowId,
+    /// The tag from the [`FlowSpec`].
+    pub tag: u64,
+    /// The flow's priority class.
+    pub priority: Priority,
+    /// When the flow was injected.
+    pub injected_at: Time,
+    /// When the last byte arrived at the destination.
+    pub completed_at: Time,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct PendingNotice {
+    at: Time,
+    seq: u64,
+    flow: CompletedFlow,
+}
+
+impl Eq for PendingNotice {}
+impl Ord for PendingNotice {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+impl PartialOrd for PendingNotice {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Flow-level network simulator over a fixed [`Topology`].
+///
+/// See the [crate-level example](crate) for basic usage.
+#[derive(Debug)]
+pub struct FlowNetwork {
+    topo: Topology,
+    now: Time,
+    next_id: u64,
+    active: Vec<ActiveFlow>,
+    /// Drained flows waiting out their tail latency.
+    pending: BinaryHeap<Reverse<PendingNotice>>,
+    completed: Vec<CompletedFlow>,
+    /// Cumulative bytes carried per link (statistics).
+    link_bytes: Vec<f64>,
+    capacities: Vec<f64>,
+}
+
+impl FlowNetwork {
+    /// Creates a simulator over `topo` with the clock at zero.
+    pub fn new(topo: Topology) -> FlowNetwork {
+        let capacities: Vec<f64> = topo.links().map(|(_, l)| l.bandwidth).collect();
+        let link_bytes = vec![0.0; capacities.len()];
+        FlowNetwork {
+            topo,
+            now: Time::ZERO,
+            next_id: 0,
+            active: Vec::new(),
+            pending: BinaryHeap::new(),
+            completed: Vec::new(),
+            link_bytes,
+            capacities,
+        }
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Number of flows currently consuming bandwidth or waiting out their
+    /// tail latency.
+    pub fn in_flight(&self) -> usize {
+        self.active.len() + self.pending.len()
+    }
+
+    /// Injects a flow at the current time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the route is not a contiguous path in the topology.
+    pub fn inject(&mut self, spec: FlowSpec) -> FlowId {
+        self.topo
+            .validate_route(&spec.route)
+            .unwrap_or_else(|e| panic!("invalid flow route: {e}"));
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        let latency = self.topo.route_latency(&spec.route);
+        let flow = ActiveFlow {
+            id,
+            links: spec.route.iter().map(|l| l.0).collect(),
+            priority: spec.priority,
+            tag: spec.tag,
+            remaining: spec.bytes,
+            rate: 0.0,
+            injected_at: self.now,
+            latency,
+        };
+        if flow.remaining <= DRAIN_EPS || flow.links.is_empty() {
+            // Nothing to drain (or node-local): completes after latency.
+            self.push_pending(flow);
+        } else {
+            self.active.push(flow);
+            self.recompute_rates();
+        }
+        id
+    }
+
+    /// Injects several flows at the current time, recomputing rates
+    /// once. Prefer this over repeated [`FlowNetwork::inject`] calls
+    /// when starting a collective phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any route is not a contiguous path in the topology.
+    pub fn inject_batch(&mut self, specs: Vec<FlowSpec>) -> Vec<FlowId> {
+        let mut ids = Vec::with_capacity(specs.len());
+        let mut any_active = false;
+        for spec in specs {
+            self.topo
+                .validate_route(&spec.route)
+                .unwrap_or_else(|e| panic!("invalid flow route: {e}"));
+            let id = FlowId(self.next_id);
+            self.next_id += 1;
+            let latency = self.topo.route_latency(&spec.route);
+            let flow = ActiveFlow {
+                id,
+                links: spec.route.iter().map(|l| l.0).collect(),
+                priority: spec.priority,
+                tag: spec.tag,
+                remaining: spec.bytes,
+                rate: 0.0,
+                injected_at: self.now,
+                latency,
+            };
+            if flow.remaining <= DRAIN_EPS || flow.links.is_empty() {
+                self.push_pending(flow);
+            } else {
+                self.active.push(flow);
+                any_active = true;
+            }
+            ids.push(id);
+        }
+        if any_active {
+            self.recompute_rates();
+        }
+        ids
+    }
+
+    fn push_pending(&mut self, f: ActiveFlow) {
+        let at = self.now + f.latency;
+        let seq = f.id.0;
+        self.pending.push(Reverse(PendingNotice {
+            at,
+            seq,
+            flow: CompletedFlow {
+                id: f.id,
+                tag: f.tag,
+                priority: f.priority,
+                injected_at: f.injected_at,
+                completed_at: at,
+            },
+        }));
+    }
+
+    fn recompute_rates(&mut self) {
+        let alloc: Vec<AllocFlow<'_>> = self
+            .active
+            .iter()
+            .map(|f| AllocFlow { links: &f.links, priority: f.priority })
+            .collect();
+        let rates = max_min_rates(&self.capacities, &alloc);
+        for (f, r) in self.active.iter_mut().zip(rates) {
+            f.rate = r;
+        }
+    }
+
+    /// The next instant at which simulator state changes on its own
+    /// (a drain finishing or a tail latency expiring), if any.
+    pub fn next_event(&self) -> Option<Time> {
+        let drain = self
+            .active
+            .iter()
+            .filter(|f| f.rate > 0.0)
+            .map(|f| self.now + Duration::from_secs((f.remaining / f.rate).max(0.0)))
+            .min();
+        let notice = self.pending.peek().map(|Reverse(p)| p.at);
+        match (drain, notice) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Advances the clock to `t`, processing every internal event on the
+    /// way. Completions are buffered; retrieve them with
+    /// [`FlowNetwork::drain_completed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is in the past.
+    pub fn advance_to(&mut self, t: Time) {
+        assert!(t >= self.now, "cannot advance backwards: {t} < {}", self.now);
+        loop {
+            match self.next_event() {
+                Some(te) if te <= t => {
+                    self.drain_until(te);
+                    self.settle_at(te);
+                }
+                _ => break,
+            }
+        }
+        self.drain_until(t);
+    }
+
+    /// Moves bytes at current rates; does not process completions.
+    fn drain_until(&mut self, t: Time) {
+        let dt = (t - self.now).as_secs();
+        if dt > 0.0 {
+            for f in &mut self.active {
+                if f.rate > 0.0 {
+                    let moved = (f.rate * dt).min(f.remaining);
+                    f.remaining -= moved;
+                    for &l in &f.links {
+                        self.link_bytes[l] += moved;
+                    }
+                }
+            }
+        }
+        self.now = t;
+    }
+
+    /// Processes drained flows and expired tail latencies at the current
+    /// instant.
+    fn settle_at(&mut self, t: Time) {
+        debug_assert_eq!(t, self.now);
+        // Drained flows stop consuming bandwidth and enter the latency
+        // tail. A flow also counts as drained when it is within TIME_EPS
+        // of finishing at its current rate (Zeno guard, see TIME_EPS).
+        let drained: Vec<ActiveFlow> = {
+            let (done, rest): (Vec<_>, Vec<_>) = self.active.drain(..).partition(|f| {
+                f.remaining <= DRAIN_EPS || (f.rate > 0.0 && f.remaining <= f.rate * TIME_EPS)
+            });
+            self.active = rest;
+            done
+        };
+        let any_drained = !drained.is_empty();
+        for f in drained {
+            self.push_pending(f);
+        }
+        if any_drained {
+            self.recompute_rates();
+        }
+        // Expired latency tails become completions.
+        while let Some(Reverse(p)) = self.pending.peek() {
+            if p.at <= self.now {
+                let Reverse(p) = self.pending.pop().expect("peeked");
+                self.completed.push(p.flow);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Removes and returns all buffered completions, ordered by
+    /// completion time.
+    pub fn drain_completed(&mut self) -> Vec<CompletedFlow> {
+        let mut out = std::mem::take(&mut self.completed);
+        out.sort_by(|a, b| a.completed_at.cmp(&b.completed_at).then(a.id.cmp(&b.id)));
+        out
+    }
+
+    /// Runs until every in-flight flow has completed and returns all
+    /// completions ordered by completion time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if progress stalls (e.g. every remaining flow has rate
+    /// zero), which would otherwise loop forever.
+    pub fn run_to_completion(&mut self) -> Vec<CompletedFlow> {
+        while self.in_flight() > 0 {
+            let te = self
+                .next_event()
+                .expect("in-flight flows but no next event: simulation stalled");
+            self.advance_to(te);
+        }
+        self.drain_completed()
+    }
+
+    /// Cumulative bytes carried by a link since construction.
+    pub fn link_carried_bytes(&self, link: crate::topology::LinkId) -> f64 {
+        self.link_bytes[link.0]
+    }
+
+    /// Link utilisation over `[Time::ZERO, now]`: carried bytes divided
+    /// by capacity × elapsed. Returns 0 when no time has elapsed.
+    pub fn link_utilization(&self, link: crate::topology::LinkId) -> f64 {
+        let elapsed = self.now.as_secs();
+        if elapsed <= 0.0 {
+            0.0
+        } else {
+            self.link_bytes[link.0] / (self.capacities[link.0] * elapsed)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{NodeKind, Topology};
+
+    fn two_node_net(bw: f64, lat: f64) -> (FlowNetwork, crate::topology::LinkId) {
+        let mut topo = Topology::new();
+        let a = topo.add_node(NodeKind::Npu, "a");
+        let b = topo.add_node(NodeKind::Npu, "b");
+        let l = topo.add_link(a, b, bw, lat);
+        (FlowNetwork::new(topo), l)
+    }
+
+    #[test]
+    fn single_flow_takes_bytes_over_bandwidth() {
+        let (mut net, l) = two_node_net(100.0, 0.0);
+        net.inject(FlowSpec::new(vec![l], 500.0));
+        let done = net.run_to_completion();
+        assert_eq!(done.len(), 1);
+        assert!((done[0].completed_at.as_secs() - 5.0).abs() < 1e-9);
+        assert!((net.link_carried_bytes(l) - 500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn latency_is_appended_after_drain() {
+        let (mut net, l) = two_node_net(100.0, 0.5);
+        net.inject(FlowSpec::new(vec![l], 100.0));
+        let done = net.run_to_completion();
+        assert!((done[0].completed_at.as_secs() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_flows_share_then_speed_up() {
+        // f0: 100 B, f1: 300 B on a 100 B/s link.
+        // Phase 1: both at 50 B/s until f0 drains at t=2 (100 B each).
+        // Phase 2: f1 alone at 100 B/s for its remaining 200 B -> t=4.
+        let (mut net, l) = two_node_net(100.0, 0.0);
+        net.inject(FlowSpec::new(vec![l], 100.0).with_tag(0));
+        net.inject(FlowSpec::new(vec![l], 300.0).with_tag(1));
+        let done = net.run_to_completion();
+        assert_eq!(done[0].tag, 0);
+        assert!((done[0].completed_at.as_secs() - 2.0).abs() < 1e-9);
+        assert_eq!(done[1].tag, 1);
+        assert!((done[1].completed_at.as_secs() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn priority_preemption_starves_then_releases() {
+        // MP flow (100 B) and DP flow (100 B) on the same 100 B/s link:
+        // MP finishes at t=1, DP at t=2.
+        let (mut net, l) = two_node_net(100.0, 0.0);
+        net.inject(FlowSpec::new(vec![l], 100.0).with_priority(Priority::Dp).with_tag(3));
+        net.inject(FlowSpec::new(vec![l], 100.0).with_priority(Priority::Mp).with_tag(1));
+        let done = net.run_to_completion();
+        assert_eq!(done[0].tag, 1);
+        assert!((done[0].completed_at.as_secs() - 1.0).abs() < 1e-9);
+        assert_eq!(done[1].tag, 3);
+        assert!((done[1].completed_at.as_secs() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn late_injection_reallocates() {
+        // f0 alone for 1 s (100 B drained), then f1 joins; both at 50 B/s.
+        let (mut net, l) = two_node_net(100.0, 0.0);
+        net.inject(FlowSpec::new(vec![l], 200.0).with_tag(0));
+        net.advance_to(Time::from_secs(1.0));
+        net.inject(FlowSpec::new(vec![l], 100.0).with_tag(1));
+        let done = net.run_to_completion();
+        // f0 remaining 100 at t=1 -> drains at t=3; f1 100 B -> t=3 too.
+        assert!((done[0].completed_at.as_secs() - 3.0).abs() < 1e-9);
+        assert!((done[1].completed_at.as_secs() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_after_latency_only() {
+        let (mut net, l) = two_node_net(100.0, 0.25);
+        net.inject(FlowSpec::new(vec![l], 0.0));
+        let done = net.run_to_completion();
+        assert!((done[0].completed_at.as_secs() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_local_flow_completes_immediately() {
+        let (mut net, _) = two_node_net(100.0, 0.0);
+        net.inject(FlowSpec::new(vec![], 1e9));
+        let done = net.run_to_completion();
+        assert_eq!(done[0].completed_at, Time::ZERO);
+    }
+
+    #[test]
+    fn utilization_accounts_busy_fraction() {
+        let (mut net, l) = two_node_net(100.0, 0.0);
+        net.inject(FlowSpec::new(vec![l], 100.0));
+        net.advance_to(Time::from_secs(2.0));
+        // Busy 1 s out of 2 s.
+        assert!((net.link_utilization(l) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_hop_flow_bounded_by_slowest_link() {
+        let mut topo = Topology::new();
+        let a = topo.add_node(NodeKind::Npu, "a");
+        let b = topo.add_node(NodeKind::SwitchL1, "s");
+        let c = topo.add_node(NodeKind::Npu, "c");
+        let l0 = topo.add_link(a, b, 100.0, 0.0);
+        let l1 = topo.add_link(b, c, 25.0, 0.0);
+        let mut net = FlowNetwork::new(topo);
+        net.inject(FlowSpec::new(vec![l0, l1], 100.0));
+        let done = net.run_to_completion();
+        assert!((done[0].completed_at.as_secs() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inject_batch_matches_sequential_injects() {
+        let (mut a, la) = two_node_net(100.0, 0.0);
+        let (mut b, lb) = two_node_net(100.0, 0.0);
+        let specs_a: Vec<FlowSpec> =
+            (0..5).map(|i| FlowSpec::new(vec![la], 100.0).with_tag(i)).collect();
+        for s in specs_a {
+            a.inject(s);
+        }
+        let specs_b: Vec<FlowSpec> =
+            (0..5).map(|i| FlowSpec::new(vec![lb], 100.0).with_tag(i)).collect();
+        b.inject_batch(specs_b);
+        let da = a.run_to_completion();
+        let db = b.run_to_completion();
+        assert_eq!(da.len(), db.len());
+        for (x, y) in da.iter().zip(&db) {
+            assert_eq!(x.tag, y.tag);
+            assert!((x.completed_at.as_secs() - y.completed_at.as_secs()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn inject_batch_handles_mixed_empty_and_real_flows() {
+        let (mut net, l) = two_node_net(100.0, 0.0);
+        let ids = net.inject_batch(vec![
+            FlowSpec::new(vec![], 1e6).with_tag(0),
+            FlowSpec::new(vec![l], 100.0).with_tag(1),
+            FlowSpec::new(vec![l], 0.0).with_tag(2),
+        ]);
+        assert_eq!(ids.len(), 3);
+        let done = net.run_to_completion();
+        assert_eq!(done.len(), 3);
+        // The node-local and zero-byte flows complete instantly.
+        assert_eq!(done[0].completed_at, Time::ZERO);
+        assert_eq!(done[1].completed_at, Time::ZERO);
+        assert!((done[2].completed_at.as_secs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zeno_guard_terminates_near_equal_flows() {
+        // Hundreds of nearly-identical flows completing at nearly the
+        // same instant exercise the TIME_EPS guard: without it, float
+        // residue makes `now + dt == now` and the loop never ends.
+        let (mut net, l) = two_node_net(1e12, 2e-8);
+        let flows: Vec<FlowSpec> = (0..256)
+            .map(|i| FlowSpec::new(vec![l], 1e9 + (i as f64) * 1e-3).with_tag(i))
+            .collect();
+        net.inject_batch(flows);
+        let done = net.run_to_completion();
+        assert_eq!(done.len(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid flow route")]
+    fn discontiguous_route_panics() {
+        let mut topo = Topology::new();
+        let a = topo.add_node(NodeKind::Npu, "a");
+        let b = topo.add_node(NodeKind::Npu, "b");
+        let c = topo.add_node(NodeKind::Npu, "c");
+        let ab = topo.add_link(a, b, 1.0, 0.0);
+        let ca = topo.add_link(c, a, 1.0, 0.0);
+        let mut net = FlowNetwork::new(topo);
+        net.inject(FlowSpec::new(vec![ab, ca], 1.0));
+    }
+}

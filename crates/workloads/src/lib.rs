@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! # fred-workloads — DNN models, 3D parallelism and the trainer
+//!
+//! The workload layer of the reproduction (the role ASTRA-SIM's
+//! workload frontend plays in the paper, §7.3–§7.4):
+//!
+//! * [`model`] — the model zoo (ResNet-152, Transformer-17B, GPT-3,
+//!   Transformer-1T) described as layer graphs with FLOPs, parameter
+//!   and activation sizes (Table 6),
+//! * [`backend`] — network backends gluing the baseline mesh and the
+//!   Fred-A/B/C/D fabrics to a common collective interface (Table 5),
+//! * [`schedule`] — the per-iteration task graph: forward/backward
+//!   passes, GPipe microbatching, MP/DP/PP collectives, ZeRO-2 DP
+//!   sharding, weight-stationary vs weight-streaming execution (§3.1),
+//! * [`trainer`] — the discrete-event trainer overlapping compute and
+//!   communication and accounting exposed communication per type,
+//! * [`report`] — the training-time breakdown records used by the
+//!   benchmark harness.
+
+pub mod backend;
+pub mod memory;
+pub mod model;
+pub mod report;
+pub mod schedule;
+pub mod strategies;
+pub mod trainer;

@@ -1,0 +1,44 @@
+//! End-to-end: simulate one GPT-3 training iteration (weight streaming,
+//! MP(2)-DP(5)-PP(2)) on the baseline mesh and on Fred-D, and print the
+//! exposed-communication breakdown (the Fig 10 experiment for one
+//! workload).
+//!
+//! Run with: `cargo run --release --example train_gpt3`
+
+use fred::core::params::FabricConfig;
+use fred::workloads::backend::FabricBackend;
+use fred::workloads::model::DnnModel;
+use fred::workloads::report::CommType;
+use fred::workloads::schedule::ScheduleParams;
+use fred::workloads::trainer::simulate;
+
+fn main() {
+    let model = DnnModel::gpt3();
+    let strategy = model.default_strategy;
+    let params = ScheduleParams::paper_default(&model, strategy);
+    println!(
+        "GPT-3 ({} layers, {:.0} GB of weights), {strategy}, minibatch {}",
+        model.layers,
+        model.model_bytes() / 1e9,
+        params.minibatch
+    );
+
+    let mut reports = Vec::new();
+    for config in [FabricConfig::BaselineMesh, FabricConfig::FredD] {
+        let backend = FabricBackend::new(config);
+        let r = simulate(&model, strategy, &backend, params);
+        println!("\n[{}] iteration time {}", r.config, r.total);
+        println!("  compute (avg/NPU): {}", r.compute);
+        for t in CommType::ALL {
+            let d = r.exposed_for(t);
+            if d.as_secs() > 0.0 {
+                println!("  exposed {t:<11}: {d}");
+            }
+        }
+        reports.push(r);
+    }
+    println!(
+        "\nFred-D speedup over baseline: {:.2}x (paper: 1.34x)",
+        reports[1].speedup_over(&reports[0])
+    );
+}

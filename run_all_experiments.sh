@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Regenerates every figure/table of the paper into results/.
+set -euo pipefail
+cd "$(dirname "$0")"
+mkdir -p results
+BINS="fig2 fig4 memory_feasibility fig5_placement fig6_nonaligned fig7_routing fig9 fig10 fig11 table4 scaling ep_alltoall"
+for b in $BINS; do
+  echo "== $b =="
+  cargo run --release -q -p fred-bench --bin "$b" | tee "results/$b.txt"
+done
+echo "All experiment outputs written to results/."

@@ -1,0 +1,136 @@
+//! Cross-crate integration: the flow-level simulator against the
+//! closed-form cost models, and the paper's §8.1 effective-bandwidth
+//! orderings.
+
+use fred::collectives::cost;
+use fred::collectives::plan::execute_standalone;
+use fred::collectives::ring::{self, Direction};
+use fred::core::params::FabricConfig;
+use fred::mesh::streaming;
+use fred::mesh::topology::MeshFabric;
+use fred::sim::flow::Priority;
+use fred::sim::netsim::FlowNetwork;
+use fred::workloads::backend::FabricBackend;
+
+/// Ring All-Reduce on the FRED tree matches the α-β model when run
+/// contention-free: a single L1 cluster at full NPU bandwidth.
+#[test]
+fn simulated_ring_matches_cost_model() {
+    let backend = FabricBackend::new(FabricConfig::FredC);
+    let d = 8e9;
+    let group = vec![0usize, 1, 2, 3]; // one L1 cluster
+    let plan = match &backend {
+        FabricBackend::Fred(f) => {
+            ring::all_reduce(&group, d, Direction::Unidirectional, &|a, b| f.npu_route(a, b))
+        }
+        FabricBackend::Mesh(_) => unreachable!(),
+    };
+    let (dur, _) = execute_standalone(backend.topology(), &plan, d);
+    let predicted = cost::ring_all_reduce_time(4, d, 3e12, 0.0);
+    let err = (dur.as_secs() - predicted).abs() / predicted;
+    assert!(err < 0.02, "sim {} vs model {predicted}", dur.as_secs());
+}
+
+/// The §8.1 wafer-wide All-Reduce ordering across all five Table 5
+/// configurations.
+#[test]
+fn wafer_allreduce_ordering_holds() {
+    let d = 10e9;
+    let group: Vec<usize> = (0..20).collect();
+    let mut time = std::collections::HashMap::new();
+    for config in FabricConfig::ALL {
+        let b = FabricBackend::new(config);
+        let plan = b.all_reduce(&group, d);
+        let (dur, _) = execute_standalone(b.topology(), &plan, d);
+        time.insert(config, dur.as_secs());
+    }
+    use FabricConfig::*;
+    // Fred-D fastest; baseline ~1.5 TBps effective; Fred-D ~2x baseline's
+    // effective bandwidth with half the traffic => ~2.5x faster.
+    assert!(time[&FredD] < time[&FredC]);
+    assert!(time[&FredC] < time[&BaselineMesh]);
+    assert!(time[&FredB] < time[&FredA]);
+    let baseline_eff = cost::endpoint_all_reduce_traffic(20, d) / time[&BaselineMesh];
+    assert!(
+        (baseline_eff - 1.5e12).abs() / 1.5e12 < 0.1,
+        "baseline effective BW {baseline_eff:.3e} (expected ~1.5 TBps)"
+    );
+    let fred_d_eff = d / time[&FredD];
+    assert!(
+        (fred_d_eff - 3e12).abs() / 3e12 < 0.1,
+        "Fred-D effective BW {fred_d_eff:.3e} (expected ~3 TBps)"
+    );
+}
+
+/// §3.2.1 / §8.2: simulated concurrent streaming on the baseline mesh
+/// reproduces the closed-form 0.65 line-rate fraction; FRED streams at
+/// full rate.
+#[test]
+fn streaming_linerate_fractions() {
+    // Mesh: 0.651.
+    let mesh = MeshFabric::paper_baseline();
+    let mut net = FlowNetwork::new(mesh.clone_topology());
+    for io in 0..mesh.io_count() {
+        for f in streaming::streaming_in_flows(&mesh, io, 128e9, Priority::Bulk, io as u64) {
+            net.inject(f);
+        }
+    }
+    let done = net.run_to_completion();
+    let t = done.iter().map(|c| c.completed_at.as_secs()).fold(0.0, f64::max);
+    let predicted = cost::mesh_streaming_linerate_fraction(5, 128e9, 750e9);
+    assert!((1.0 / t - predicted).abs() < 0.03, "mesh fraction {}", 1.0 / t);
+
+    // FRED (in-network): full line rate.
+    let fred = FabricBackend::new(FabricConfig::FredD);
+    let bytes = 18.0 * 128e9;
+    let plan = fred.stream_in(bytes);
+    let (dur, _) = execute_standalone(fred.topology(), &plan, bytes);
+    assert!((dur.as_secs() - 1.0).abs() < 0.05, "fred stream {}", dur.as_secs());
+}
+
+/// Priorities: an MP collective injected during a DP collective
+/// preempts it on shared links (§5.4) — the MP op finishes as if alone.
+#[test]
+fn mp_preempts_dp_on_shared_fabric() {
+    let b = FabricBackend::new(FabricConfig::FredD);
+    let group: Vec<usize> = (0..20).collect();
+    let d = 1e9;
+    let mut net = FlowNetwork::new(b.topology());
+    // Long-running DP op over everything.
+    for phase in &b.all_reduce(&group, 50.0 * d).phases {
+        let flows: Vec<_> = phase
+            .transfers
+            .iter()
+            .map(|t| {
+                fred::sim::flow::FlowSpec::new(t.route.clone(), t.bytes)
+                    .with_priority(Priority::Dp)
+                    .with_tag(1)
+            })
+            .collect();
+        net.inject_batch(flows);
+    }
+    // MP op arrives; must complete in ~d / 3 TBps despite the DP load.
+    for phase in &b.all_reduce(&vec![0, 1, 2, 3], d).phases {
+        let flows: Vec<_> = phase
+            .transfers
+            .iter()
+            .map(|t| {
+                fred::sim::flow::FlowSpec::new(t.route.clone(), t.bytes)
+                    .with_priority(Priority::Mp)
+                    .with_tag(2)
+            })
+            .collect();
+        net.inject_batch(flows);
+    }
+    let done = net.run_to_completion();
+    let mp_done = done
+        .iter()
+        .filter(|c| c.tag == 2)
+        .map(|c| c.completed_at.as_secs())
+        .fold(0.0, f64::max);
+    let alone = d / 3e12;
+    assert!(
+        mp_done < alone * 1.1,
+        "MP op took {mp_done} vs {alone} alone — priority preemption failed"
+    );
+}

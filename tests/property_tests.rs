@@ -1,0 +1,120 @@
+//! Property-based tests on the core invariants.
+
+use std::collections::BTreeSet;
+
+use fred::core::flow::{validate_phase, Flow};
+use fred::core::interconnect::Interconnect;
+use fred::core::routing::{route_flows, RouteFlowsError};
+use fred::sim::fairshare::{max_min_rates, AllocFlow};
+use fred::sim::flow::Priority;
+use proptest::prelude::*;
+
+/// Random disjoint flow sets on a P-port switch: a partition of a
+/// random subset of ports into groups of >= 1, with random ips/ops
+/// split inside each group.
+fn arb_flows(ports: usize) -> impl Strategy<Value = Vec<Flow>> {
+    proptest::collection::vec(0..ports, 0..ports)
+        .prop_map(move |mut picks| {
+            let mut seen = BTreeSet::new();
+            picks.retain(|p| seen.insert(*p));
+            // Chop the distinct ports into contiguous runs of 1..=4.
+            let mut flows = Vec::new();
+            let mut i = 0;
+            while i < picks.len() {
+                let len = 1 + (picks[i] % 4).min(picks.len() - i - 1);
+                let group: Vec<usize> = picks[i..i + len].to_vec();
+                i += len;
+                if group.len() >= 2 {
+                    flows.push(Flow::all_reduce(group).unwrap());
+                } else {
+                    flows.push(Flow::unicast(group[0], group[0]));
+                }
+            }
+            flows
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whenever routing succeeds, functional verification succeeds too:
+    /// the configured μSwitches compute exactly the requested
+    /// reductions/broadcasts. And routing never succeeds on invalid
+    /// flow sets.
+    #[test]
+    fn routed_implies_verified(flows in arb_flows(16), m in 2usize..=3) {
+        prop_assume!(validate_phase(&flows, 16).is_ok());
+        let net = Interconnect::new(m, 16).unwrap();
+        match route_flows(&net, &flows) {
+            Ok(routed) => routed.verify(&flows).unwrap(),
+            Err(RouteFlowsError::Conflict(_)) => {
+                // A conflict on m=3 must also be a conflict on m=2
+                // (fewer colours can never help).
+                if m == 3 {
+                    let net2 = Interconnect::new(2, 16).unwrap();
+                    prop_assert!(route_flows(&net2, &flows).is_err());
+                }
+            }
+            Err(e) => prop_assert!(false, "unexpected error {e}"),
+        }
+    }
+
+    /// m = 3 routes a superset of what m = 2 routes.
+    #[test]
+    fn more_middles_never_hurt(flows in arb_flows(12)) {
+        prop_assume!(validate_phase(&flows, 12).is_ok());
+        let m2 = route_flows(&Interconnect::new(2, 12).unwrap(), &flows);
+        let m3 = route_flows(&Interconnect::new(3, 12).unwrap(), &flows);
+        if m2.is_ok() {
+            prop_assert!(m3.is_ok(), "m=2 routed but m=3 conflicted");
+        }
+    }
+
+    /// The max-min allocator never oversubscribes a link and never
+    /// assigns a negative rate, for any flow/priority mix.
+    #[test]
+    fn fairshare_is_feasible(
+        caps in proptest::collection::vec(1.0f64..1e12, 1..30),
+        routes in proptest::collection::vec(
+            proptest::collection::vec(0usize..30, 1..5),
+            0..40,
+        ),
+        prios in proptest::collection::vec(0usize..5, 0..40),
+    ) {
+        let n = routes.len().min(prios.len());
+        let links = caps.len();
+        let routes: Vec<Vec<usize>> = routes[..n]
+            .iter()
+            .map(|r| r.iter().map(|&l| l % links).collect())
+            .collect();
+        let flows: Vec<AllocFlow<'_>> = routes
+            .iter()
+            .zip(&prios[..n])
+            .map(|(r, &p)| AllocFlow { links: r, priority: Priority::ALL[p] })
+            .collect();
+        let rates = max_min_rates(&caps, &flows);
+        let mut load = vec![0.0f64; links];
+        for (f, &rate) in flows.iter().zip(&rates) {
+            prop_assert!(rate >= 0.0);
+            prop_assert!(rate.is_finite() || f.links.is_empty());
+            for &l in f.links {
+                load[l] += rate;
+            }
+        }
+        for (l, (&used, &cap)) in load.iter().zip(&caps).enumerate() {
+            prop_assert!(used <= cap * (1.0 + 1e-6), "link {l}: {used} > {cap}");
+        }
+    }
+
+    /// Work conservation within one priority class: with a single
+    /// shared link, the full capacity is handed out.
+    #[test]
+    fn single_link_is_work_conserving(n in 1usize..20, cap in 1.0f64..1e9) {
+        let links = vec![0usize];
+        let flows: Vec<AllocFlow<'_>> =
+            (0..n).map(|_| AllocFlow { links: &links, priority: Priority::Dp }).collect();
+        let rates = max_min_rates(&[cap], &flows);
+        let total: f64 = rates.iter().sum();
+        prop_assert!((total - cap).abs() < cap * 1e-9);
+    }
+}
