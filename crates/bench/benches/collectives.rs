@@ -1,50 +1,32 @@
-//! Criterion bench: collective plan construction and simulation.
+//! Bench: collective plan construction and simulation.
 //!
 //! Compares the cost of compiling and simulating a wafer-wide
 //! All-Reduce on every Table 5 fabric — plan building is the
 //! compile-time cost, execution is the simulator's.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fred_bench::timing::bench;
 use fred_core::params::FabricConfig;
 use fred_sim::netsim::FlowNetwork;
 use fred_workloads::backend::FabricBackend;
 
-fn bench_collectives(c: &mut Criterion) {
+fn main() {
     let group_all: Vec<usize> = (0..20).collect();
-    let mut build = c.benchmark_group("plan_build");
+
+    println!("== plan_build ==");
     for config in FabricConfig::ALL {
         let backend = FabricBackend::new(config);
-        build.bench_with_input(BenchmarkId::new("allreduce20", config.name()), &config, |b, _| {
-            b.iter(|| backend.all_reduce(std::hint::black_box(&group_all), 1e9))
+        bench(&format!("allreduce20/{}", config.name()), || {
+            backend.all_reduce(std::hint::black_box(&group_all), 1e9)
         });
     }
-    build.finish();
 
-    let mut exec = c.benchmark_group("plan_execute");
+    println!("== plan_execute ==");
     for config in FabricConfig::ALL {
         let backend = FabricBackend::new(config);
         let plan = backend.all_reduce(&group_all, 1e9);
-        exec.bench_with_input(BenchmarkId::new("allreduce20", config.name()), &config, |b, _| {
-            b.iter(|| {
-                let mut net = FlowNetwork::new(backend.topology());
-                plan.execute(&mut net, fred_sim::flow::Priority::Dp)
-            })
+        bench(&format!("allreduce20/{}", config.name()), || {
+            let mut net = FlowNetwork::new(backend.topology());
+            plan.execute(&mut net, fred_sim::flow::Priority::Dp)
         });
     }
-    exec.finish();
 }
-
-
-fn fast() -> Criterion {
-    Criterion::default()
-        .sample_size(15)
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(2))
-}
-
-criterion_group!{
-    name = benches;
-    config = fast();
-    targets = bench_collectives
-}
-criterion_main!(benches);

@@ -1,9 +1,9 @@
-//! Criterion bench: the max-min fair allocator (DESIGN.md ablation 1).
+//! Bench: the max-min fair allocator (DESIGN.md ablation 1).
 //!
 //! The allocator runs on every flow arrival/completion; its cost versus
 //! flow and link count bounds the simulator's event rate.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fred_bench::timing::bench;
 use fred_sim::fairshare::{max_min_rates, AllocFlow};
 use fred_sim::flow::Priority;
 
@@ -15,8 +15,8 @@ fn make_case(links: usize, flows: usize, hops: usize) -> (Vec<f64>, Vec<Vec<usiz
     (caps, routes)
 }
 
-fn bench_fairshare(c: &mut Criterion) {
-    let mut group = c.benchmark_group("max_min_rates");
+fn main() {
+    println!("== max_min_rates ==");
     for (links, flows) in [(64usize, 32usize), (134, 100), (134, 400), (512, 1000)] {
         let (caps, routes) = make_case(links, flows, 4);
         let alloc: Vec<AllocFlow<'_>> = routes
@@ -31,26 +31,8 @@ fn bench_fairshare(c: &mut Criterion) {
                 },
             })
             .collect();
-        group.bench_with_input(
-            BenchmarkId::new("links_flows", format!("{links}x{flows}")),
-            &flows,
-            |b, _| b.iter(|| max_min_rates(std::hint::black_box(&caps), &alloc)),
-        );
+        bench(&format!("links_flows/{links}x{flows}"), || {
+            max_min_rates(std::hint::black_box(&caps), &alloc)
+        });
     }
-    group.finish();
 }
-
-
-fn fast() -> Criterion {
-    Criterion::default()
-        .sample_size(15)
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(2))
-}
-
-criterion_group!{
-    name = benches;
-    config = fast();
-    targets = bench_fairshare
-}
-criterion_main!(benches);

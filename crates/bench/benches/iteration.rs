@@ -1,44 +1,25 @@
-//! Criterion bench: one full training iteration end-to-end.
+//! Bench: one full training iteration end-to-end.
 //!
 //! The headline simulation cost: schedule compilation + discrete-event
 //! execution of Transformer-17B's Table 6 strategy on the baseline and
 //! Fred-D.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fred_bench::timing::bench;
 use fred_core::params::FabricConfig;
 use fred_workloads::backend::FabricBackend;
 use fred_workloads::model::DnnModel;
 use fred_workloads::schedule::ScheduleParams;
 use fred_workloads::trainer::simulate;
 
-fn bench_iteration(c: &mut Criterion) {
+fn main() {
     let model = DnnModel::transformer_17b();
     let strategy = model.default_strategy;
     let params = ScheduleParams::paper_default(&model, strategy);
-    let mut group = c.benchmark_group("training_iteration");
-    group.sample_size(10);
+    println!("== training_iteration ==");
     for config in [FabricConfig::BaselineMesh, FabricConfig::FredD] {
         let backend = FabricBackend::new(config);
-        group.bench_with_input(
-            BenchmarkId::new("transformer17b", config.name()),
-            &config,
-            |b, _| b.iter(|| simulate(&model, strategy, &backend, params)),
-        );
+        bench(&format!("transformer17b/{}", config.name()), || {
+            simulate(&model, strategy, &backend, params)
+        });
     }
-    group.finish();
 }
-
-
-fn fast() -> Criterion {
-    Criterion::default()
-        .sample_size(15)
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(2))
-}
-
-criterion_group!{
-    name = benches;
-    config = fast();
-    targets = bench_iteration
-}
-criterion_main!(benches);

@@ -1,9 +1,9 @@
-//! Criterion bench: the compile-time routing pass (§5.2).
+//! Bench: the compile-time routing pass (§5.2).
 //!
 //! Measures `route_flows` cost versus switch size and flow mix — the
 //! cost the compiler pays once per communication phase.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fred_bench::timing::bench;
 use fred_core::flow::Flow;
 use fred_core::interconnect::Interconnect;
 use fred_core::routing::route_flows;
@@ -14,24 +14,21 @@ fn concurrent_pairs(ports: usize) -> Vec<Flow> {
         .collect()
 }
 
-fn bench_routing(c: &mut Criterion) {
-    let mut group = c.benchmark_group("route_flows");
+fn main() {
+    println!("== route_flows ==");
     for ports in [8usize, 16, 32, 64] {
         let net = Interconnect::new(3, ports).unwrap();
         let wafer_ar = vec![Flow::all_reduce(0..ports).unwrap()];
-        group.bench_with_input(
-            BenchmarkId::new("wafer_allreduce", ports),
-            &ports,
-            |b, _| b.iter(|| route_flows(&net, std::hint::black_box(&wafer_ar)).unwrap()),
-        );
+        bench(&format!("wafer_allreduce/{ports}"), || {
+            route_flows(&net, std::hint::black_box(&wafer_ar)).unwrap()
+        });
         let pairs = concurrent_pairs(ports);
-        group.bench_with_input(BenchmarkId::new("pairwise", ports), &ports, |b, _| {
-            b.iter(|| route_flows(&net, std::hint::black_box(&pairs)).unwrap())
+        bench(&format!("pairwise/{ports}"), || {
+            route_flows(&net, std::hint::black_box(&pairs)).unwrap()
         });
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("route_and_verify");
+    println!("== route_and_verify ==");
     let net = Interconnect::new(3, 20).unwrap();
     let flows = vec![
         Flow::all_reduce([0usize, 1, 2, 3, 4]).unwrap(),
@@ -39,26 +36,8 @@ fn bench_routing(c: &mut Criterion) {
         Flow::all_reduce([10usize, 11, 12, 13, 14]).unwrap(),
         Flow::all_reduce([15usize, 16, 17, 18, 19]).unwrap(),
     ];
-    group.bench_function("fred3_20_four_groups", |b| {
-        b.iter(|| {
-            let routed = route_flows(&net, std::hint::black_box(&flows)).unwrap();
-            routed.verify(&flows).unwrap();
-        })
+    bench("fred3_20_four_groups", || {
+        let routed = route_flows(&net, std::hint::black_box(&flows)).unwrap();
+        routed.verify(&flows).unwrap();
     });
-    group.finish();
 }
-
-
-fn fast() -> Criterion {
-    Criterion::default()
-        .sample_size(15)
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_secs(2))
-}
-
-criterion_group!{
-    name = benches;
-    config = fast();
-    targets = bench_routing
-}
-criterion_main!(benches);

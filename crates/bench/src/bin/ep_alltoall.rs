@@ -14,24 +14,23 @@ use fred_workloads::backend::FabricBackend;
 
 fn main() {
     let bytes = 1e9;
-    let mut table = Table::new(vec![
-        "EP layout", "config", "time (ms)", "effective NPU BW",
-    ]);
+    let mut table = Table::new(vec!["EP layout", "config", "time (ms)", "effective NPU BW"]);
     // (groups, members) layouts covering 20 NPUs.
     for (groups, members) in [(1usize, 20usize), (2, 10), (4, 5), (5, 4), (10, 2)] {
         for config in FabricConfig::ALL {
             let backend = FabricBackend::new(config);
             let plans = (0..groups)
                 .map(|g| {
-                    let slots: Vec<usize> =
-                        (0..members).map(|m| g * members + m).collect();
+                    let slots: Vec<usize> = (0..members).map(|m| g * members + m).collect();
                     let phys = backend.physical_group(&slots);
                     backend.all_to_all(&phys, bytes)
                 })
                 .collect();
             let merged = merge_concurrent("ep", plans);
             let mut net = FlowNetwork::new(backend.topology());
-            let secs = merged.execute(&mut net, fred_sim::flow::Priority::Mp).as_secs();
+            let secs = merged
+                .execute(&mut net, fred_sim::flow::Priority::Mp)
+                .as_secs();
             // All-to-All traffic per NPU: (n-1)/n * D.
             let per_npu = (members as f64 - 1.0) / members as f64 * bytes;
             table.row(vec![

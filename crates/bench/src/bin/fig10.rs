@@ -19,14 +19,25 @@ use fred_workloads::schedule::ScheduleParams;
 use fred_workloads::trainer::simulate;
 
 fn main() {
-    let configs = [FabricConfig::BaselineMesh, FabricConfig::FredC, FabricConfig::FredD];
+    let configs = [
+        FabricConfig::BaselineMesh,
+        FabricConfig::FredC,
+        FabricConfig::FredD,
+    ];
     let mut summary = Table::new(vec!["workload", "Fred-C speedup", "Fred-D speedup"]);
 
     for model in DnnModel::all_paper_workloads() {
         let strategy = model.default_strategy;
         let params = ScheduleParams::paper_default(&model, strategy);
         let mut table = Table::new(vec![
-            "config", "total", "compute", "input_load", "mp", "pp", "dp", "streaming",
+            "config",
+            "total",
+            "compute",
+            "input_load",
+            "mp",
+            "pp",
+            "dp",
+            "streaming",
             "norm (vs baseline)",
         ]);
         let mut reports: Vec<TrainingReport> = Vec::new();

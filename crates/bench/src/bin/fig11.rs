@@ -11,13 +11,14 @@
 //! compute-efficient strategy also becomes the fastest end-to-end.
 
 use fred_bench::table::Table;
+use fred_bench::traceopt::TraceOpts;
 use fred_core::params::FabricConfig;
 use fred_core::placement::Strategy3D;
 use fred_workloads::backend::FabricBackend;
 use fred_workloads::model::DnnModel;
 use fred_workloads::report::TrainingReport;
 use fred_workloads::schedule::ScheduleParams;
-use fred_workloads::trainer::simulate;
+use fred_workloads::trainer::simulate_traced;
 
 fn strategies_17b() -> Vec<Strategy3D> {
     vec![
@@ -44,9 +45,11 @@ fn strategies_1t() -> Vec<Strategy3D> {
     ]
 }
 
-fn sweep(model: &DnnModel, strategies: &[Strategy3D]) {
+fn sweep(model: &DnnModel, strategies: &[Strategy3D], opts: &mut TraceOpts) {
     let baseline = FabricBackend::new(FabricConfig::BaselineMesh);
     let fred_d = FabricBackend::new(FabricConfig::FredD);
+    // With both fabrics in one trace, link counters take Fred-D's names.
+    opts.name_links(&fred_d.topology());
     let mut table = Table::new(vec![
         "strategy",
         "base total/sample (ms)",
@@ -63,25 +66,27 @@ fn sweep(model: &DnnModel, strategies: &[Strategy3D]) {
     let mut best_compute: Option<(f64, String)> = None;
     for &s in strategies {
         let params = ScheduleParams::sweep_default(model, s);
-        let rb: TrainingReport = simulate(model, s, &baseline, params);
-        let rf: TrainingReport = simulate(model, s, &fred_d, params);
+        let rb: TrainingReport = simulate_traced(model, s, &baseline, params, opts.sink());
+        let rf: TrainingReport = simulate_traced(model, s, &fred_d, params, opts.sink());
         let per = 1e3 / params.minibatch as f64;
         let (bt, ft) = (rb.total.as_secs() * per, rf.total.as_secs() * per);
-        let (be, fe) =
-            (rb.exposed_total().as_secs() * per, rf.exposed_total().as_secs() * per);
+        let (be, fe) = (
+            rb.exposed_total().as_secs() * per,
+            rf.exposed_total().as_secs() * per,
+        );
         let speedup = bt / ft;
         let gain = if fe > 0.0 { be / fe } else { f64::INFINITY };
         speedups.push(speedup);
         exposed_gains.push(gain.min(50.0));
         let label = s.to_string();
         let cmp = rb.compute.as_secs() * per;
-        if best_base.as_ref().map_or(true, |(t, _)| bt < *t) {
+        if best_base.as_ref().is_none_or(|(t, _)| bt < *t) {
             best_base = Some((bt, label.clone()));
         }
-        if best_fred.as_ref().map_or(true, |(t, _)| ft < *t) {
+        if best_fred.as_ref().is_none_or(|(t, _)| ft < *t) {
             best_fred = Some((ft, label.clone()));
         }
-        if best_compute.as_ref().map_or(true, |(t, _)| cmp < *t) {
+        if best_compute.as_ref().is_none_or(|(t, _)| cmp < *t) {
             best_compute = Some((cmp, label.clone()));
         }
         table.row(vec![
@@ -104,7 +109,10 @@ fn sweep(model: &DnnModel, strategies: &[Strategy3D]) {
         String::new(),
         format!("{:.2}x", avg(&exposed_gains)),
     ]);
-    table.print(&format!("Fig 11 — {} (baseline vs Fred-D, per-sample)", model.name));
+    table.print(&format!(
+        "Fig 11 — {} (baseline vs Fred-D, per-sample)",
+        model.name
+    ));
     let (_, compute_best) = best_compute.unwrap();
     let (_, base_best) = best_base.unwrap();
     let (_, fred_best) = best_fred.unwrap();
@@ -114,11 +122,13 @@ fn sweep(model: &DnnModel, strategies: &[Strategy3D]) {
 }
 
 fn main() {
-    sweep(&DnnModel::transformer_17b(), &strategies_17b());
-    sweep(&DnnModel::transformer_1t(), &strategies_1t());
+    let mut opts = TraceOpts::from_args("fig11");
+    sweep(&DnnModel::transformer_17b(), &strategies_17b(), &mut opts);
+    sweep(&DnnModel::transformer_1t(), &strategies_1t(), &mut opts);
     println!(
         "\npaper reference: avg speedup 1.63x (17B) / 1.44x (1T); avg exposed-comm \
          improvement 4.22x / 3.92x; the most compute-efficient strategy becomes \
          the best end-to-end under Fred-D"
     );
+    opts.finish();
 }

@@ -8,12 +8,13 @@
 //! compute-efficient strategies (e.g. MP(20)) lose end-to-end.
 
 use fred_bench::table::Table;
+use fred_bench::traceopt::TraceOpts;
 use fred_core::params::FabricConfig;
 use fred_core::placement::Strategy3D;
 use fred_workloads::backend::FabricBackend;
 use fred_workloads::model::DnnModel;
 use fred_workloads::schedule::ScheduleParams;
-use fred_workloads::trainer::simulate;
+use fred_workloads::trainer::simulate_traced;
 
 /// The strategy set of Fig 2 (products of 20, plus one non-aligned).
 pub fn fig2_strategies() -> Vec<Strategy3D> {
@@ -36,15 +37,21 @@ pub fn fig2_strategies() -> Vec<Strategy3D> {
 }
 
 fn main() {
+    let mut opts = TraceOpts::from_args("fig2");
     let model = DnnModel::transformer_17b();
     let backend = FabricBackend::new(FabricConfig::BaselineMesh);
+    opts.name_links(&backend.topology());
     let mut table = Table::new(vec![
-        "strategy", "minibatch", "compute/sample (ms)", "exposed comm/sample (ms)",
-        "total/sample (ms)", "comm share",
+        "strategy",
+        "minibatch",
+        "compute/sample (ms)",
+        "exposed comm/sample (ms)",
+        "total/sample (ms)",
+        "comm share",
     ]);
     for strategy in fig2_strategies() {
         let params = ScheduleParams::sweep_default(&model, strategy);
-        let r = simulate(&model, strategy, &backend, params);
+        let r = simulate_traced(&model, strategy, &backend, params, opts.sink());
         let per = 1e3 / r.minibatch as f64;
         let compute = r.compute.as_secs() * per;
         let exposed = r.exposed_total().as_secs() * per;
@@ -59,4 +66,5 @@ fn main() {
         ]);
     }
     table.print("Fig 2 — Transformer-17B strategies on the baseline 2D mesh (per-sample)");
+    opts.finish();
 }

@@ -19,7 +19,10 @@ use fred_sim::netsim::FlowNetwork;
 fn main() {
     // 1. Closed-form sweep.
     let mut t = Table::new(vec![
-        "mesh width N", "hotspot (x P)", "required link BW", "line-rate fraction @750GB/s",
+        "mesh width N",
+        "hotspot (x P)",
+        "required link BW",
+        "line-rate fraction @750GB/s",
     ]);
     for row in iohotspot::hotspot_sweep(&[3, 4, 5, 6, 8, 12, 16], 128e9, 750e9) {
         t.row(vec![
@@ -32,7 +35,11 @@ fn main() {
     t.print("Fig 4 — closed-form hotspot law ((2N-1)·P, 128 GB/s channels)");
 
     // 2. Empirical tree loads on concrete meshes.
-    let mut t = Table::new(vec!["mesh", "max simultaneous channel load", "closed form 2N-1"]);
+    let mut t = Table::new(vec![
+        "mesh",
+        "max simultaneous channel load",
+        "closed form 2N-1",
+    ]);
     for (c, r) in [(4usize, 4usize), (5, 4), (6, 6), (8, 8)] {
         let mesh = MeshFabric::new(c, r, 750e9, 128e9, 20e-9);
         t.row(vec![
@@ -53,7 +60,10 @@ fn main() {
         }
     }
     let done = net.run_to_completion();
-    let t_end = done.iter().map(|c| c.completed_at.as_secs()).fold(0.0, f64::max);
+    let t_end = done
+        .iter()
+        .map(|c| c.completed_at.as_secs())
+        .fold(0.0, f64::max);
     println!(
         "\nsimulated 18-channel concurrent streaming on the 5x4 baseline: \
          line-rate fraction {:.3} (paper: 750/1152 = 0.651)",

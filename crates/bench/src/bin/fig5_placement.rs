@@ -17,7 +17,10 @@ use fred_workloads::backend::FabricBackend;
 fn phase_time(backend: &FabricBackend, plans: Vec<CommPlan>) -> f64 {
     let merged = merge_concurrent("phase", plans);
     let mut net = FlowNetwork::new(backend.topology());
-    merged.execute(&mut net, fred_sim::flow::Priority::Bulk).as_secs() * 1e3
+    merged
+        .execute(&mut net, fred_sim::flow::Priority::Bulk)
+        .as_secs()
+        * 1e3
 }
 
 fn main() {
@@ -25,8 +28,13 @@ fn main() {
     let bytes = 1e9;
     for config in [FabricConfig::BaselineMesh, FabricConfig::FredD] {
         let backend = FabricBackend::new(config);
-        let mut table =
-            Table::new(vec!["placement", "MP (ms)", "DP (ms)", "PP (ms)", "worst phase"]);
+        let mut table = Table::new(vec![
+            "placement",
+            "MP (ms)",
+            "DP (ms)",
+            "PP (ms)",
+            "worst phase",
+        ]);
         for policy in PlacementPolicy::ALL {
             let pl = Placement::new(strategy, policy);
             let mp = phase_time(
@@ -68,8 +76,10 @@ fn main() {
                 format!("{} ({:.3} ms)", worst.0, worst.1),
             ]);
         }
-        table.print(&format!("Fig 5 — {} placements for {strategy} (1 GB/collective)",
-            config.name()));
+        table.print(&format!(
+            "Fig 5 — {} placements for {strategy} (1 GB/collective)",
+            config.name()
+        ));
     }
     println!(
         "\nreading: no mesh placement makes all three phases fast at once \

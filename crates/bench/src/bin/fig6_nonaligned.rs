@@ -36,9 +36,7 @@ fn main() {
 
     // Fig 6(b): concurrent-phase congestion, mesh vs Fred-D.
     let bytes = 1e9;
-    let mut table = Table::new(vec![
-        "config", "phase", "time (ms)", "effective NPU BW",
-    ]);
+    let mut table = Table::new(vec!["config", "phase", "time (ms)", "effective NPU BW"]);
     for config in [FabricConfig::BaselineMesh, FabricConfig::FredD] {
         let backend = FabricBackend::new(config);
         let policy = if config.is_fred() {
@@ -47,9 +45,7 @@ fn main() {
             PlacementPolicy::MpDpPp
         };
         let pl = Placement::new(strategy, policy);
-        for (label, groups) in
-            [("MP", pl.all_mp_groups()), ("DP", pl.all_dp_groups())]
-        {
+        for (label, groups) in [("MP", pl.all_mp_groups()), ("DP", pl.all_dp_groups())] {
             let n = groups[0].len();
             let plans = groups
                 .iter()
@@ -57,8 +53,9 @@ fn main() {
                 .collect();
             let merged = merge_concurrent(label, plans);
             let mut net = FlowNetwork::new(backend.topology());
-            let secs =
-                merged.execute(&mut net, fred_sim::flow::Priority::Bulk).as_secs();
+            let secs = merged
+                .execute(&mut net, fred_sim::flow::Priority::Bulk)
+                .as_secs();
             let per_npu = if config.in_network_collectives() && n > 2 {
                 bytes
             } else {

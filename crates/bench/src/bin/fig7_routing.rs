@@ -9,12 +9,11 @@
 //!    randomly generated concurrent-flow sets — counting the routings
 //!    that only the exact solver finds.
 
+use fred_core::conflict::ConflictGraph;
 use fred_core::flow::{validate_phase, Flow};
 use fred_core::interconnect::Interconnect;
 use fred_core::routing::route_flows;
-use fred_core::conflict::ConflictGraph;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fred_sim::rng::Rng64;
 
 fn main() {
     // 1. Fig 7(h).
@@ -47,7 +46,7 @@ fn main() {
     println!("Fig 7(j): resolved on Fred3(8) (footnote 3) and verified");
 
     // 3. Exact-vs-greedy colouring ablation.
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = Rng64::seed_from_u64(7);
     let trials = 2000;
     let ports = 16;
     let mut exact_only = 0;
@@ -56,14 +55,11 @@ fn main() {
     for _ in 0..trials {
         // Random disjoint groups of 2-4 ports.
         let mut perm: Vec<usize> = (0..ports).collect();
-        for i in (1..ports).rev() {
-            let j = rng.gen_range(0..=i);
-            perm.swap(i, j);
-        }
+        rng.shuffle(&mut perm);
         let mut flows = Vec::new();
         let mut at = 0;
         while at + 2 <= ports {
-            let len = rng.gen_range(2..=4.min(ports - at));
+            let len = rng.gen_range_inclusive(2, 4.min(ports - at));
             flows.push(Flow::all_reduce(perm[at..at + len].iter().copied()).unwrap());
             at += len;
             if rng.gen_bool(0.3) {

@@ -13,19 +13,24 @@
 //! traffic; for the DP phase of MP(2)-DP(5)-PP(2), Fred-A drops *below*
 //! the baseline (≈375 GBps vs 750 GBps) and Fred-C/D recover.
 
+use std::rc::Rc;
+
 use fred_bench::table::{fmt_bw, fmt_secs, Table};
+use fred_bench::traceopt::TraceOpts;
 use fred_collectives::hierarchical::merge_concurrent;
 use fred_collectives::plan::CommPlan;
 use fred_core::params::FabricConfig;
 use fred_core::placement::{Placement, PlacementPolicy, Strategy3D};
 use fred_sim::netsim::FlowNetwork;
+use fred_telemetry::sink::TraceSink;
 use fred_workloads::backend::FabricBackend;
 use fred_workloads::model::DnnModel;
 
 /// Runs `plan` alone and returns its duration in seconds.
-fn run_plan(backend: &FabricBackend, plan: &CommPlan) -> f64 {
-    let mut net = FlowNetwork::new(backend.topology());
-    plan.execute(&mut net, fred_sim::flow::Priority::Bulk).as_secs()
+fn run_plan(backend: &FabricBackend, plan: &CommPlan, sink: Rc<dyn TraceSink>) -> f64 {
+    let mut net = FlowNetwork::with_sink(backend.topology(), sink);
+    plan.execute(&mut net, fred_sim::flow::Priority::Bulk)
+        .as_secs()
 }
 
 fn phase_row(
@@ -34,9 +39,10 @@ fn phase_row(
     plans: Vec<CommPlan>,
     per_npu_traffic: f64,
     table: &mut Table,
+    sink: Rc<dyn TraceSink>,
 ) {
     let merged = merge_concurrent(label, plans);
-    let secs = run_plan(backend, &merged);
+    let secs = run_plan(backend, &merged, sink);
     table.row(vec![
         backend.config().name().into(),
         label.into(),
@@ -46,6 +52,7 @@ fn phase_row(
 }
 
 fn main() {
+    let mut opts = TraceOpts::from_args("fig9");
     let model = DnnModel::transformer_17b();
     // Per the §8.1 microbenchmarks: one Megatron All-Reduce payload at
     // minibatch = DP x 16.
@@ -58,6 +65,7 @@ fn main() {
 
         for config in FabricConfig::ALL {
             let backend = FabricBackend::new(config);
+            opts.name_links(&backend.topology());
             let policy = if config.is_fred() {
                 PlacementPolicy::MpPpDp
             } else {
@@ -67,27 +75,53 @@ fn main() {
 
             // MP phase: all MP groups all-reduce concurrently.
             if strategy.mp > 1 {
-                let groups: Vec<Vec<usize>> =
-                    pl.all_mp_groups().iter().map(|g| backend.physical_group(g)).collect();
+                let groups: Vec<Vec<usize>> = pl
+                    .all_mp_groups()
+                    .iter()
+                    .map(|g| backend.physical_group(g))
+                    .collect();
                 let per_npu = if config.in_network_collectives() && strategy.mp > 2 {
                     ar_bytes
                 } else {
                     fred_collectives::cost::endpoint_all_reduce_traffic(strategy.mp, ar_bytes)
                 };
-                let plans = groups.iter().map(|g| backend.all_reduce(g, ar_bytes)).collect();
-                phase_row(&backend, "MP all-reduce", plans, per_npu, &mut table);
+                let plans = groups
+                    .iter()
+                    .map(|g| backend.all_reduce(g, ar_bytes))
+                    .collect();
+                phase_row(
+                    &backend,
+                    "MP all-reduce",
+                    plans,
+                    per_npu,
+                    &mut table,
+                    opts.sink(),
+                );
             }
             // DP phase.
             if strategy.dp > 1 {
-                let groups: Vec<Vec<usize>> =
-                    pl.all_dp_groups().iter().map(|g| backend.physical_group(g)).collect();
+                let groups: Vec<Vec<usize>> = pl
+                    .all_dp_groups()
+                    .iter()
+                    .map(|g| backend.physical_group(g))
+                    .collect();
                 let per_npu = if config.in_network_collectives() && strategy.dp > 2 {
                     grad_bytes
                 } else {
                     fred_collectives::cost::endpoint_all_reduce_traffic(strategy.dp, grad_bytes)
                 };
-                let plans = groups.iter().map(|g| backend.all_reduce(g, grad_bytes)).collect();
-                phase_row(&backend, "DP all-reduce", plans, per_npu, &mut table);
+                let plans = groups
+                    .iter()
+                    .map(|g| backend.all_reduce(g, grad_bytes))
+                    .collect();
+                phase_row(
+                    &backend,
+                    "DP all-reduce",
+                    plans,
+                    per_npu,
+                    &mut table,
+                    opts.sink(),
+                );
             }
             // PP phase: every stage feeds the next, member-to-member.
             if strategy.pp > 1 {
@@ -99,9 +133,17 @@ fn main() {
                         plans.push(backend.stage_transfer(&srcs, &dsts, ar_bytes));
                     }
                 }
-                phase_row(&backend, "PP transfer", plans, ar_bytes, &mut table);
+                phase_row(
+                    &backend,
+                    "PP transfer",
+                    plans,
+                    ar_bytes,
+                    &mut table,
+                    opts.sink(),
+                );
             }
         }
         table.print(&format!("Fig 9 — {strategy}"));
     }
+    opts.finish();
 }

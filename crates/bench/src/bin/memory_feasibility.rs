@@ -14,8 +14,13 @@ fn main() {
     const HBM: f64 = 80e9;
     for model in DnnModel::all_paper_workloads() {
         let mut table = Table::new(vec![
-            "strategy", "weights (GB)", "grads (GB)", "optimizer (GB)", "activations (GB)",
-            "total (GB)", "fits 80 GB",
+            "strategy",
+            "weights (GB)",
+            "grads (GB)",
+            "optimizer (GB)",
+            "activations (GB)",
+            "total (GB)",
+            "fits 80 GB",
         ]);
         let mut fit = 0usize;
         let strategies = aligned_strategies(20);

@@ -9,6 +9,7 @@
 //!    as the bottleneck.
 
 use fred_bench::table::{fmt_bw, Table};
+use fred_bench::traceopt::TraceOpts;
 use fred_core::multiwafer::MultiWafer;
 use fred_core::params::FabricConfig;
 use fred_hwmodel::iohotspot;
@@ -16,11 +17,15 @@ use fred_sim::flow::Priority;
 use fred_sim::netsim::FlowNetwork;
 
 fn main() {
+    let mut opts = TraceOpts::from_args("scaling");
     // 1. Mesh vs FRED streaming scalability (closed form).
     let p = 128e9;
     let link = 750e9;
     let mut table = Table::new(vec![
-        "NPUs (N x N)", "mesh hotspot BW", "mesh line-rate fraction", "FRED line-rate fraction",
+        "NPUs (N x N)",
+        "mesh hotspot BW",
+        "mesh line-rate fraction",
+        "FRED line-rate fraction",
     ]);
     for n in [4usize, 5, 6, 8, 12, 16] {
         let frac = iohotspot::achievable_channel_rate(n, p, link) / p;
@@ -36,15 +41,23 @@ fn main() {
     // 2. Multi-wafer global All-Reduce.
     let d = 10e9;
     let mut table = Table::new(vec![
-        "wafers", "inter-wafer BW/channel", "global AR time (ms)", "effective NPU BW",
+        "wafers",
+        "inter-wafer BW/channel",
+        "global AR time (ms)",
+        "effective NPU BW",
     ]);
     for wafers in [2usize, 3, 4] {
         for inter_bw in [128e9, 512e9, 2e12] {
             let mw = MultiWafer::new(wafers, FabricConfig::FredD, 4, inter_bw);
-            let mut net = FlowNetwork::new(mw.clone_topology());
+            let topo = mw.clone_topology();
+            opts.name_links(&topo);
+            let mut net = FlowNetwork::with_sink(topo, opts.sink());
             net.inject_batch(mw.global_all_reduce(d, Priority::Dp, 0));
             let done = net.run_to_completion();
-            let t = done.iter().map(|c| c.completed_at.as_secs()).fold(0.0, f64::max);
+            let t = done
+                .iter()
+                .map(|c| c.completed_at.as_secs())
+                .fold(0.0, f64::max);
             table.row(vec![
                 wafers.to_string(),
                 fmt_bw(inter_bw),
@@ -58,4 +71,5 @@ fn main() {
         "\nreading: on-wafer FRED keeps each NPU at 3 TB/s regardless of wafer \
          count; the inter-wafer channels set the ceiling, as §8.3 anticipates."
     );
+    opts.finish();
 }

@@ -10,7 +10,13 @@ use fred_hwmodel::wafer::WaferBudget;
 
 fn main() {
     let inv = table4_inventory();
-    let mut t = Table::new(vec!["component", "count", "area (mm^2)", "power (W)", "uSwitches"]);
+    let mut t = Table::new(vec![
+        "component",
+        "count",
+        "area (mm^2)",
+        "power (W)",
+        "uSwitches",
+    ]);
     for c in &inv {
         t.row(vec![
             c.name.clone(),

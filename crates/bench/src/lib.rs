@@ -4,6 +4,9 @@
 //!
 //! One binary per figure/table of the paper's evaluation (see
 //! `DESIGN.md` §3 for the index) plus shared table-formatting helpers.
-//! Criterion benches live under `benches/`.
+//! Micro-benchmarks live under `benches/` on the self-contained
+//! [`timing`] harness.
 
 pub mod table;
+pub mod timing;
+pub mod traceopt;

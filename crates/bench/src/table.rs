@@ -21,7 +21,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(headers: Vec<&str>) -> Table {
-        Table { headers: headers.into_iter().map(String::from).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -50,8 +53,11 @@ impl Table {
             out.push('\n');
         };
         emit(&self.headers, &mut out);
-        let rule: String =
-            widths.iter().map(|w| "-".repeat(*w) + "  ").collect::<Vec<_>>().join("");
+        let rule: String = widths
+            .iter()
+            .map(|w| "-".repeat(*w) + "  ")
+            .collect::<Vec<_>>()
+            .join("");
         out.push_str(rule.trim_end());
         out.push('\n');
         for row in &self.rows {
@@ -70,7 +76,14 @@ impl Table {
                 s.to_string()
             }
         };
-        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));

@@ -1,0 +1,77 @@
+//! A minimal wall-clock micro-benchmark harness.
+//!
+//! Stands in for Criterion so the bench targets build in hermetic
+//! environments with no registry access. Each measurement warms up,
+//! auto-scales the iteration count to a target measurement window, and
+//! reports min/median/mean so run-to-run noise is visible.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time spent measuring one benchmark.
+const MEASURE_WINDOW: Duration = Duration::from_millis(800);
+/// Warm-up time before measuring.
+const WARMUP_WINDOW: Duration = Duration::from_millis(200);
+/// Number of timed samples the window is split into.
+const SAMPLES: usize = 15;
+
+/// Runs `f` repeatedly and prints a one-line latency summary.
+///
+/// The return value of `f` is passed through [`std::hint::black_box`]
+/// so the optimiser cannot delete the work.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    // Warm-up, also used to estimate per-call cost.
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    while warm_start.elapsed() < WARMUP_WINDOW {
+        std::hint::black_box(f());
+        warm_iters += 1;
+    }
+    let per_call = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+    let iters_per_sample =
+        ((MEASURE_WINDOW.as_secs_f64() / SAMPLES as f64 / per_call).ceil() as u64).max(1);
+
+    let mut samples: Vec<f64> = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        for _ in 0..iters_per_sample {
+            std::hint::black_box(f());
+        }
+        samples.push(t0.elapsed().as_secs_f64() / iters_per_sample as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let min = samples[0];
+    let median = samples[SAMPLES / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "{name:<44} min {:>10}  median {:>10}  mean {:>10}  ({iters_per_sample} iters/sample)",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(mean),
+    );
+}
+
+/// Formats seconds with an auto-selected unit.
+fn fmt_duration(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_duration_picks_units() {
+        assert_eq!(fmt_duration(2.5), "2.500 s");
+        assert_eq!(fmt_duration(2.5e-3), "2.500 ms");
+        assert_eq!(fmt_duration(2.5e-6), "2.500 µs");
+        assert_eq!(fmt_duration(2.5e-9), "2.5 ns");
+    }
+}

@@ -1,0 +1,162 @@
+//! `--trace` / `--metrics` command-line support for figure binaries.
+//!
+//! Every instrumented binary accepts:
+//!
+//! * `--trace <path>` — record telemetry and write a Chrome-trace /
+//!   Perfetto JSON file (open at <https://ui.perfetto.dev>);
+//! * `--metrics <path>` — write the aggregated metrics JSON (per-link
+//!   busy time and utilization, completion-time histogram, per-phase
+//!   effective GB/s per NPU).
+//!
+//! Either flag alone turns recording on; with neither, the binary
+//! runs untraced through the zero-overhead `NullSink` and produces
+//! bit-identical simulation results.
+
+use std::path::PathBuf;
+use std::rc::Rc;
+
+use fred_sim::topology::Topology;
+use fred_telemetry::metrics::Metrics;
+use fred_telemetry::perfetto::{export_chrome_trace, TraceMeta};
+use fred_telemetry::sink::{NullSink, RingRecorder, TraceSink};
+
+/// Parsed tracing options plus the shared sink to simulate with.
+#[derive(Debug)]
+pub struct TraceOpts {
+    /// Where to write the Chrome-trace JSON, if requested.
+    pub trace_path: Option<PathBuf>,
+    /// Where to write the metrics JSON, if requested.
+    pub metrics_path: Option<PathBuf>,
+    recorder: Option<Rc<RingRecorder>>,
+    link_names: Vec<String>,
+    process_name: String,
+}
+
+impl TraceOpts {
+    /// Parses `--trace <path>` / `--metrics <path>` out of the
+    /// process arguments. `process_name` labels the trace (use the
+    /// figure name).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message when a flag is missing its value
+    /// or an argument is unrecognised.
+    pub fn from_args(process_name: &str) -> TraceOpts {
+        let mut trace_path = None;
+        let mut metrics_path = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--trace" => {
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage(process_name, "--trace"));
+                    trace_path = Some(PathBuf::from(v));
+                }
+                "--metrics" => {
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage(process_name, "--metrics"));
+                    metrics_path = Some(PathBuf::from(v));
+                }
+                other => {
+                    eprintln!("{process_name}: unknown argument `{other}`");
+                    usage(process_name, other);
+                }
+            }
+        }
+        let recorder = if trace_path.is_some() || metrics_path.is_some() {
+            Some(Rc::new(RingRecorder::new()))
+        } else {
+            None
+        };
+        TraceOpts {
+            trace_path,
+            metrics_path,
+            recorder,
+            link_names: Vec::new(),
+            process_name: process_name.to_string(),
+        }
+    }
+
+    /// The sink to pass into simulations: the shared ring recorder
+    /// when tracing was requested, the zero-overhead [`NullSink`]
+    /// otherwise.
+    pub fn sink(&self) -> Rc<dyn TraceSink> {
+        match &self.recorder {
+            Some(r) => r.clone(),
+            None => Rc::new(NullSink),
+        }
+    }
+
+    /// Whether recording is on.
+    pub fn enabled(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// Names the trace's link-counter tracks after `topo`'s endpoints
+    /// (`"src->dst"`). Call with the topology being simulated; with
+    /// several topologies per run, the last call wins and earlier
+    /// configs' link ids fall back to `link<i>` naming.
+    pub fn name_links(&mut self, topo: &Topology) {
+        if !self.enabled() {
+            return;
+        }
+        self.link_names = topo
+            .links()
+            .map(|(_, l)| format!("{}->{}", topo.node(l.src).label, topo.node(l.dst).label))
+            .collect();
+    }
+
+    /// Writes the requested output files and reports what was written
+    /// (plus any ring overflow) on stderr. Call once, after the last
+    /// simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an output file cannot be written.
+    pub fn finish(&self) {
+        let Some(rec) = &self.recorder else { return };
+        let events = rec.events();
+        if rec.overwritten() > 0 {
+            eprintln!(
+                "{}: trace ring overflowed; oldest {} events dropped",
+                self.process_name,
+                rec.overwritten()
+            );
+        }
+        if let Some(path) = &self.trace_path {
+            let meta = TraceMeta {
+                link_names: self.link_names.clone(),
+                process_name: Some(self.process_name.clone()),
+            };
+            let mut out = std::fs::File::create(path)
+                .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+            export_chrome_trace(&events, &meta, &mut out)
+                .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+            eprintln!(
+                "{}: wrote {} trace events to {} (open at https://ui.perfetto.dev)",
+                self.process_name,
+                events.len(),
+                path.display()
+            );
+        }
+        if let Some(path) = &self.metrics_path {
+            let metrics = Metrics::from_events(&events);
+            std::fs::write(path, metrics.to_json())
+                .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+            eprintln!(
+                "{}: wrote metrics ({} links, {} phases) to {}",
+                self.process_name,
+                metrics.links.len(),
+                metrics.phases.len(),
+                path.display()
+            );
+        }
+    }
+}
+
+fn usage(process_name: &str, flag: &str) -> ! {
+    eprintln!("usage: {process_name} [--trace <path>] [--metrics <path>]  (failed at `{flag}`)");
+    std::process::exit(2);
+}

@@ -167,8 +167,14 @@ mod tests {
     #[test]
     fn degenerate_hierarchies() {
         let flat = ring_all_reduce_time(6, 600.0, 10.0, 0.0);
-        assert_eq!(hierarchical_all_reduce_time(1, 6, 600.0, 10.0, 99.0, 0.0), flat);
+        assert_eq!(
+            hierarchical_all_reduce_time(1, 6, 600.0, 10.0, 99.0, 0.0),
+            flat
+        );
         let inter_only = ring_all_reduce_time(6, 600.0, 10.0, 0.0);
-        assert_eq!(hierarchical_all_reduce_time(6, 1, 600.0, 99.0, 10.0, 0.0), inter_only);
+        assert_eq!(
+            hierarchical_all_reduce_time(6, 1, 600.0, 99.0, 10.0, 0.0),
+            inter_only
+        );
     }
 }

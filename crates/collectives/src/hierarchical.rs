@@ -71,7 +71,10 @@ pub fn all_reduce(
     routes: &impl RouteProvider,
 ) -> CommPlan {
     assert!(!clusters.is_empty(), "cluster partition must not be empty");
-    assert!(clusters.iter().all(|c| !c.is_empty()), "clusters must not be empty");
+    assert!(
+        clusters.iter().all(|c| !c.is_empty()),
+        "clusters must not be empty"
+    );
     if clusters.len() == 1 {
         return ring::all_reduce(&clusters[0], bytes, direction, routes);
     }

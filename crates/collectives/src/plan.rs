@@ -1,10 +1,10 @@
 //! Communication plans: serial phases of concurrent routed transfers.
 
 use fred_sim::flow::{FlowSpec, Priority};
-use fred_sim::netsim::FlowNetwork;
+use fred_sim::netsim::{track_of, FlowNetwork};
 use fred_sim::time::{Duration, Time};
 use fred_sim::topology::Route;
-use serde::{Deserialize, Serialize};
+use fred_telemetry::event::{next_span_id, TraceEvent};
 
 /// Supplies the route between two endpoints (NPU indices, plus any
 /// backend-specific identifiers). Implemented by the mesh's X-Y router
@@ -25,7 +25,7 @@ where
 }
 
 /// One point-to-point transfer of a plan phase.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Transfer {
     /// Source endpoint (NPU index).
     pub src: usize,
@@ -38,7 +38,7 @@ pub struct Transfer {
 }
 
 /// A set of transfers executed concurrently.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Phase {
     /// The concurrent transfers.
     pub transfers: Vec<Transfer>,
@@ -56,7 +56,7 @@ impl Phase {
 /// Phase `k + 1` starts only when every transfer of phase `k` has
 /// completed (the synchronous-step model standard for ring and tree
 /// collectives).
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct CommPlan {
     /// Label used in reports (e.g. `"ring-allreduce"`).
     pub label: String,
@@ -67,7 +67,10 @@ pub struct CommPlan {
 impl CommPlan {
     /// Creates an empty plan with a label.
     pub fn new(label: impl Into<String>) -> CommPlan {
-        CommPlan { label: label.into(), phases: Vec::new() }
+        CommPlan {
+            label: label.into(),
+            phases: Vec::new(),
+        }
     }
 
     /// Total bytes moved across all phases (the algorithm's traffic).
@@ -105,7 +108,27 @@ impl CommPlan {
     /// Panics if a route is invalid for the network's topology.
     pub fn execute(&self, net: &mut FlowNetwork, priority: Priority) -> Duration {
         let start = net.now();
-        for phase in &self.phases {
+        let track = track_of(priority);
+        for (k, phase) in self.phases.iter().enumerate() {
+            // Phase-boundary telemetry: one duration span per plan
+            // phase on the priority's parallelism track.
+            let span = if net.sink().enabled() {
+                let span = next_span_id();
+                let mut npus: Vec<usize> = phase.transfers.iter().map(|t| t.src).collect();
+                npus.sort_unstable();
+                npus.dedup();
+                net.sink().record(TraceEvent::PhaseBegin {
+                    t: net.now().as_secs(),
+                    track,
+                    span,
+                    label: format!("{}[{k}]", self.label).into(),
+                    bytes: phase.total_bytes(),
+                    npus: npus.len() as u32,
+                });
+                Some(span)
+            } else {
+                None
+            };
             let mut outstanding = 0usize;
             for t in &phase.transfers {
                 net.inject(FlowSpec::new(t.route.clone(), t.bytes).with_priority(priority));
@@ -117,6 +140,13 @@ impl CommPlan {
                     .expect("phase transfers in flight but no pending event");
                 net.advance_to(te);
                 outstanding -= net.drain_completed().len();
+            }
+            if let Some(span) = span {
+                net.sink().record(TraceEvent::PhaseEnd {
+                    t: net.now().as_secs(),
+                    track,
+                    span,
+                });
             }
         }
         net.now() - start
@@ -135,7 +165,11 @@ pub fn execute_standalone(
     let mut net = FlowNetwork::new(topo);
     let d = plan.execute(&mut net, Priority::Bulk);
     debug_assert_eq!(net.now(), Time::ZERO + d);
-    let bw = if d.as_secs() > 0.0 { collective_bytes / d.as_secs() } else { f64::INFINITY };
+    let bw = if d.as_secs() > 0.0 {
+        collective_bytes / d.as_secs()
+    } else {
+        f64::INFINITY
+    };
     (d, bw)
 }
 
@@ -146,8 +180,9 @@ mod tests {
 
     fn line(n: usize, bw: f64) -> (Topology, Vec<fred_sim::topology::LinkId>) {
         let mut t = Topology::new();
-        let nodes: Vec<_> =
-            (0..n).map(|i| t.add_node(NodeKind::Npu, format!("n{i}"))).collect();
+        let nodes: Vec<_> = (0..n)
+            .map(|i| t.add_node(NodeKind::Npu, format!("n{i}")))
+            .collect();
         let mut fwd = Vec::new();
         for w in nodes.windows(2) {
             let (f, _) = t.add_duplex_link(w[0], w[1], bw, 0.0);
@@ -161,10 +196,20 @@ mod tests {
         let (topo, l) = line(3, 100.0);
         let mut plan = CommPlan::new("test");
         plan.phases.push(Phase {
-            transfers: vec![Transfer { src: 0, dst: 1, bytes: 100.0, route: vec![l[0]] }],
+            transfers: vec![Transfer {
+                src: 0,
+                dst: 1,
+                bytes: 100.0,
+                route: vec![l[0]],
+            }],
         });
         plan.phases.push(Phase {
-            transfers: vec![Transfer { src: 1, dst: 2, bytes: 100.0, route: vec![l[1]] }],
+            transfers: vec![Transfer {
+                src: 1,
+                dst: 2,
+                bytes: 100.0,
+                route: vec![l[1]],
+            }],
         });
         let mut net = FlowNetwork::new(topo);
         let d = plan.execute(&mut net, Priority::Bulk);
@@ -178,8 +223,18 @@ mod tests {
         let mut plan = CommPlan::new("contended");
         plan.phases.push(Phase {
             transfers: vec![
-                Transfer { src: 0, dst: 1, bytes: 100.0, route: vec![l[0]] },
-                Transfer { src: 0, dst: 1, bytes: 100.0, route: vec![l[0]] },
+                Transfer {
+                    src: 0,
+                    dst: 1,
+                    bytes: 100.0,
+                    route: vec![l[0]],
+                },
+                Transfer {
+                    src: 0,
+                    dst: 1,
+                    bytes: 100.0,
+                    route: vec![l[0]],
+                },
             ],
         });
         let mut net = FlowNetwork::new(topo);
@@ -193,8 +248,18 @@ mod tests {
         let mut plan = CommPlan::new("acct");
         plan.phases.push(Phase {
             transfers: vec![
-                Transfer { src: 0, dst: 1, bytes: 10.0, route: vec![l[0]] },
-                Transfer { src: 1, dst: 2, bytes: 20.0, route: vec![l[1]] },
+                Transfer {
+                    src: 0,
+                    dst: 1,
+                    bytes: 10.0,
+                    route: vec![l[0]],
+                },
+                Transfer {
+                    src: 1,
+                    dst: 2,
+                    bytes: 20.0,
+                    route: vec![l[1]],
+                },
             ],
         });
         assert_eq!(plan.total_bytes(), 30.0);
@@ -206,8 +271,14 @@ mod tests {
 
     #[test]
     fn chain_concatenates_phases() {
-        let a = CommPlan { label: "a".into(), phases: vec![Phase::default(), Phase::default()] };
-        let b = CommPlan { label: "b".into(), phases: vec![Phase::default()] };
+        let a = CommPlan {
+            label: "a".into(),
+            phases: vec![Phase::default(), Phase::default()],
+        };
+        let b = CommPlan {
+            label: "b".into(),
+            phases: vec![Phase::default()],
+        };
         assert_eq!(a.chain(b).phase_count(), 3);
     }
 

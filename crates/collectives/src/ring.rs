@@ -10,12 +10,10 @@
 //! (§7.2, following Kumar & Jouppi); [`Direction::Bidirectional`]
 //! reproduces that.
 
-use serde::{Deserialize, Serialize};
-
 use crate::plan::{CommPlan, Phase, RouteProvider, Transfer};
 
 /// Chunk circulation scheme.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Direction {
     /// One chunk circulating clockwise.
     Unidirectional,
@@ -38,7 +36,11 @@ fn ring_steps(
     // A 2-member "ring" has a single edge: clockwise and
     // counter-clockwise are the same link, so splitting the chunk
     // would just self-contend. Fall back to one full-size chunk.
-    let direction = if n == 2 { Direction::Unidirectional } else { direction };
+    let direction = if n == 2 {
+        Direction::Unidirectional
+    } else {
+        direction
+    };
     for _ in 0..steps {
         let mut phase = Phase::default();
         match direction {
@@ -93,7 +95,14 @@ pub fn reduce_scatter(
     if n == 1 {
         return CommPlan::new("ring-reduce-scatter");
     }
-    ring_steps("ring-reduce-scatter", order, bytes / n as f64, n - 1, direction, routes)
+    ring_steps(
+        "ring-reduce-scatter",
+        order,
+        bytes / n as f64,
+        n - 1,
+        direction,
+        routes,
+    )
 }
 
 /// Ring All-Gather of `bytes` over `order`: `n − 1` steps of `D/n`.
@@ -112,7 +121,14 @@ pub fn all_gather(
     if n == 1 {
         return CommPlan::new("ring-allgather");
     }
-    ring_steps("ring-allgather", order, bytes / n as f64, n - 1, direction, routes)
+    ring_steps(
+        "ring-allgather",
+        order,
+        bytes / n as f64,
+        n - 1,
+        direction,
+        routes,
+    )
 }
 
 /// Ring All-Reduce = Reduce-Scatter followed by All-Gather:
@@ -151,7 +167,12 @@ pub fn all_to_all(order: &[usize], bytes: f64, routes: &impl RouteProvider) -> C
         let mut phase = Phase::default();
         for i in 0..n {
             let (src, dst) = (order[i], order[(i + j) % n]);
-            phase.transfers.push(Transfer { src, dst, bytes: shard, route: routes.route(src, dst) });
+            phase.transfers.push(Transfer {
+                src,
+                dst,
+                bytes: shard,
+                route: routes.route(src, dst),
+            });
         }
         plan.phases.push(phase);
     }
@@ -162,7 +183,12 @@ pub fn all_to_all(order: &[usize], bytes: f64, routes: &impl RouteProvider) -> C
 pub fn point_to_point(src: usize, dst: usize, bytes: f64, routes: &impl RouteProvider) -> CommPlan {
     let mut plan = CommPlan::new("p2p");
     plan.phases.push(Phase {
-        transfers: vec![Transfer { src, dst, bytes, route: routes.route(src, dst) }],
+        transfers: vec![Transfer {
+            src,
+            dst,
+            bytes,
+            route: routes.route(src, dst),
+        }],
     });
     plan
 }
@@ -180,7 +206,12 @@ pub fn unicast_multicast(
     let mut phase = Phase::default();
     for &d in dsts {
         if d != src {
-            phase.transfers.push(Transfer { src, dst: d, bytes, route: routes.route(src, d) });
+            phase.transfers.push(Transfer {
+                src,
+                dst: d,
+                bytes,
+                route: routes.route(src, d),
+            });
         }
     }
     if !phase.transfers.is_empty() {
@@ -206,8 +237,9 @@ mod tests {
 
     fn ring_topo(n: usize, bw: f64) -> RingTopo {
         let mut topo = Topology::new();
-        let nodes: Vec<_> =
-            (0..n).map(|i| topo.add_node(NodeKind::Npu, format!("n{i}"))).collect();
+        let nodes: Vec<_> = (0..n)
+            .map(|i| topo.add_node(NodeKind::Npu, format!("n{i}")))
+            .collect();
         let mut cw = Vec::new();
         let mut ccw = Vec::new();
         for i in 0..n {
@@ -264,7 +296,10 @@ mod tests {
             let plan = all_reduce(&order, d, dir, &rt);
             let per_npu = plan.bytes_sent_by(2);
             let expected = 2.0 * 4.0 / 5.0 * d;
-            assert!((per_npu - expected).abs() < 1e-6, "{dir:?}: {per_npu} vs {expected}");
+            assert!(
+                (per_npu - expected).abs() < 1e-6,
+                "{dir:?}: {per_npu} vs {expected}"
+            );
         }
     }
 
@@ -276,13 +311,19 @@ mod tests {
             reduce_scatter(&order, 60.0, Direction::Unidirectional, &rt).phase_count(),
             5
         );
-        assert_eq!(all_gather(&order, 60.0, Direction::Unidirectional, &rt).phase_count(), 5);
+        assert_eq!(
+            all_gather(&order, 60.0, Direction::Unidirectional, &rt).phase_count(),
+            5
+        );
     }
 
     #[test]
     fn singleton_groups_are_free() {
         let rt = ring_topo(3, 1.0);
-        assert_eq!(all_reduce(&[1], 100.0, Direction::Unidirectional, &rt).phase_count(), 0);
+        assert_eq!(
+            all_reduce(&[1], 100.0, Direction::Unidirectional, &rt).phase_count(),
+            0
+        );
         assert_eq!(all_to_all(&[2], 100.0, &rt).phase_count(), 0);
     }
 

@@ -108,8 +108,11 @@ mod tests {
         assert_eq!(plan.phases[1].transfers.len(), 2);
         assert_eq!(plan.phases[2].transfers.len(), 4);
         // Every member receives exactly once.
-        let mut receivers: Vec<usize> =
-            plan.phases.iter().flat_map(|p| p.transfers.iter().map(|t| t.dst)).collect();
+        let mut receivers: Vec<usize> = plan
+            .phases
+            .iter()
+            .flat_map(|p| p.transfers.iter().map(|t| t.dst))
+            .collect();
         receivers.sort_unstable();
         assert_eq!(receivers, (1..8).collect::<Vec<_>>());
     }
@@ -133,8 +136,11 @@ mod tests {
         // The final transfer lands on the root.
         assert_eq!(plan.phases[2].transfers[0].dst, 0);
         // Every non-root member sends exactly once.
-        let mut senders: Vec<usize> =
-            plan.phases.iter().flat_map(|p| p.transfers.iter().map(|t| t.src)).collect();
+        let mut senders: Vec<usize> = plan
+            .phases
+            .iter()
+            .flat_map(|p| p.transfers.iter().map(|t| t.src))
+            .collect();
         senders.sort_unstable();
         assert_eq!(senders, (1..8).collect::<Vec<_>>());
     }

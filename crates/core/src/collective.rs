@@ -9,13 +9,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::flow::{Flow, FlowError};
 
 /// A collective communication pattern among switch ports (Fig 3 /
 /// Table 2).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Pattern {
     /// One source port to one destination port.
     Unicast {
@@ -115,7 +113,7 @@ impl fmt::Display for Pattern {
 }
 
 /// One serial step of a compiled collective: flows routed concurrently.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Step {
     /// Flows to route in this step.
     pub flows: Vec<Flow>,
@@ -131,7 +129,10 @@ pub struct Step {
 /// Returns [`FlowError::Empty`] if any port set of the pattern is
 /// empty.
 pub fn compile(pattern: &Pattern) -> Result<Vec<Step>, FlowError> {
-    let one = |flow: Flow, frac: f64| Step { flows: vec![flow], payload_fraction: frac };
+    let one = |flow: Flow, frac: f64| Step {
+        flows: vec![flow],
+        payload_fraction: frac,
+    };
     match pattern {
         Pattern::Unicast { src, dst } => Ok(vec![one(Flow::unicast(*src, *dst), 1.0)]),
         Pattern::Multicast { src, dsts } => {
@@ -168,14 +169,20 @@ pub fn compile(pattern: &Pattern) -> Result<Vec<Step>, FlowError> {
                 return Err(FlowError::Empty);
             }
             let frac = 1.0 / dsts.len() as f64;
-            Ok(dsts.iter().map(|&d| one(Flow::unicast(*src, d), frac)).collect())
+            Ok(dsts
+                .iter()
+                .map(|&d| one(Flow::unicast(*src, d), frac))
+                .collect())
         }
         Pattern::Gather { srcs, dst } => {
             if srcs.is_empty() {
                 return Err(FlowError::Empty);
             }
             let frac = 1.0 / srcs.len() as f64;
-            Ok(srcs.iter().map(|&s| one(Flow::unicast(s, *dst), frac)).collect())
+            Ok(srcs
+                .iter()
+                .map(|&s| one(Flow::unicast(s, *dst), frac))
+                .collect())
         }
         Pattern::AllToAll { group } => {
             if group.is_empty() {
@@ -191,7 +198,10 @@ pub fn compile(pattern: &Pattern) -> Result<Vec<Step>, FlowError> {
                 let flows: Vec<Flow> = (0..n)
                     .map(|i| Flow::unicast(group[i], group[(i + j) % n]))
                     .collect();
-                steps.push(Step { flows, payload_fraction: frac });
+                steps.push(Step {
+                    flows,
+                    payload_fraction: frac,
+                });
             }
             if steps.is_empty() {
                 // Single-member group: degenerate local copy.
@@ -224,9 +234,17 @@ mod tests {
     fn simple_patterns_are_one_step() {
         for p in [
             Pattern::Unicast { src: 0, dst: 5 },
-            Pattern::Multicast { src: 1, dsts: vec![2, 3, 4] },
-            Pattern::Reduce { srcs: vec![0, 2, 4], dst: 6 },
-            Pattern::AllReduce { group: vec![1, 3, 5, 7] },
+            Pattern::Multicast {
+                src: 1,
+                dsts: vec![2, 3, 4],
+            },
+            Pattern::Reduce {
+                srcs: vec![0, 2, 4],
+                dst: 6,
+            },
+            Pattern::AllReduce {
+                group: vec![1, 3, 5, 7],
+            },
         ] {
             assert!(p.is_simple());
             assert_eq!(compile(&p).unwrap().len(), 1);
@@ -236,7 +254,9 @@ mod tests {
 
     #[test]
     fn reduce_scatter_has_group_size_steps() {
-        let p = Pattern::ReduceScatter { group: vec![0, 2, 4, 6] };
+        let p = Pattern::ReduceScatter {
+            group: vec![0, 2, 4, 6],
+        };
         let steps = compile(&p).unwrap();
         assert_eq!(steps.len(), 4);
         for (j, s) in steps.iter().enumerate() {
@@ -250,7 +270,9 @@ mod tests {
 
     #[test]
     fn all_gather_is_serial_multicasts() {
-        let p = Pattern::AllGather { group: vec![1, 3, 5] };
+        let p = Pattern::AllGather {
+            group: vec![1, 3, 5],
+        };
         let steps = compile(&p).unwrap();
         assert_eq!(steps.len(), 3);
         for s in &steps {
@@ -262,17 +284,25 @@ mod tests {
 
     #[test]
     fn scatter_and_gather_are_serial_unicasts() {
-        let s = Pattern::Scatter { src: 0, dsts: vec![1, 2, 3] };
+        let s = Pattern::Scatter {
+            src: 0,
+            dsts: vec![1, 2, 3],
+        };
         assert_eq!(compile(&s).unwrap().len(), 3);
         all_steps_route(&s, 2, 8);
-        let g = Pattern::Gather { srcs: vec![4, 5, 6], dst: 7 };
+        let g = Pattern::Gather {
+            srcs: vec![4, 5, 6],
+            dst: 7,
+        };
         assert_eq!(compile(&g).unwrap().len(), 3);
         all_steps_route(&g, 2, 8);
     }
 
     #[test]
     fn all_to_all_steps_are_shift_permutations() {
-        let p = Pattern::AllToAll { group: vec![0, 1, 2, 3] };
+        let p = Pattern::AllToAll {
+            group: vec![0, 1, 2, 3],
+        };
         let steps = compile(&p).unwrap();
         // Distances 1..=3.
         assert_eq!(steps.len(), 3);
@@ -292,20 +322,35 @@ mod tests {
     fn empty_groups_rejected() {
         assert!(compile(&Pattern::AllReduce { group: vec![] }).is_err());
         assert!(compile(&Pattern::ReduceScatter { group: vec![] }).is_err());
-        assert!(compile(&Pattern::Scatter { src: 0, dsts: vec![] }).is_err());
+        assert!(compile(&Pattern::Scatter {
+            src: 0,
+            dsts: vec![]
+        })
+        .is_err());
         assert!(compile(&Pattern::AllToAll { group: vec![] }).is_err());
     }
 
     #[test]
     fn table2_cardinalities() {
         // |IPs|/|OPs| per Table 2.
-        let steps = compile(&Pattern::AllReduce { group: vec![0, 1, 2] }).unwrap();
+        let steps = compile(&Pattern::AllReduce {
+            group: vec![0, 1, 2],
+        })
+        .unwrap();
         let f = &steps[0].flows[0];
         assert_eq!(f.ips(), f.ops());
-        let steps = compile(&Pattern::Reduce { srcs: vec![0, 1], dst: 2 }).unwrap();
+        let steps = compile(&Pattern::Reduce {
+            srcs: vec![0, 1],
+            dst: 2,
+        })
+        .unwrap();
         let f = &steps[0].flows[0];
         assert!(f.ips().len() > 1 && f.ops().len() == 1);
-        let steps = compile(&Pattern::Multicast { src: 0, dsts: vec![1, 2] }).unwrap();
+        let steps = compile(&Pattern::Multicast {
+            src: 0,
+            dsts: vec![1, 2],
+        })
+        .unwrap();
         let f = &steps[0].flows[0];
         assert!(f.ips().len() == 1 && f.ops().len() > 1);
     }
@@ -313,9 +358,15 @@ mod tests {
     #[test]
     fn compound_patterns_route_on_odd_fred3() {
         for p in [
-            Pattern::ReduceScatter { group: vec![0, 4, 8, 10] },
-            Pattern::AllGather { group: vec![1, 5, 9] },
-            Pattern::AllToAll { group: vec![0, 3, 6, 9] },
+            Pattern::ReduceScatter {
+                group: vec![0, 4, 8, 10],
+            },
+            Pattern::AllGather {
+                group: vec![1, 5, 9],
+            },
+            Pattern::AllToAll {
+                group: vec![0, 3, 6, 9],
+            },
         ] {
             all_steps_route(&p, 3, 11);
         }

@@ -100,7 +100,12 @@ impl ConflictGraph {
         }
         let mut assignment: Vec<Option<usize>> = vec![None; n];
         if self.backtrack(colors, &mut assignment) {
-            Some(assignment.into_iter().map(|c| c.expect("complete colouring")).collect())
+            Some(
+                assignment
+                    .into_iter()
+                    .map(|c| c.expect("complete colouring"))
+                    .collect(),
+            )
         } else {
             None
         }
@@ -136,8 +141,11 @@ impl ConflictGraph {
     pub fn greedy_color(&self, colors: usize) -> Option<Vec<usize>> {
         let mut out = Vec::with_capacity(self.adj.len());
         for i in 0..self.adj.len() {
-            let forbidden: BTreeSet<usize> =
-                self.adj[i].iter().filter(|&&j| j < i).map(|&j| out[j]).collect();
+            let forbidden: BTreeSet<usize> = self.adj[i]
+                .iter()
+                .filter(|&&j| j < i)
+                .map(|&j| out[j])
+                .collect();
             let c = (0..colors).find(|c| !forbidden.contains(c))?;
             out.push(c);
         }
@@ -213,7 +221,13 @@ mod tests {
     #[test]
     fn tail_port_never_conflicts() {
         // Port 8 is the tail on Fred(9): r = 4.
-        let unit_of = |p: usize| if p == 8 { PortUnit::Tail } else { PortUnit::Unit(p / 2) };
+        let unit_of = |p: usize| {
+            if p == 8 {
+                PortUnit::Tail
+            } else {
+                PortUnit::Unit(p / 2)
+            }
+        };
         let flows = vec![Flow::unicast(8, 0), Flow::unicast(1, 2)];
         let g = ConflictGraph::from_flows(&flows, unit_of);
         assert_eq!(g.edge_count(), 0);
@@ -222,7 +236,9 @@ mod tests {
     #[test]
     fn triangle_needs_three_colors() {
         // Fig 7(j): a cyclic dependency among three flows.
-        let mut g = ConflictGraph { adj: vec![BTreeSet::new(); 3] };
+        let mut g = ConflictGraph {
+            adj: vec![BTreeSet::new(); 3],
+        };
         for (a, b) in [(0, 1), (1, 2), (0, 2)] {
             g.adj[a].insert(b);
             g.adj[b].insert(a);
@@ -236,7 +252,9 @@ mod tests {
 
     #[test]
     fn even_cycle_is_two_colorable() {
-        let mut g = ConflictGraph { adj: vec![BTreeSet::new(); 4] };
+        let mut g = ConflictGraph {
+            adj: vec![BTreeSet::new(); 4],
+        };
         for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
             g.adj[a].insert(b);
             g.adj[b].insert(a);
@@ -257,7 +275,9 @@ mod tests {
         // Nodes 0,1,2,3: edges (0,3),(1,2). Greedy in index order with
         // 2 colours: 0->c0, 1->c0, 2->c1, 3->c1: proper. Make it fail:
         // edges (0,1'),(1,0') style needs 6 nodes.
-        let mut g = ConflictGraph { adj: vec![BTreeSet::new(); 6] };
+        let mut g = ConflictGraph {
+            adj: vec![BTreeSet::new(); 6],
+        };
         // Bipartite: {0,2,4} vs {1,3,5}, edges (0,3),(0,5),(2,1),(2,5),(4,1),(4,3).
         for (a, b) in [(0, 3), (0, 5), (2, 1), (2, 5), (4, 1), (4, 3)] {
             g.adj[a].insert(b);
@@ -284,8 +304,11 @@ mod tests {
         }
         let mut assignment = vec![0usize; n];
         loop {
-            let proper = (0..n)
-                .all(|i| g.neighbors(i).iter().all(|&j| assignment[i] != assignment[j]));
+            let proper = (0..n).all(|i| {
+                g.neighbors(i)
+                    .iter()
+                    .all(|&j| assignment[i] != assignment[j])
+            });
             if proper {
                 return true;
             }
@@ -310,7 +333,9 @@ mod tests {
         // Exhaustive cross-check on all graphs over 5 nodes with a
         // deterministic edge-set sweep.
         for mask in 0u32..1024 {
-            let mut g = ConflictGraph { adj: vec![BTreeSet::new(); 5] };
+            let mut g = ConflictGraph {
+                adj: vec![BTreeSet::new(); 5],
+            };
             let mut bit = 0;
             for a in 0..5usize {
                 for b in a + 1..5 {
@@ -339,7 +364,9 @@ mod tests {
     #[test]
     fn coloring_respects_all_edges_property() {
         // Random-ish stress: ring of 7 with chords, 3 colours.
-        let mut g = ConflictGraph { adj: vec![BTreeSet::new(); 7] };
+        let mut g = ConflictGraph {
+            adj: vec![BTreeSet::new(); 7],
+        };
         for i in 0..7 {
             let j = (i + 1) % 7;
             g.adj[i].insert(j);

@@ -66,8 +66,17 @@ impl WaferFabric {
     /// Panics if `config` is [`FabricConfig::BaselineMesh`] (built by
     /// the `fred-mesh` crate instead).
     pub fn new(config: FabricConfig, params: &PhysicalParams) -> WaferFabric {
-        assert!(config.is_fred(), "the baseline mesh is built by fred-mesh, not WaferFabric");
-        Self::with_shape(config, params, params.npu_count, NPUS_PER_L1, params.io_count)
+        assert!(
+            config.is_fred(),
+            "the baseline mesh is built by fred-mesh, not WaferFabric"
+        );
+        Self::with_shape(
+            config,
+            params,
+            params.npu_count,
+            NPUS_PER_L1,
+            params.io_count,
+        )
     }
 
     /// Builds a fabric with an explicit shape (used by scaling sweeps
@@ -87,19 +96,24 @@ impl WaferFabric {
         io_count: usize,
     ) -> WaferFabric {
         assert!(config.is_fred());
-        assert!(npus_per_l1 > 0 && npu_count % npus_per_l1 == 0,
-            "npu_count {npu_count} must be a multiple of npus_per_l1 {npus_per_l1}");
+        assert!(
+            npus_per_l1 > 0 && npu_count.is_multiple_of(npus_per_l1),
+            "npu_count {npu_count} must be a multiple of npus_per_l1 {npus_per_l1}"
+        );
         let l1_count = npu_count / npus_per_l1;
         let lat = params.link_latency;
 
         let mut topo = Topology::new();
-        let npus: Vec<NodeId> =
-            (0..npu_count).map(|i| topo.add_node(NodeKind::Npu, format!("npu{i}"))).collect();
-        let l1s: Vec<NodeId> =
-            (0..l1_count).map(|i| topo.add_node(NodeKind::SwitchL1, format!("l1.{i}"))).collect();
+        let npus: Vec<NodeId> = (0..npu_count)
+            .map(|i| topo.add_node(NodeKind::Npu, format!("npu{i}")))
+            .collect();
+        let l1s: Vec<NodeId> = (0..l1_count)
+            .map(|i| topo.add_node(NodeKind::SwitchL1, format!("l1.{i}")))
+            .collect();
         let l2 = topo.add_node(NodeKind::SwitchL2, "l2");
-        let ios: Vec<NodeId> =
-            (0..io_count).map(|i| topo.add_node(NodeKind::IoController, format!("io{i}"))).collect();
+        let ios: Vec<NodeId> = (0..io_count)
+            .map(|i| topo.add_node(NodeKind::IoController, format!("io{i}")))
+            .collect();
         let ext = topo.add_node(NodeKind::ExternalMemory, "ext");
 
         let mut npu_up = Vec::new();
@@ -233,7 +247,9 @@ impl WaferFabric {
 
     /// NPU indices attached to L1 switch `l1`.
     pub fn npus_of_l1(&self, l1: usize) -> Vec<usize> {
-        (0..self.npus.len()).filter(|&i| self.l1_of_npu[i] == l1).collect()
+        (0..self.npus.len())
+            .filter(|&i| self.l1_of_npu[i] == l1)
+            .collect()
     }
 
     /// Partitions a group of NPU indices by their L1 switch, preserving
@@ -261,7 +277,12 @@ impl WaferFabric {
         if la == lb {
             vec![self.npu_up[a], self.npu_down[b]]
         } else {
-            vec![self.npu_up[a], self.l1_up[la], self.l1_down[lb], self.npu_down[b]]
+            vec![
+                self.npu_up[a],
+                self.l1_up[la],
+                self.l1_down[lb],
+                self.npu_down[b],
+            ]
         }
     }
 
@@ -271,7 +292,12 @@ impl WaferFabric {
         if li == ln {
             vec![self.io_up[io], self.npu_down[npu]]
         } else {
-            vec![self.io_up[io], self.l1_up[li], self.l1_down[ln], self.npu_down[npu]]
+            vec![
+                self.io_up[io],
+                self.l1_up[li],
+                self.l1_down[ln],
+                self.npu_down[npu],
+            ]
         }
     }
 
@@ -281,7 +307,12 @@ impl WaferFabric {
         if ln == li {
             vec![self.npu_up[npu], self.io_down[io]]
         } else {
-            vec![self.npu_up[npu], self.l1_up[ln], self.l1_down[li], self.io_down[io]]
+            vec![
+                self.npu_up[npu],
+                self.l1_up[ln],
+                self.l1_down[li],
+                self.io_down[io],
+            ]
         }
     }
 
@@ -328,11 +359,15 @@ impl WaferFabric {
         for &n in group {
             // Up: NPU -> L1 (reduced in the L1 switch).
             flows.push(
-                FlowSpec::new(vec![self.npu_up[n]], bytes).with_priority(priority).with_tag(tag),
+                FlowSpec::new(vec![self.npu_up[n]], bytes)
+                    .with_priority(priority)
+                    .with_tag(tag),
             );
             // Down: L1 -> NPU (broadcast from the L1 switch).
             flows.push(
-                FlowSpec::new(vec![self.npu_down[n]], bytes).with_priority(priority).with_tag(tag),
+                FlowSpec::new(vec![self.npu_down[n]], bytes)
+                    .with_priority(priority)
+                    .with_tag(tag),
             );
         }
         if spans_l2 {
@@ -374,7 +409,9 @@ impl WaferFabric {
         let mut flows = Vec::new();
         for &n in group {
             flows.push(
-                FlowSpec::new(vec![self.npu_up[n]], bytes).with_priority(priority).with_tag(tag),
+                FlowSpec::new(vec![self.npu_up[n]], bytes)
+                    .with_priority(priority)
+                    .with_tag(tag),
             );
         }
         // Partial sums cross L1->L2 for every L1 that is not the I/O's
@@ -453,7 +490,9 @@ impl WaferFabric {
         }
         for &n in group {
             flows.push(
-                FlowSpec::new(vec![self.npu_down[n]], bytes).with_priority(priority).with_tag(tag),
+                FlowSpec::new(vec![self.npu_down[n]], bytes)
+                    .with_priority(priority)
+                    .with_tag(tag),
             );
         }
         flows
@@ -482,7 +521,9 @@ impl WaferFabric {
         let parts = self.partition_by_l1(group);
         for &m in group {
             flows.push(
-                FlowSpec::new(vec![self.npu_up[m]], bytes).with_priority(priority).with_tag(tag),
+                FlowSpec::new(vec![self.npu_up[m]], bytes)
+                    .with_priority(priority)
+                    .with_tag(tag),
             );
             flows.push(
                 FlowSpec::new(vec![self.npu_down[m]], bytes / n)
@@ -537,7 +578,9 @@ impl WaferFabric {
                     .with_tag(tag),
             );
             flows.push(
-                FlowSpec::new(vec![self.npu_down[m]], bytes).with_priority(priority).with_tag(tag),
+                FlowSpec::new(vec![self.npu_down[m]], bytes)
+                    .with_priority(priority)
+                    .with_tag(tag),
             );
         }
         if parts.len() > 1 {
@@ -581,7 +624,9 @@ impl WaferFabric {
             return flows;
         }
         flows.push(
-            FlowSpec::new(vec![self.npu_up[src]], bytes).with_priority(priority).with_tag(tag),
+            FlowSpec::new(vec![self.npu_up[src]], bytes)
+                .with_priority(priority)
+                .with_tag(tag),
         );
         let parts = self.partition_by_l1(&real_dsts);
         let spans = parts.iter().any(|p| self.l1_of_npu[p[0]] != src_l1);
@@ -604,7 +649,9 @@ impl WaferFabric {
         }
         for &d in &real_dsts {
             flows.push(
-                FlowSpec::new(vec![self.npu_down[d]], bytes).with_priority(priority).with_tag(tag),
+                FlowSpec::new(vec![self.npu_down[d]], bytes)
+                    .with_priority(priority)
+                    .with_tag(tag),
             );
         }
         flows
@@ -714,7 +761,9 @@ mod tests {
     #[test]
     fn singleton_all_reduce_is_free() {
         let f = fabric(FabricConfig::FredB);
-        assert!(f.in_network_all_reduce(&[5], 1e9, Priority::Dp, 0).is_empty());
+        assert!(f
+            .in_network_all_reduce(&[5], 1e9, Priority::Dp, 0)
+            .is_empty());
     }
 
     #[test]

@@ -8,10 +8,8 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Index of a flow within one routing phase.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FlowIdx(pub usize);
 
 impl fmt::Display for FlowIdx {
@@ -30,7 +28,7 @@ impl fmt::Display for FlowIdx {
 /// assert_eq!(mc.ips().len(), 1);
 /// # Ok::<(), fred_core::flow::FlowError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Flow {
     ips: BTreeSet<usize>,
     ops: BTreeSet<usize>,
@@ -56,7 +54,10 @@ impl Flow {
 
     /// A unicast flow: one input port to one output port.
     pub fn unicast(src: usize, dst: usize) -> Flow {
-        Flow { ips: BTreeSet::from([src]), ops: BTreeSet::from([dst]) }
+        Flow {
+            ips: BTreeSet::from([src]),
+            ops: BTreeSet::from([dst]),
+        }
     }
 
     /// A multicast flow: one input port to several output ports.
@@ -155,13 +156,24 @@ impl fmt::Display for FlowError {
         match self {
             FlowError::Empty => write!(f, "flow must have at least one input and one output port"),
             FlowError::OverlappingInputs { port, flows } => {
-                write!(f, "input port {port} is claimed by both {} and {}", flows.0, flows.1)
+                write!(
+                    f,
+                    "input port {port} is claimed by both {} and {}",
+                    flows.0, flows.1
+                )
             }
             FlowError::OverlappingOutputs { port, flows } => {
-                write!(f, "output port {port} is claimed by both {} and {}", flows.0, flows.1)
+                write!(
+                    f,
+                    "output port {port} is claimed by both {} and {}",
+                    flows.0, flows.1
+                )
             }
             FlowError::PortOutOfRange { flow, port, ports } => {
-                write!(f, "{flow} references port {port}, but the switch has only {ports} ports")
+                write!(
+                    f,
+                    "{flow} references port {port}, but the switch has only {ports} ports"
+                )
             }
         }
     }
@@ -183,19 +195,33 @@ pub fn validate_phase(flows: &[Flow], ports: usize) -> Result<(), FlowError> {
         let idx = FlowIdx(i);
         for &p in flow.ips() {
             if p >= ports {
-                return Err(FlowError::PortOutOfRange { flow: idx, port: p, ports });
+                return Err(FlowError::PortOutOfRange {
+                    flow: idx,
+                    port: p,
+                    ports,
+                });
             }
             if let Some(prev) = in_owner[p] {
-                return Err(FlowError::OverlappingInputs { port: p, flows: (prev, idx) });
+                return Err(FlowError::OverlappingInputs {
+                    port: p,
+                    flows: (prev, idx),
+                });
             }
             in_owner[p] = Some(idx);
         }
         for &p in flow.ops() {
             if p >= ports {
-                return Err(FlowError::PortOutOfRange { flow: idx, port: p, ports });
+                return Err(FlowError::PortOutOfRange {
+                    flow: idx,
+                    port: p,
+                    ports,
+                });
             }
             if let Some(prev) = out_owner[p] {
-                return Err(FlowError::OverlappingOutputs { port: p, flows: (prev, idx) });
+                return Err(FlowError::OverlappingOutputs {
+                    port: p,
+                    flows: (prev, idx),
+                });
             }
             out_owner[p] = Some(idx);
         }
@@ -228,7 +254,10 @@ mod tests {
     #[test]
     fn empty_sets_rejected() {
         assert_eq!(Flow::new([], [1]).unwrap_err(), FlowError::Empty);
-        assert_eq!(Flow::new([1], std::iter::empty()).unwrap_err(), FlowError::Empty);
+        assert_eq!(
+            Flow::new([1], std::iter::empty()).unwrap_err(),
+            FlowError::Empty
+        );
         assert!(Flow::all_reduce(std::iter::empty::<usize>()).is_err());
     }
 

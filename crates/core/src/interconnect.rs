@@ -15,8 +15,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Where a port attaches at one recursion level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PortUnit {
@@ -38,7 +36,7 @@ pub enum PortUnit {
 /// assert!(net.stats().micro_switches > 0);
 /// # Ok::<(), fred_core::interconnect::InterconnectError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Interconnect {
     m: usize,
     ports: usize,
@@ -46,7 +44,7 @@ pub struct Interconnect {
 }
 
 /// The shape of one recursion level.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NetKind {
     /// Base Fred_m(2): a single RD-μSwitch.
     Leaf2,
@@ -65,7 +63,7 @@ pub enum NetKind {
 }
 
 /// Aggregate structural statistics, used by the area/power model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct InterconnectStats {
     /// Total 2×2-equivalent μSwitches (stage units count as m−1
     /// 2×2-equivalents per 2×m unit; Leaf3 counts as 3).
@@ -130,11 +128,19 @@ impl Interconnect {
             3 => NetKind::Leaf3,
             p if p % 2 == 0 => {
                 let r = p / 2;
-                NetKind::Stage { r, odd: false, middle: Box::new(Self::build(m, r)) }
+                NetKind::Stage {
+                    r,
+                    odd: false,
+                    middle: Box::new(Self::build(m, r)),
+                }
             }
             p => {
                 let r = (p - 1) / 2;
-                NetKind::Stage { r, odd: true, middle: Box::new(Self::build(m, r + 1)) }
+                NetKind::Stage {
+                    r,
+                    odd: true,
+                    middle: Box::new(Self::build(m, r + 1)),
+                }
             }
         };
         Interconnect { m, ports, kind }
@@ -161,7 +167,11 @@ impl Interconnect {
     ///
     /// Panics if `port` is out of range or this is a leaf.
     pub fn unit_of_port(&self, port: usize) -> PortUnit {
-        assert!(port < self.ports, "port {port} out of range (P={})", self.ports);
+        assert!(
+            port < self.ports,
+            "port {port} out of range (P={})",
+            self.ports
+        );
         match &self.kind {
             NetKind::Leaf2 | NetKind::Leaf3 => {
                 panic!("unit_of_port is not defined on a base switch")
@@ -192,10 +202,20 @@ impl Interconnect {
     /// Structural statistics for the area/power model.
     pub fn stats(&self) -> InterconnectStats {
         match &self.kind {
-            NetKind::Leaf2 => InterconnectStats { micro_switches: 1, demuxes: 0, muxes: 0, depth: 1 },
+            NetKind::Leaf2 => InterconnectStats {
+                micro_switches: 1,
+                demuxes: 0,
+                muxes: 0,
+                depth: 1,
+            },
             // A 3x3 base switch is built from three 2x2 uSwitches
             // (Chang-Melhem), crossing two columns.
-            NetKind::Leaf3 => InterconnectStats { micro_switches: 3, demuxes: 0, muxes: 0, depth: 2 },
+            NetKind::Leaf3 => InterconnectStats {
+                micro_switches: 3,
+                demuxes: 0,
+                muxes: 0,
+                depth: 2,
+            },
             NetKind::Stage { r, odd, middle } => {
                 let inner = middle.stats();
                 // A 2×m unit decomposes into (m-1) 2×2-equivalent

@@ -22,15 +22,13 @@
 //! port — line rate — whenever every source buffer of the active
 //! message has a flit available.
 
-use serde::{Deserialize, Serialize};
-
 use crate::flow::Flow;
 
 /// Priority classes map one-to-one onto data VCs (MP > PP > DP).
 pub use fred_sim::flow::Priority;
 
 /// Static parameters of the packet model (defaults follow §6.2.3).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MicroSimParams {
     /// Flit size in bytes (512 B).
     pub flit_bytes: usize,
@@ -67,7 +65,7 @@ impl Default for MicroSimParams {
 }
 
 /// One communication operation offered to the switch.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Message {
     /// The flow (reduction inputs / broadcast outputs).
     pub flow: Flow,
@@ -80,7 +78,7 @@ pub struct Message {
 }
 
 /// Per-message outcome.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MessageStats {
     /// Cycle the message finished (last flit delivered and acknowledged).
     pub completion_cycle: u64,
@@ -97,7 +95,7 @@ pub struct MessageStats {
 }
 
 /// Aggregate outcome of a simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MicroSimReport {
     /// Per-message statistics, in offered order.
     pub messages: Vec<MessageStats>,
@@ -157,7 +155,11 @@ pub struct MicroSim {
 impl MicroSim {
     /// Creates a simulator with the given parameters and fault seed.
     pub fn new(params: MicroSimParams, seed: u64) -> MicroSim {
-        MicroSim { params, messages: Vec::new(), rng: XorShift(seed | 1) }
+        MicroSim {
+            params,
+            messages: Vec::new(),
+            rng: XorShift(seed | 1),
+        }
     }
 
     /// Offers a message to the switch.
@@ -249,9 +251,8 @@ impl MicroSim {
                 (Some(a), Some(b)) if a != b => {
                     let cur = &self.messages[a];
                     let cur_done = cur.done_cycle.is_some() || cur.pending_nack.is_some();
-                    let higher =
-                        self.messages[b].msg.priority.rank() < cur.msg.priority.rank();
-                    let at_packet_boundary = cur.forwarded % p.packet_flits as u64 == 0;
+                    let higher = self.messages[b].msg.priority.rank() < cur.msg.priority.rank();
+                    let at_packet_boundary = cur.forwarded.is_multiple_of(p.packet_flits as u64);
                     if cur_done || (higher && at_packet_boundary) {
                         if !cur_done {
                             self.messages[a].preemptions += 1;
@@ -278,14 +279,14 @@ impl MicroSim {
                         m.buffer -= 1;
                         m.forwarded += 1;
                         m.forwarded_total += 1;
-                        if m.forwarded % p.packet_flits as u64 == 0 {
+                        if m.forwarded.is_multiple_of(p.packet_flits as u64) {
                             let packet = m.forwarded / p.packet_flits as u64 - 1;
                             if drop_roll < p.drop_probability {
                                 // Receiver NACKs; control packet accounted.
                                 m.pending_nack = Some((cycle + p.nack_rtt_cycles, packet));
                                 m.ack_bytes += p.control_packet_bytes as u64;
                             } else {
-                                if (packet + 1) % p.ack_period_packets == 0 {
+                                if (packet + 1).is_multiple_of(p.ack_period_packets) {
                                     m.ack_bytes += p.control_packet_bytes as u64;
                                 }
                                 if m.forwarded == m.total_flits {
@@ -319,7 +320,11 @@ impl MicroSim {
                 })
                 .collect(),
             cycles: cycle,
-            ack_overhead: if data_bytes == 0 { 0.0 } else { ack_bytes as f64 / data_bytes as f64 },
+            ack_overhead: if data_bytes == 0 {
+                0.0
+            } else {
+                ack_bytes as f64 / data_bytes as f64
+            },
             reconfigurations,
         }
     }
@@ -348,8 +353,11 @@ mod tests {
         let stats = report.messages[0];
         // Line rate: ~1 flit/cycle + injection pipeline + reconfig.
         let flits = 128;
-        assert!(stats.completion_cycle <= flits + p.reconfig_cycles + 4,
-            "took {} cycles for {flits} flits", stats.completion_cycle);
+        assert!(
+            stats.completion_cycle <= flits + p.reconfig_cycles + 4,
+            "took {} cycles for {flits} flits",
+            stats.completion_cycle
+        );
         assert_eq!(stats.packets_retransmitted, 0);
         assert_eq!(stats.preemptions, 0);
     }
@@ -376,18 +384,28 @@ mod tests {
         let mut sim = MicroSim::new(MicroSimParams::default(), 1);
         sim.offer(ar_message(1024 * 1024, Priority::Dp, 0));
         let report = sim.run();
-        assert!(report.ack_overhead < 0.01, "ack overhead {}", report.ack_overhead);
+        assert!(
+            report.ack_overhead < 0.01,
+            "ack overhead {}",
+            report.ack_overhead
+        );
         assert!(report.ack_overhead > 0.0);
     }
 
     #[test]
     fn go_back_n_retransmits_dropped_packets() {
-        let params = MicroSimParams { drop_probability: 0.2, ..MicroSimParams::default() };
+        let params = MicroSimParams {
+            drop_probability: 0.2,
+            ..MicroSimParams::default()
+        };
         let mut sim = MicroSim::new(params, 42);
         sim.offer(ar_message(64 * 1024, Priority::Dp, 0));
         let report = sim.run();
         let stats = report.messages[0];
-        assert!(stats.packets_retransmitted > 0, "no retransmissions at 20% drop");
+        assert!(
+            stats.packets_retransmitted > 0,
+            "no retransmissions at 20% drop"
+        );
         // All 128 real flits were eventually delivered, plus retries.
         assert!(stats.flits_forwarded > 128);
         // Completion still bounded.
@@ -428,8 +446,10 @@ mod tests {
         let report = sim.run();
         let dp = report.messages[0];
         assert!(dp.preemptions >= 1);
-        assert_eq!(dp.max_buffer_flits as usize, p.data_vc_flits,
-            "preempted message should fill its VC allowance exactly");
+        assert_eq!(
+            dp.max_buffer_flits as usize, p.data_vc_flits,
+            "preempted message should fill its VC allowance exactly"
+        );
         // The MP message only buffers while waiting out the DP packet
         // boundary plus the reconfiguration — far below the allowance.
         let mp_bound = (p.packet_flits as u64) + p.reconfig_cycles + 2;

@@ -13,10 +13,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// The hardware variant of a μSwitch, fixed at design time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MicroKind {
     /// Plain Clos 2×2 element: permutation only.
     Plain,
@@ -56,7 +54,7 @@ impl fmt::Display for MicroKind {
 /// communication phase. This is what the control unit stores per phase
 /// (§6.2.3: "each packet header has the index to the μSwitch
 /// configuration bits").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum MicroOp {
     /// Unused this phase.
     #[default]
@@ -95,7 +93,10 @@ impl MicroOp {
 
     /// Whether this configuration requires the distribution feature.
     pub fn needs_distribute(self) -> bool {
-        matches!(self, MicroOp::BroadcastFrom { .. } | MicroOp::ReduceBroadcast)
+        matches!(
+            self,
+            MicroOp::BroadcastFrom { .. } | MicroOp::ReduceBroadcast
+        )
     }
 
     /// Whether the μSwitch is in use at all.
@@ -205,8 +206,12 @@ mod tests {
 
     #[test]
     fn capability_check_rejects_unsupported_ops() {
-        assert!(MicroOp::ReduceTo { output: 0 }.check_capability(MicroKind::Plain).is_err());
-        assert!(MicroOp::ReduceTo { output: 0 }.check_capability(MicroKind::Reduce).is_ok());
+        assert!(MicroOp::ReduceTo { output: 0 }
+            .check_capability(MicroKind::Plain)
+            .is_err());
+        assert!(MicroOp::ReduceTo { output: 0 }
+            .check_capability(MicroKind::Reduce)
+            .is_ok());
         assert!(MicroOp::BroadcastFrom { input: 1 }
             .check_capability(MicroKind::Reduce)
             .is_err());
@@ -251,7 +256,11 @@ mod tests {
 
     #[test]
     fn eval_forward_routes_single_port() {
-        let [o0, o1] = MicroOp::Forward { input: 1, output: 0 }.eval(None, Some(&[9.0]));
+        let [o0, o1] = MicroOp::Forward {
+            input: 1,
+            output: 0,
+        }
+        .eval(None, Some(&[9.0]));
         assert_eq!(o0.unwrap(), vec![9.0]);
         assert!(o1.is_none());
     }

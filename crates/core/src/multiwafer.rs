@@ -52,12 +52,7 @@ impl MultiWafer {
     /// # Panics
     ///
     /// Panics if `wafers < 2` or `boundary == 0`.
-    pub fn new(
-        wafers: usize,
-        config: FabricConfig,
-        boundary: usize,
-        inter_bw: f64,
-    ) -> MultiWafer {
+    pub fn new(wafers: usize, config: FabricConfig, boundary: usize, inter_bw: f64) -> MultiWafer {
         assert!(wafers >= 2, "a multi-wafer system needs at least 2 wafers");
         assert!(boundary > 0);
         let params = PhysicalParams::paper();
@@ -97,8 +92,7 @@ impl MultiWafer {
             // Boundary aggregation points hang off L1 switches
             // round-robin, at the inter-wafer channel bandwidth.
             for b in 0..boundary {
-                let node =
-                    topo.add_node(NodeKind::IoController, format!("w{w}.boundary{b}"));
+                let node = topo.add_node(NodeKind::IoController, format!("w{w}.boundary{b}"));
                 let l1 = l1s[b % l1_count];
                 topo.add_duplex_link(node, l1, inter_bw, lat);
                 boundary_nodes.push(node);
@@ -292,7 +286,9 @@ mod tests {
             let mut net = FlowNetwork::new(mw.clone_topology());
             net.inject_batch(mw.global_all_reduce(d, Priority::Dp, 0));
             let done = net.run_to_completion();
-            done.iter().map(|c| c.completed_at.as_secs()).fold(0.0, f64::max)
+            done.iter()
+                .map(|c| c.completed_at.as_secs())
+                .fold(0.0, f64::max)
         };
         let skinny = time_with(64e9);
         let fat = time_with(10e12);
@@ -302,7 +298,10 @@ mod tests {
         // Skinny: bound by the shard ring on 64 GB/s channels.
         let shard = d / 4.0;
         let expected = shard * 0.5 / 64e9; // 2(W-1)/W / 2 per direction
-        assert!((skinny - expected).abs() / expected < 0.2, "skinny {skinny} vs {expected}");
+        assert!(
+            (skinny - expected).abs() / expected < 0.2,
+            "skinny {skinny} vs {expected}"
+        );
     }
 
     #[test]

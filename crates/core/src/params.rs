@@ -4,15 +4,13 @@
 //! All bandwidths are in **bytes per second per direction** unless noted
 //! otherwise; areas in mm²; power in watts.
 
-use serde::{Deserialize, Serialize};
-
 /// One terabyte per second.
 pub const TBPS: f64 = 1e12;
 /// One gigabyte per second.
 pub const GBPS: f64 = 1e9;
 
 /// Physical constants of the wafer-scale system (Table 3, §6.2.2).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PhysicalParams {
     /// NPUs on the wafer (power-limited to ~21; the paper uses 20).
     pub npu_count: usize,
@@ -74,7 +72,7 @@ impl Default for PhysicalParams {
 }
 
 /// The five evaluated fabric configurations (Table 5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FabricConfig {
     /// 5×4 2D mesh, 750 GBps links, 3.75 TBps bisection, endpoint
     /// collectives.

@@ -10,11 +10,9 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A 3D parallelization strategy: the size of each parallelism
 /// dimension, written MP(m)-DP(d)-PP(p) in the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Strategy3D {
     /// Model/tensor-parallel degree.
     pub mp: usize,
@@ -31,7 +29,10 @@ impl Strategy3D {
     ///
     /// Panics if any dimension is zero.
     pub fn new(mp: usize, dp: usize, pp: usize) -> Strategy3D {
-        assert!(mp > 0 && dp > 0 && pp > 0, "all parallelism degrees must be positive");
+        assert!(
+            mp > 0 && dp > 0 && pp > 0,
+            "all parallelism degrees must be positive"
+        );
         Strategy3D { mp, dp, pp }
     }
 
@@ -44,7 +45,13 @@ impl Strategy3D {
     pub fn workers(&self) -> impl Iterator<Item = Worker> + '_ {
         let (mp, dp, pp) = (self.mp, self.dp, self.pp);
         (0..pp).flat_map(move |p| {
-            (0..dp).flat_map(move |d| (0..mp).map(move |m| Worker { mp: m, dp: d, pp: p }))
+            (0..dp).flat_map(move |d| {
+                (0..mp).map(move |m| Worker {
+                    mp: m,
+                    dp: d,
+                    pp: p,
+                })
+            })
         })
     }
 
@@ -87,7 +94,7 @@ impl fmt::Display for Strategy3D {
 
 /// A logical training worker's coordinates (the paper's 3-digit id:
 /// MP digit, DP digit, PP digit).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Worker {
     /// Offset within the MP group.
     pub mp: usize,
@@ -105,7 +112,7 @@ impl fmt::Display for Worker {
 
 /// The order in which dimensions vary when laying workers onto
 /// consecutive NPUs; the first dimension varies fastest.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum PlacementPolicy {
     /// FRED's policy (§5.3): MP fastest, then PP, then DP.
     #[default]
@@ -140,7 +147,7 @@ impl PlacementPolicy {
 /// assert_eq!(pl.mp_group_npus(0, 0), vec![0, 1, 2, 3]);
 /// assert_eq!(pl.npu_of(Worker { mp: 2, dp: 1, pp: 0 }), 6);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Placement {
     strategy: Strategy3D,
     policy: PlacementPolicy,
@@ -155,7 +162,6 @@ impl Placement {
         let (m, d, p) = (strategy.mp, strategy.dp, strategy.pp);
         let mut npu_of_worker = vec![usize::MAX; strategy.worker_count()];
         let linear = |w: Worker| w.mp + m * (w.dp + d * w.pp);
-        let mut next = 0;
         // Enumerate workers with the policy's fastest-first nesting.
         let order: Vec<Worker> = match policy {
             PlacementPolicy::MpPpDp => (0..d)
@@ -179,11 +185,14 @@ impl Placement {
                 })
                 .collect(),
         };
-        for w in order {
+        for (next, w) in order.into_iter().enumerate() {
             npu_of_worker[linear(w)] = next;
-            next += 1;
         }
-        Placement { strategy, policy, npu_of_worker }
+        Placement {
+            strategy,
+            policy,
+            npu_of_worker,
+        }
     }
 
     /// The strategy this placement was built for.
@@ -203,24 +212,38 @@ impl Placement {
     /// Panics if the worker is outside the strategy grid.
     pub fn npu_of(&self, worker: Worker) -> usize {
         let s = self.strategy;
-        assert!(worker.mp < s.mp && worker.dp < s.dp && worker.pp < s.pp,
-            "worker {worker} outside {s}");
+        assert!(
+            worker.mp < s.mp && worker.dp < s.dp && worker.pp < s.pp,
+            "worker {worker} outside {s}"
+        );
         self.npu_of_worker[worker.mp + s.mp * (worker.dp + s.dp * worker.pp)]
     }
 
     /// NPU indices of the MP group (dp, pp), in MP-offset order.
     pub fn mp_group_npus(&self, dp: usize, pp: usize) -> Vec<usize> {
-        self.strategy.mp_group(dp, pp).into_iter().map(|w| self.npu_of(w)).collect()
+        self.strategy
+            .mp_group(dp, pp)
+            .into_iter()
+            .map(|w| self.npu_of(w))
+            .collect()
     }
 
     /// NPU indices of the DP group (mp, pp).
     pub fn dp_group_npus(&self, mp: usize, pp: usize) -> Vec<usize> {
-        self.strategy.dp_group(mp, pp).into_iter().map(|w| self.npu_of(w)).collect()
+        self.strategy
+            .dp_group(mp, pp)
+            .into_iter()
+            .map(|w| self.npu_of(w))
+            .collect()
     }
 
     /// NPU indices of the PP group (mp, dp).
     pub fn pp_group_npus(&self, mp: usize, dp: usize) -> Vec<usize> {
-        self.strategy.pp_group(mp, dp).into_iter().map(|w| self.npu_of(w)).collect()
+        self.strategy
+            .pp_group(mp, dp)
+            .into_iter()
+            .map(|w| self.npu_of(w))
+            .collect()
     }
 
     /// All MP groups as NPU index lists.
@@ -293,7 +316,11 @@ mod tests {
         for d in 0..s.dp {
             for p in 0..s.pp {
                 let npus = pl.mp_group_npus(d, p);
-                assert_eq!(npus[1], npus[0] + 1, "MP group ({d},{p}) not consecutive: {npus:?}");
+                assert_eq!(
+                    npus[1],
+                    npus[0] + 1,
+                    "MP group ({d},{p}) not consecutive: {npus:?}"
+                );
             }
         }
         // And PP iterates next: the PP peers of worker (0, d, *) are
@@ -331,7 +358,14 @@ mod tests {
     #[test]
     fn concurrent_3d_phases_route_conflict_free_on_fred3() {
         let net = Interconnect::new(3, 20).unwrap();
-        for (mp, dp, pp) in [(2, 5, 2), (4, 5, 1), (5, 2, 2), (2, 2, 5), (20, 1, 1), (5, 3, 1)] {
+        for (mp, dp, pp) in [
+            (2, 5, 2),
+            (4, 5, 1),
+            (5, 2, 2),
+            (2, 2, 5),
+            (20, 1, 1),
+            (5, 3, 1),
+        ] {
             let s = Strategy3D::new(mp, dp, pp);
             let pl = Placement::new(s, PlacementPolicy::MpPpDp);
             // Concurrent MP All-Reduces (one per MP group).
@@ -342,8 +376,8 @@ mod tests {
                 .map(|g| Flow::all_reduce(g).unwrap())
                 .collect();
             if !mp_flows.is_empty() {
-                let routed = route_flows(&net, &mp_flows)
-                    .unwrap_or_else(|e| panic!("{s} MP phase: {e}"));
+                let routed =
+                    route_flows(&net, &mp_flows).unwrap_or_else(|e| panic!("{s} MP phase: {e}"));
                 routed.verify(&mp_flows).unwrap();
             }
             // Concurrent DP All-Reduces.
@@ -354,8 +388,8 @@ mod tests {
                 .map(|g| Flow::all_reduce(g).unwrap())
                 .collect();
             if !dp_flows.is_empty() {
-                let routed = route_flows(&net, &dp_flows)
-                    .unwrap_or_else(|e| panic!("{s} DP phase: {e}"));
+                let routed =
+                    route_flows(&net, &dp_flows).unwrap_or_else(|e| panic!("{s} DP phase: {e}"));
                 routed.verify(&dp_flows).unwrap();
             }
             // Concurrent PP transfers (each stage multicasts to the next).
@@ -388,6 +422,10 @@ mod tests {
     fn out_of_grid_worker_rejected() {
         let s = Strategy3D::new(2, 2, 2);
         let pl = Placement::new(s, PlacementPolicy::MpPpDp);
-        let _ = pl.npu_of(Worker { mp: 2, dp: 0, pp: 0 });
+        let _ = pl.npu_of(Worker {
+            mp: 2,
+            dp: 0,
+            pp: 0,
+        });
     }
 }

@@ -18,7 +18,7 @@
 use crate::conflict::ConflictGraph;
 use crate::flow::{validate_phase, Flow, FlowError, FlowIdx};
 use crate::interconnect::Interconnect;
-use crate::routing::{route_flows, RoutedNetwork, RouteFlowsError};
+use crate::routing::{route_flows, RouteFlowsError, RoutedNetwork};
 
 /// One serial batch produced by [`route_with_blocking`]: the flows
 /// (by index into the original slice) and their compiled routing.
@@ -52,24 +52,17 @@ pub fn route_with_blocking(
             let subset: Vec<Flow> = candidate.iter().map(|&i| flows[i].clone()).collect();
             match route_flows(net, &subset) {
                 Ok(routed) => {
-                    let members: Vec<FlowIdx> =
-                        candidate.iter().map(|&i| FlowIdx(i)).collect();
+                    let members: Vec<FlowIdx> = candidate.iter().map(|&i| FlowIdx(i)).collect();
                     remaining.retain(|i| !candidate.contains(i));
                     batches.push(RoutedBatch { members, routed });
                     break;
                 }
                 Err(RouteFlowsError::Conflict(_)) => {
-                    debug_assert!(
-                        candidate.len() > 1,
-                        "a single flow can always be routed"
-                    );
+                    debug_assert!(candidate.len() > 1, "a single flow can always be routed");
                     // Defer the flow with the highest conflict degree.
-                    let graph =
-                        ConflictGraph::from_flows(&subset, |p| net.unit_of_port(p));
+                    let graph = ConflictGraph::from_flows(&subset, |p| net.unit_of_port(p));
                     let worst = (0..subset.len())
-                        .max_by_key(|&i| {
-                            (graph.neighbors(i).len(), subset[i].max_port())
-                        })
+                        .max_by_key(|&i| (graph.neighbors(i).len(), subset[i].max_port()))
                         .expect("non-empty candidate set");
                     candidate.remove(worst);
                 }
@@ -163,14 +156,15 @@ mod tests {
         let batches = route_with_blocking(&net, &flows).unwrap();
         assert!(batches.len() >= 2, "triangle must need >= 2 batches on m=2");
         // Every flow appears exactly once across batches.
-        let mut all: Vec<usize> =
-            batches.iter().flat_map(|b| b.members.iter().map(|f| f.0)).collect();
+        let mut all: Vec<usize> = batches
+            .iter()
+            .flat_map(|b| b.members.iter().map(|f| f.0))
+            .collect();
         all.sort_unstable();
         assert_eq!(all, vec![0, 1, 2]);
         // Each batch verifies functionally.
         for b in &batches {
-            let subset: Vec<Flow> =
-                b.members.iter().map(|f| flows[f.0].clone()).collect();
+            let subset: Vec<Flow> = b.members.iter().map(|f| flows[f.0].clone()).collect();
             b.routed.verify(&subset).unwrap();
         }
     }
@@ -190,8 +184,12 @@ mod tests {
         // A triangle needs exactly one demotion to become 2-colourable.
         assert_eq!(d.endpoint.len(), 1);
         assert_eq!(d.in_switch.members.len(), 2);
-        let subset: Vec<Flow> =
-            d.in_switch.members.iter().map(|f| flows[f.0].clone()).collect();
+        let subset: Vec<Flow> = d
+            .in_switch
+            .members
+            .iter()
+            .map(|f| flows[f.0].clone())
+            .collect();
         d.in_switch.routed.verify(&subset).unwrap();
     }
 

@@ -26,14 +26,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::conflict::{ConflictGraph, RoutingConflict};
 use crate::flow::{validate_phase, Flow, FlowError};
 use crate::interconnect::{Interconnect, NetKind, PortUnit};
 
 /// Configuration of a 2×m input unit for one phase.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum InputUnitConfig {
     /// Unused this phase.
     #[default]
@@ -55,7 +53,7 @@ pub enum InputUnitConfig {
 }
 
 /// Configuration of an m×2 output unit for one phase.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum OutputUnitConfig {
     /// Unused this phase.
     #[default]
@@ -78,7 +76,7 @@ pub enum OutputUnitConfig {
 /// A routed base switch: the flows it must realise locally. Base
 /// switches (Fred_m(2), Fred_m(3)) realise any valid flow set among
 /// their ports with their internal R/D/RD-μSwitches.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LeafRoute {
     /// Port count (2 or 3).
     pub ports: usize,
@@ -87,7 +85,7 @@ pub struct LeafRoute {
 }
 
 /// A routed recursive stage.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RoutedStage {
     /// External port count at this level.
     pub ports: usize,
@@ -113,7 +111,7 @@ pub struct RoutedStage {
 }
 
 /// A fully routed (sub)network.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum RoutedNetwork {
     /// A routed base switch.
     Leaf(LeafRoute),
@@ -238,8 +236,16 @@ fn route_level(
                     }
                 };
             }
-            let demux = if odd { in_owner[2 * r].map(|f| colors[f]) } else { None };
-            let mux = if odd { out_owner[2 * r].map(|f| colors[f]) } else { None };
+            let demux = if odd {
+                in_owner[2 * r].map(|f| colors[f])
+            } else {
+                None
+            };
+            let mux = if odd {
+                out_owner[2 * r].map(|f| colors[f])
+            } else {
+                None
+            };
 
             // Induced flows per middle subnetwork.
             let tail_mid_port = r; // middle port index for the tail
@@ -339,7 +345,11 @@ pub struct VerifyError {
 
 impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "flow {} violated at output port {}: {}", self.flow, self.port, self.detail)
+        write!(
+            f,
+            "flow {} violated at output port {}: {}",
+            self.flow, self.port, self.detail
+        )
     }
 }
 
@@ -367,7 +377,10 @@ impl RoutedNetwork {
         inputs: &[Option<Vec<f64>>],
     ) -> Result<Vec<Option<Vec<f64>>>, EvalError> {
         if inputs.len() != self.ports() {
-            return Err(EvalError::WrongArity { expected: self.ports(), got: inputs.len() });
+            return Err(EvalError::WrongArity {
+                expected: self.ports(),
+                got: inputs.len(),
+            });
         }
         match self {
             RoutedNetwork::Leaf(l) => {
@@ -393,8 +406,7 @@ impl RoutedNetwork {
             }
             RoutedNetwork::Stage(s) => {
                 let mid_ports = s.middles[0].ports();
-                let mut mid_in: Vec<Vec<Option<Vec<f64>>>> =
-                    vec![vec![None; mid_ports]; s.m];
+                let mut mid_in: Vec<Vec<Option<Vec<f64>>>> = vec![vec![None; mid_ports]; s.m];
                 for (k, cfg) in s.input_units.iter().enumerate() {
                     let v0 = inputs[2 * k].as_ref();
                     let v1 = inputs[2 * k + 1].as_ref();
@@ -491,7 +503,9 @@ impl RoutedNetwork {
                 inputs[ip] = Some(vec![stim(ip)]);
             }
         }
-        let outputs = self.evaluate(&inputs).expect("routed network must evaluate");
+        let outputs = self
+            .evaluate(&inputs)
+            .expect("routed network must evaluate");
 
         let mut expected: Vec<Option<(usize, f64)>> = vec![None; p];
         for (i, f) in flows.iter().enumerate() {
@@ -552,7 +566,11 @@ impl RoutedNetwork {
                     .iter()
                     .filter(|c| matches!(c, InputUnitConfig::Reduce { .. }))
                     .count();
-                local + s.middles.iter().map(RoutedNetwork::reduction_count).sum::<usize>()
+                local
+                    + s.middles
+                        .iter()
+                        .map(RoutedNetwork::reduction_count)
+                        .sum::<usize>()
             }
         }
     }
@@ -571,7 +589,11 @@ impl RoutedNetwork {
                     .iter()
                     .filter(|c| matches!(c, OutputUnitConfig::Broadcast { .. }))
                     .count();
-                local + s.middles.iter().map(RoutedNetwork::distribution_count).sum::<usize>()
+                local
+                    + s.middles
+                        .iter()
+                        .map(RoutedNetwork::distribution_count)
+                        .sum::<usize>()
             }
         }
     }
@@ -593,7 +615,10 @@ impl RoutedNetwork {
                     .count();
                 inputs
                     + outputs
-                    + s.middles.iter().map(RoutedNetwork::active_unit_count).sum::<usize>()
+                    + s.middles
+                        .iter()
+                        .map(RoutedNetwork::active_unit_count)
+                        .sum::<usize>()
             }
         }
     }
@@ -678,10 +703,13 @@ mod tests {
             [3, 7, 1, 5, 0, 4, 2, 6],
         ];
         for perm in perms {
-            let flows: Vec<Flow> =
-                perm.iter().enumerate().map(|(s, &d)| Flow::unicast(s, d)).collect();
-            let routed = route_flows(&fabric, &flows)
-                .unwrap_or_else(|e| panic!("perm {perm:?}: {e}"));
+            let flows: Vec<Flow> = perm
+                .iter()
+                .enumerate()
+                .map(|(s, &d)| Flow::unicast(s, d))
+                .collect();
+            let routed =
+                route_flows(&fabric, &flows).unwrap_or_else(|e| panic!("perm {perm:?}: {e}"));
             routed.verify(&flows).unwrap();
         }
     }
@@ -769,7 +797,10 @@ mod tests {
         let routed = route_flows(&net(2, 4), &[]).unwrap();
         assert!(matches!(
             routed.evaluate(&[None, None]),
-            Err(EvalError::WrongArity { expected: 4, got: 2 })
+            Err(EvalError::WrongArity {
+                expected: 4,
+                got: 2
+            })
         ));
     }
 

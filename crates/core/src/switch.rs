@@ -9,14 +9,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::flow::Flow;
 use crate::interconnect::{Interconnect, InterconnectError};
 use crate::routing::{route_flows, EvalError, RouteFlowsError, RoutedNetwork};
 
 /// Index into the switch's stored phase table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PhaseId(pub usize);
 
 impl fmt::Display for PhaseId {
@@ -26,7 +24,7 @@ impl fmt::Display for PhaseId {
 }
 
 /// A stored communication phase: the flows and their compiled routing.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StoredPhase {
     /// Human-readable name (e.g. `"mp-allreduce"`).
     pub name: String,
@@ -51,7 +49,7 @@ pub struct StoredPhase {
 /// assert_eq!(out[0].as_deref(), Some(&[6.0][..])); // 0+1+2+3
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FredSwitch {
     interconnect: Interconnect,
     phases: Vec<StoredPhase>,
@@ -108,7 +106,10 @@ impl FredSwitch {
     ///
     /// Returns an error if `m < 2` or `ports < 2`.
     pub fn new(m: usize, ports: usize) -> Result<FredSwitch, SwitchError> {
-        Ok(FredSwitch { interconnect: Interconnect::new(m, ports)?, phases: Vec::new() })
+        Ok(FredSwitch {
+            interconnect: Interconnect::new(m, ports)?,
+            phases: Vec::new(),
+        })
     }
 
     /// Port count.
@@ -140,7 +141,11 @@ impl FredSwitch {
         let routed = route_flows(&self.interconnect, &flows)?;
         debug_assert!(routed.verify(&flows).is_ok(), "routing verification failed");
         let id = PhaseId(self.phases.len());
-        self.phases.push(StoredPhase { name: name.into(), flows, routed });
+        self.phases.push(StoredPhase {
+            name: name.into(),
+            flows,
+            routed,
+        });
         Ok(id)
     }
 
@@ -199,12 +204,12 @@ mod tests {
         assert_eq!(sw.phase(ar).unwrap().name, "ar");
 
         let mut inputs: Vec<Option<Vec<f64>>> = vec![None; 8];
-        for p in 0..3 {
-            inputs[p] = Some(vec![1.0 + p as f64]);
+        for (p, input) in inputs.iter_mut().enumerate().take(3) {
+            *input = Some(vec![1.0 + p as f64]);
         }
         let out = sw.execute(ar, &inputs).unwrap();
-        for p in 0..3 {
-            assert_eq!(out[p].as_deref(), Some(&[6.0][..]));
+        for o in out.iter().take(3) {
+            assert_eq!(o.as_deref(), Some(&[6.0][..]));
         }
         let mut inputs: Vec<Option<Vec<f64>>> = vec![None; 8];
         inputs[7] = Some(vec![42.0]);
@@ -251,13 +256,22 @@ mod tests {
                 .map(|g| Flow::all_reduce(g).unwrap())
                 .collect()
         };
-        sw.program_phase("mp", to_flows(pl.all_mp_groups())).unwrap();
-        sw.program_phase("dp", to_flows(pl.all_dp_groups())).unwrap();
-        assert!(sw.config_sram_bytes() <= 1536, "sram = {}", sw.config_sram_bytes());
+        sw.program_phase("mp", to_flows(pl.all_mp_groups()))
+            .unwrap();
+        sw.program_phase("dp", to_flows(pl.all_dp_groups()))
+            .unwrap();
+        assert!(
+            sw.config_sram_bytes() <= 1536,
+            "sram = {}",
+            sw.config_sram_bytes()
+        );
     }
 
     #[test]
     fn invalid_construction_propagates() {
-        assert!(matches!(FredSwitch::new(1, 8), Err(SwitchError::Construction(_))));
+        assert!(matches!(
+            FredSwitch::new(1, 8),
+            Err(SwitchError::Construction(_))
+        ));
     }
 }

@@ -12,7 +12,6 @@
 //! over.
 
 use fred_core::interconnect::Interconnect;
-use serde::{Deserialize, Serialize};
 
 /// Fraction of a Table 4 chiplet that is μSwitch logic rather than I/O
 /// (§6.2.3: "Fred's internal logic occupies less than 5% of the chip
@@ -24,7 +23,7 @@ pub const LOGIC_FRACTION: f64 = 0.05;
 pub const BASE_IO_DENSITY: f64 = 2.0 * 53.7e9;
 
 /// One chiplet type of the Fig 8(b) decomposition.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChipletSpec {
     /// Descriptive name (matches Table 4 rows).
     pub name: String,
@@ -116,7 +115,7 @@ pub fn logic_area_estimate(net: &Interconnect, per_usw_mm2: f64) -> f64 {
 /// The Fig 8(b) decomposition: which chiplets implement each logical
 /// switch of the 2-level fabric, with the bandwidth each must
 /// terminate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LogicalSwitchBudget {
     /// `"L1.0"`–`"L1.4"` or `"L2"`.
     pub name: String,

@@ -5,14 +5,14 @@
 //! `fred-mesh::streaming` and is cross-checked against these formulas
 //! in the integration tests.
 
-use serde::{Deserialize, Serialize};
-
 /// Per-link load profile of rightward row edges when all channels of an
 /// `cols`-wide mesh stream simultaneously at rate `P`: the edge between
 /// columns `x` and `x+1` carries `1 + 2(x+1)` streams (one facing-row
 /// channel plus the top/bottom channels at columns ≤ x).
 pub fn edge_load_profile(cols: usize) -> Vec<usize> {
-    (0..cols.saturating_sub(1)).map(|x| 1 + 2 * (x + 1)).collect()
+    (0..cols.saturating_sub(1))
+        .map(|x| 1 + 2 * (x + 1))
+        .collect()
 }
 
 /// The hotspot multiplier: max of the load profile, `(2·cols − 1)`
@@ -35,7 +35,7 @@ pub fn achievable_channel_rate(cols: usize, p: f64, link_bw: f64) -> f64 {
 }
 
 /// One row of the Fig 4 analysis table.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HotspotRow {
     /// Mesh width N.
     pub cols: usize,

@@ -54,7 +54,10 @@ mod tests {
         // 12 TBps per direction: 2 * 5 * 12 TBps * 0.504 pJ/B ≈ 60 W,
         // within ~10% of the Table 4 row.
         let p = wiring_power(2.0 * 5.0 * 12e12);
-        assert!((p - TABLE4_WIRING_POWER).abs() / TABLE4_WIRING_POWER < 0.11, "{p}");
+        assert!(
+            (p - TABLE4_WIRING_POWER).abs() / TABLE4_WIRING_POWER < 0.11,
+            "{p}"
+        );
     }
 
     #[test]

@@ -1,13 +1,12 @@
 //! Wafer power/area budget checks (§6.2.1–§6.2.2).
 
 use fred_core::params::PhysicalParams;
-use serde::{Deserialize, Serialize};
 
 use crate::area::{table4_inventory, total_switch_area};
 use crate::power::table4_power_total;
 
 /// The composed wafer budget.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WaferBudget {
     /// NPU power (compute + HBM), W.
     pub npu_power: f64,
@@ -85,7 +84,12 @@ mod tests {
     #[test]
     fn paper_instance_fits_both_budgets() {
         let b = WaferBudget::paper_fred();
-        assert!(b.power_fits(), "power {} > {}", b.total_power(), b.power_budget);
+        assert!(
+            b.power_fits(),
+            "power {} > {}",
+            b.total_power(),
+            b.power_budget
+        );
         assert!(b.area_fits(), "area {} > {}", b.total_area(), b.area_budget);
     }
 

@@ -91,7 +91,12 @@ pub fn ring_hop_count(mesh: &MeshFabric, order: &[usize]) -> usize {
 ///
 /// Panics if `group` is empty.
 pub fn all_reduce(mesh: &MeshFabric, group: &[usize], bytes: f64) -> CommPlan {
-    ring::all_reduce(&snake_order(mesh, group), bytes, Direction::Bidirectional, mesh)
+    ring::all_reduce(
+        &snake_order(mesh, group),
+        bytes,
+        Direction::Bidirectional,
+        mesh,
+    )
 }
 
 /// Ring Reduce-Scatter among `group`.
@@ -100,7 +105,12 @@ pub fn all_reduce(mesh: &MeshFabric, group: &[usize], bytes: f64) -> CommPlan {
 ///
 /// Panics if `group` is empty.
 pub fn reduce_scatter(mesh: &MeshFabric, group: &[usize], bytes: f64) -> CommPlan {
-    ring::reduce_scatter(&snake_order(mesh, group), bytes, Direction::Bidirectional, mesh)
+    ring::reduce_scatter(
+        &snake_order(mesh, group),
+        bytes,
+        Direction::Bidirectional,
+        mesh,
+    )
 }
 
 /// Ring All-Gather among `group`.
@@ -109,7 +119,12 @@ pub fn reduce_scatter(mesh: &MeshFabric, group: &[usize], bytes: f64) -> CommPla
 ///
 /// Panics if `group` is empty.
 pub fn all_gather(mesh: &MeshFabric, group: &[usize], bytes: f64) -> CommPlan {
-    ring::all_gather(&snake_order(mesh, group), bytes, Direction::Bidirectional, mesh)
+    ring::all_gather(
+        &snake_order(mesh, group),
+        bytes,
+        Direction::Bidirectional,
+        mesh,
+    )
 }
 
 /// All-to-All among `group`, X-Y routed shift permutations.
@@ -286,7 +301,9 @@ mod tests {
         let group: Vec<usize> = (0..20).collect();
         let plan = wafer_all_reduce(&m, &group, d);
         let mut net = FlowNetwork::new(m.clone_topology());
-        let dur = plan.execute(&mut net, fred_sim::flow::Priority::Dp).as_secs();
+        let dur = plan
+            .execute(&mut net, fred_sim::flow::Priority::Dp)
+            .as_secs();
         let per_npu = fred_collectives::cost::endpoint_all_reduce_traffic(20, d);
         let eff = per_npu / dur;
         assert!(

@@ -87,11 +87,17 @@ pub fn streaming_in_flows(
     priority: Priority,
     tag: u64,
 ) -> Vec<FlowSpec> {
-    let mut flows = vec![FlowSpec::new(mesh.ext_to_npu_route(io, mesh.io_entry_npu(io)), bytes)
-        .with_priority(priority)
-        .with_tag(tag)];
+    let mut flows = vec![
+        FlowSpec::new(mesh.ext_to_npu_route(io, mesh.io_entry_npu(io)), bytes)
+            .with_priority(priority)
+            .with_tag(tag),
+    ];
     for l in broadcast_tree_links(mesh, io) {
-        flows.push(FlowSpec::new(vec![l], bytes).with_priority(priority).with_tag(tag));
+        flows.push(
+            FlowSpec::new(vec![l], bytes)
+                .with_priority(priority)
+                .with_tag(tag),
+        );
     }
     flows
 }
@@ -113,7 +119,11 @@ pub fn streaming_out_flows(
         let rev = topo
             .find_link(link.dst, link.src)
             .expect("mesh links are duplex");
-        flows.push(FlowSpec::new(vec![rev], bytes).with_priority(priority).with_tag(tag));
+        flows.push(
+            FlowSpec::new(vec![rev], bytes)
+                .with_priority(priority)
+                .with_tag(tag),
+        );
     }
     flows.push(
         FlowSpec::new(mesh.npu_to_ext_route(mesh.io_entry_npu(io), io), bytes)
@@ -139,7 +149,10 @@ pub fn simultaneous_channel_loads(mesh: &MeshFabric) -> Vec<usize> {
 
 /// The hotspot factor: max of [`simultaneous_channel_loads`].
 pub fn hotspot_factor(mesh: &MeshFabric) -> usize {
-    simultaneous_channel_loads(mesh).into_iter().max().unwrap_or(0)
+    simultaneous_channel_loads(mesh)
+        .into_iter()
+        .max()
+        .unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -166,7 +179,10 @@ mod tests {
                 let _ = id;
                 // Map NodeId back to NPU index via label position.
                 let npu = (0..m.npu_count()).find(|&i| m.npu(i) == link.dst).unwrap();
-                assert!(reached.insert(npu) || npu == m.io_entry_npu(io), "npu {npu} reached twice");
+                assert!(
+                    reached.insert(npu) || npu == m.io_entry_npu(io),
+                    "npu {npu} reached twice"
+                );
             }
             assert_eq!(reached.len(), 20, "io {io} tree does not span");
         }
@@ -199,8 +215,7 @@ mod tests {
         let done = net.run_to_completion();
         let t = done.iter().map(|c| c.completed_at).max().unwrap().as_secs();
         let achieved_fraction = 1.0 / t;
-        let predicted =
-            fred_collectives::cost::mesh_streaming_linerate_fraction(5, 128e9, 750e9);
+        let predicted = fred_collectives::cost::mesh_streaming_linerate_fraction(5, 128e9, 750e9);
         assert!(
             (achieved_fraction - predicted).abs() / predicted < 0.05,
             "simulated fraction {achieved_fraction:.3} vs predicted {predicted:.3}"

@@ -9,12 +9,11 @@
 //! off-wafer external memory.
 
 use fred_sim::topology::{LinkId, NodeId, NodeKind, Route, Topology};
-use serde::{Deserialize, Serialize};
 
 use fred_collectives::plan::RouteProvider;
 
 /// Which edge of the mesh an I/O controller sits on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum IoSide {
     /// y = 0 row, column index.
     Top,
@@ -27,7 +26,7 @@ pub enum IoSide {
 }
 
 /// An I/O controller's position on the border.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct IoChannel {
     /// The edge this channel enters from.
     pub side: IoSide,
@@ -110,8 +109,7 @@ impl MeshFabric {
                     dir_links[WEST][id + 1] = Some(w);
                 }
                 if y + 1 < rows {
-                    let (s, n) =
-                        topo.add_duplex_link(npus[id], npus[id + cols], link_bw, latency);
+                    let (s, n) = topo.add_duplex_link(npus[id], npus[id + cols], link_bw, latency);
                     dir_links[SOUTH][id] = Some(s);
                     dir_links[NORTH][id + cols] = Some(n);
                 }
@@ -121,16 +119,28 @@ impl MeshFabric {
         // One I/O channel per border position per facing edge.
         let mut channels = Vec::new();
         for x in 0..cols {
-            channels.push(IoChannel { side: IoSide::Top, index: x });
+            channels.push(IoChannel {
+                side: IoSide::Top,
+                index: x,
+            });
         }
         for x in 0..cols {
-            channels.push(IoChannel { side: IoSide::Bottom, index: x });
+            channels.push(IoChannel {
+                side: IoSide::Bottom,
+                index: x,
+            });
         }
         for y in 0..rows {
-            channels.push(IoChannel { side: IoSide::Left, index: y });
+            channels.push(IoChannel {
+                side: IoSide::Left,
+                index: y,
+            });
         }
         for y in 0..rows {
-            channels.push(IoChannel { side: IoSide::Right, index: y });
+            channels.push(IoChannel {
+                side: IoSide::Right,
+                index: y,
+            });
         }
 
         let ext = topo.add_node(NodeKind::ExternalMemory, "ext");
@@ -217,7 +227,12 @@ impl MeshFabric {
     ///
     /// Panics if the coordinates are outside the grid.
     pub fn npu_at(&self, x: usize, y: usize) -> usize {
-        assert!(x < self.cols && y < self.rows, "({x},{y}) outside {}x{}", self.cols, self.rows);
+        assert!(
+            x < self.cols && y < self.rows,
+            "({x},{y}) outside {}x{}",
+            self.cols,
+            self.rows
+        );
         y * self.cols + x
     }
 
@@ -379,14 +394,23 @@ mod tests {
     #[test]
     fn io_channels_cover_all_edges() {
         let m = MeshFabric::paper_baseline();
-        let tops = m.channels().iter().filter(|c| c.side == IoSide::Top).count();
-        let lefts = m.channels().iter().filter(|c| c.side == IoSide::Left).count();
+        let tops = m
+            .channels()
+            .iter()
+            .filter(|c| c.side == IoSide::Top)
+            .count();
+        let lefts = m
+            .channels()
+            .iter()
+            .filter(|c| c.side == IoSide::Left)
+            .count();
         assert_eq!(tops, 5);
         assert_eq!(lefts, 4);
         // Corner (0,0) serves a top channel and a left channel.
         let corner = m.npu_at(0, 0);
-        let serving: Vec<usize> =
-            (0..m.io_count()).filter(|&io| m.io_entry_npu(io) == corner).collect();
+        let serving: Vec<usize> = (0..m.io_count())
+            .filter(|&io| m.io_entry_npu(io) == corner)
+            .collect();
         assert_eq!(serving.len(), 2);
     }
 
@@ -395,8 +419,12 @@ mod tests {
         let m = MeshFabric::paper_baseline();
         for io in 0..m.io_count() {
             for npu in [0usize, 7, 19] {
-                m.topology().validate_route(&m.ext_to_npu_route(io, npu)).unwrap();
-                m.topology().validate_route(&m.npu_to_ext_route(npu, io)).unwrap();
+                m.topology()
+                    .validate_route(&m.ext_to_npu_route(io, npu))
+                    .unwrap();
+                m.topology()
+                    .validate_route(&m.npu_to_ext_route(npu, io))
+                    .unwrap();
             }
         }
     }

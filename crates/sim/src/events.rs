@@ -57,7 +57,10 @@ pub struct EventQueue<E: Eq> {
 impl<E: Eq> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> EventQueue<E> {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
     }
 
     /// Schedules `event` to fire at `at`.

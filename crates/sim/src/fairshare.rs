@@ -58,7 +58,10 @@ pub fn max_min_rates(capacities: &[f64], flows: &[AllocFlow<'_>]) -> Vec<f64> {
                 rates[i] = f64::INFINITY;
             } else {
                 for &l in flows[i].links {
-                    assert!(l < capacities.len(), "flow references unknown link index {l}");
+                    assert!(
+                        l < capacities.len(),
+                        "flow references unknown link index {l}"
+                    );
                 }
                 unfrozen.push(i);
             }
@@ -74,8 +77,12 @@ pub fn max_min_rates(capacities: &[f64], flows: &[AllocFlow<'_>]) -> Vec<f64> {
 
         // Links that actually carry flows of this class (avoids scanning
         // the whole link table every iteration).
-        let mut used_links: Vec<usize> =
-            counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(l, _)| l).collect();
+        let mut used_links: Vec<usize> = counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(l, _)| l)
+            .collect();
 
         while !unfrozen.is_empty() {
             // Bottleneck link: minimum remaining/count over links with
@@ -84,7 +91,7 @@ pub fn max_min_rates(capacities: &[f64], flows: &[AllocFlow<'_>]) -> Vec<f64> {
             used_links.retain(|&l| counts[l] > 0);
             for &l in &used_links {
                 let share = (remaining[l].max(0.0)) / counts[l] as f64;
-                if bottleneck.map_or(true, |(_, s)| share < s) {
+                if bottleneck.is_none_or(|(_, s)| share < s) {
                     bottleneck = Some((l, share));
                 }
             }
@@ -123,7 +130,10 @@ mod tests {
     fn flows<'a>(specs: &'a [(Vec<usize>, Priority)]) -> Vec<AllocFlow<'a>> {
         specs
             .iter()
-            .map(|(links, p)| AllocFlow { links, priority: *p })
+            .map(|(links, p)| AllocFlow {
+                links,
+                priority: *p,
+            })
             .collect()
     }
 
@@ -215,7 +225,11 @@ mod tests {
             }
         }
         for (l, &cap) in caps.iter().enumerate() {
-            assert!(load[l] <= cap + 1e-6, "link {l} oversubscribed: {} > {cap}", load[l]);
+            assert!(
+                load[l] <= cap + 1e-6,
+                "link {l} oversubscribed: {} > {cap}",
+                load[l]
+            );
         }
     }
 }

@@ -2,13 +2,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::topology::Route;
 
 /// Identifier of an injected flow within a
 /// [`FlowNetwork`](crate::netsim::FlowNetwork).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FlowId(pub u64);
 
 impl fmt::Display for FlowId {
@@ -24,9 +22,7 @@ impl fmt::Display for FlowId {
 /// Higher-priority flows are allocated bandwidth first; lower classes
 /// receive only leftover capacity (the flow-level analogue of FRED
 /// preempting the current communication for a higher-priority one).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum Priority {
     /// ACK/NACK and other control traffic (highest).
     Control,
@@ -88,7 +84,7 @@ impl fmt::Display for Priority {
 /// assert_eq!(f.bytes, 4096.0);
 /// assert_eq!(f.priority, Priority::Mp);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlowSpec {
     /// The links the flow traverses, in order. An empty route models a
     /// node-local transfer, which completes immediately.
@@ -115,7 +111,12 @@ impl FlowSpec {
             bytes.is_finite() && bytes >= 0.0,
             "flow size must be finite and non-negative, got {bytes}"
         );
-        FlowSpec { route, bytes, priority: Priority::default(), tag: 0 }
+        FlowSpec {
+            route,
+            bytes,
+            priority: Priority::default(),
+            tag: 0,
+        }
     }
 
     /// Sets the priority class.

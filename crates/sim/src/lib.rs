@@ -47,6 +47,7 @@ pub mod events;
 pub mod fairshare;
 pub mod flow;
 pub mod netsim;
+pub mod rng;
 pub mod time;
 pub mod topology;
 

@@ -18,13 +18,27 @@
 //! (cut-through) pipelining: bandwidth is held only while bytes are being
 //! pushed, and the constant propagation delay is appended at the end.
 
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::rc::Rc;
+
+use fred_telemetry::event::{TraceEvent, Track};
+use fred_telemetry::sink::{NullSink, TraceSink};
 
 use crate::fairshare::{max_min_rates, AllocFlow};
 use crate::flow::{FlowId, FlowSpec, Priority};
 use crate::time::{Duration, Time};
 use crate::topology::Topology;
+
+/// Maps a priority class to its telemetry display track.
+pub fn track_of(priority: Priority) -> Track {
+    match priority {
+        Priority::Mp => Track::Mp,
+        Priority::Pp => Track::Pp,
+        Priority::Dp => Track::Dp,
+        Priority::Control | Priority::Bulk => Track::Bulk,
+    }
+}
 
 /// Bytes below which a flow is considered fully drained (guards against
 /// floating-point residue).
@@ -98,13 +112,28 @@ pub struct FlowNetwork {
     /// Cumulative bytes carried per link (statistics).
     link_bytes: Vec<f64>,
     capacities: Vec<f64>,
+    /// Telemetry sink; [`NullSink`] (zero overhead) by default.
+    sink: Rc<dyn TraceSink>,
+    /// Last emitted per-link allocated rate (telemetry scratch; only
+    /// maintained while the sink is enabled).
+    link_alloc: Vec<f64>,
 }
 
 impl FlowNetwork {
-    /// Creates a simulator over `topo` with the clock at zero.
+    /// Creates a simulator over `topo` with the clock at zero and
+    /// tracing disabled.
     pub fn new(topo: Topology) -> FlowNetwork {
+        FlowNetwork::with_sink(topo, Rc::new(NullSink))
+    }
+
+    /// Creates a simulator that records structured events into `sink`.
+    ///
+    /// With any sink, simulation results are bit-identical to an
+    /// untraced run: instrumentation only observes state.
+    pub fn with_sink(topo: Topology, sink: Rc<dyn TraceSink>) -> FlowNetwork {
         let capacities: Vec<f64> = topo.links().map(|(_, l)| l.bandwidth).collect();
         let link_bytes = vec![0.0; capacities.len()];
+        let link_alloc = vec![0.0; capacities.len()];
         FlowNetwork {
             topo,
             now: Time::ZERO,
@@ -114,7 +143,16 @@ impl FlowNetwork {
             completed: Vec::new(),
             link_bytes,
             capacities,
+            sink,
+            link_alloc,
         }
+    }
+
+    /// The telemetry sink events are recorded into. Higher layers
+    /// (collective execution, the trainer) emit their span events
+    /// through this same sink so one trace holds the whole story.
+    pub fn sink(&self) -> &Rc<dyn TraceSink> {
+        &self.sink
     }
 
     /// The current simulation time.
@@ -155,6 +193,16 @@ impl FlowNetwork {
             injected_at: self.now,
             latency,
         };
+        if self.sink.enabled() {
+            self.sink.record(TraceEvent::FlowInjected {
+                t: self.now.as_secs(),
+                id: id.0,
+                tag: flow.tag,
+                bytes: spec.bytes,
+                track: track_of(flow.priority),
+                hops: flow.links.len() as u32,
+            });
+        }
         if flow.remaining <= DRAIN_EPS || flow.links.is_empty() {
             // Nothing to drain (or node-local): completes after latency.
             self.push_pending(flow);
@@ -192,6 +240,16 @@ impl FlowNetwork {
                 injected_at: self.now,
                 latency,
             };
+            if self.sink.enabled() {
+                self.sink.record(TraceEvent::FlowInjected {
+                    t: self.now.as_secs(),
+                    id: id.0,
+                    tag: flow.tag,
+                    bytes: spec.bytes,
+                    track: track_of(flow.priority),
+                    hops: flow.links.len() as u32,
+                });
+            }
             if flow.remaining <= DRAIN_EPS || flow.links.is_empty() {
                 self.push_pending(flow);
             } else {
@@ -226,12 +284,48 @@ impl FlowNetwork {
         let alloc: Vec<AllocFlow<'_>> = self
             .active
             .iter()
-            .map(|f| AllocFlow { links: &f.links, priority: f.priority })
+            .map(|f| AllocFlow {
+                links: &f.links,
+                priority: f.priority,
+            })
             .collect();
         let rates = max_min_rates(&self.capacities, &alloc);
         for (f, r) in self.active.iter_mut().zip(rates) {
             f.rate = r;
         }
+        if self.sink.enabled() {
+            self.emit_rate_epoch();
+        }
+    }
+
+    /// Emits a rate-reallocation epoch: the active-flow count plus a
+    /// utilization sample for every link whose allocated rate changed.
+    /// Only called while the sink is enabled.
+    fn emit_rate_epoch(&mut self) {
+        let t = self.now.as_secs();
+        self.sink.record(TraceEvent::RateEpoch {
+            t,
+            active_flows: self.active.len() as u32,
+        });
+        // Recompute the per-link allocation diff in place: subtract the
+        // previous snapshot, add the new rates, then emit the changes.
+        let prev = std::mem::take(&mut self.link_alloc);
+        let mut next = vec![0.0; self.capacities.len()];
+        for f in &self.active {
+            for &l in &f.links {
+                next[l] += f.rate;
+            }
+        }
+        for (l, (&new, &old)) in next.iter().zip(&prev).enumerate() {
+            if (new - old).abs() > 1e-9 * self.capacities[l].max(1.0) {
+                self.sink.record(TraceEvent::LinkUtil {
+                    t,
+                    link: l as u32,
+                    utilization: new / self.capacities[l],
+                });
+            }
+        }
+        self.link_alloc = next;
     }
 
     /// The next instant at which simulator state changes on its own
@@ -258,7 +352,11 @@ impl FlowNetwork {
     ///
     /// Panics if `t` is in the past.
     pub fn advance_to(&mut self, t: Time) {
-        assert!(t >= self.now, "cannot advance backwards: {t} < {}", self.now);
+        assert!(
+            t >= self.now,
+            "cannot advance backwards: {t} < {}",
+            self.now
+        );
         loop {
             match self.next_event() {
                 Some(te) if te <= t => {
@@ -303,7 +401,14 @@ impl FlowNetwork {
             done
         };
         let any_drained = !drained.is_empty();
+        let tracing = self.sink.enabled();
         for f in drained {
+            if tracing {
+                self.sink.record(TraceEvent::FlowDrained {
+                    t: self.now.as_secs(),
+                    id: f.id.0,
+                });
+            }
             self.push_pending(f);
         }
         if any_drained {
@@ -313,6 +418,15 @@ impl FlowNetwork {
         while let Some(Reverse(p)) = self.pending.peek() {
             if p.at <= self.now {
                 let Reverse(p) = self.pending.pop().expect("peeked");
+                if tracing {
+                    self.sink.record(TraceEvent::FlowCompleted {
+                        t: p.flow.completed_at.as_secs(),
+                        id: p.flow.id.0,
+                        tag: p.flow.tag,
+                        injected_at: p.flow.injected_at.as_secs(),
+                        track: track_of(p.flow.priority),
+                    });
+                }
                 self.completed.push(p.flow);
             } else {
                 break;
@@ -413,8 +527,16 @@ mod tests {
         // MP flow (100 B) and DP flow (100 B) on the same 100 B/s link:
         // MP finishes at t=1, DP at t=2.
         let (mut net, l) = two_node_net(100.0, 0.0);
-        net.inject(FlowSpec::new(vec![l], 100.0).with_priority(Priority::Dp).with_tag(3));
-        net.inject(FlowSpec::new(vec![l], 100.0).with_priority(Priority::Mp).with_tag(1));
+        net.inject(
+            FlowSpec::new(vec![l], 100.0)
+                .with_priority(Priority::Dp)
+                .with_tag(3),
+        );
+        net.inject(
+            FlowSpec::new(vec![l], 100.0)
+                .with_priority(Priority::Mp)
+                .with_tag(1),
+        );
         let done = net.run_to_completion();
         assert_eq!(done[0].tag, 1);
         assert!((done[0].completed_at.as_secs() - 1.0).abs() < 1e-9);
@@ -478,13 +600,15 @@ mod tests {
     fn inject_batch_matches_sequential_injects() {
         let (mut a, la) = two_node_net(100.0, 0.0);
         let (mut b, lb) = two_node_net(100.0, 0.0);
-        let specs_a: Vec<FlowSpec> =
-            (0..5).map(|i| FlowSpec::new(vec![la], 100.0).with_tag(i)).collect();
+        let specs_a: Vec<FlowSpec> = (0..5)
+            .map(|i| FlowSpec::new(vec![la], 100.0).with_tag(i))
+            .collect();
         for s in specs_a {
             a.inject(s);
         }
-        let specs_b: Vec<FlowSpec> =
-            (0..5).map(|i| FlowSpec::new(vec![lb], 100.0).with_tag(i)).collect();
+        let specs_b: Vec<FlowSpec> = (0..5)
+            .map(|i| FlowSpec::new(vec![lb], 100.0).with_tag(i))
+            .collect();
         b.inject_batch(specs_b);
         let da = a.run_to_completion();
         let db = b.run_to_completion();
@@ -524,6 +648,84 @@ mod tests {
         net.inject_batch(flows);
         let done = net.run_to_completion();
         assert_eq!(done.len(), 256);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_records_lifecycle() {
+        use fred_telemetry::event::TraceEvent;
+        use fred_telemetry::sink::RingRecorder;
+        use std::rc::Rc;
+
+        let build = || {
+            let mut topo = Topology::new();
+            let a = topo.add_node(NodeKind::Npu, "a");
+            let b = topo.add_node(NodeKind::Npu, "b");
+            let c = topo.add_node(NodeKind::Npu, "c");
+            let ab = topo.add_link(a, b, 100.0, 1e-6);
+            let bc = topo.add_link(b, c, 50.0, 1e-6);
+            (topo, ab, bc)
+        };
+        let run = |mut net: FlowNetwork| {
+            let (_, ab, bc) = build();
+            net.inject(
+                FlowSpec::new(vec![ab], 100.0)
+                    .with_tag(0)
+                    .with_priority(Priority::Mp),
+            );
+            net.inject(FlowSpec::new(vec![ab, bc], 300.0).with_tag(1));
+            net.inject(
+                FlowSpec::new(vec![bc], 40.0)
+                    .with_tag(2)
+                    .with_priority(Priority::Dp),
+            );
+            let mut done = net.run_to_completion();
+            done.sort_by_key(|c| c.tag);
+            done.iter()
+                .map(|c| (c.tag, c.completed_at))
+                .collect::<Vec<_>>()
+        };
+
+        let (topo, ..) = build();
+        let plain = run(FlowNetwork::new(topo));
+
+        let rec = Rc::new(RingRecorder::new());
+        let (topo, ..) = build();
+        let traced = run(FlowNetwork::with_sink(topo, rec.clone()));
+
+        // Identical simulation results, bit for bit.
+        assert_eq!(plain, traced);
+
+        // The recorder saw the full lifecycle of each flow.
+        let events = rec.events();
+        let injected = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::FlowInjected { .. }))
+            .count();
+        let drained = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::FlowDrained { .. }))
+            .count();
+        let completed = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::FlowCompleted { .. }))
+            .count();
+        assert_eq!(injected, 3);
+        assert_eq!(drained, 3);
+        assert_eq!(completed, 3);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::RateEpoch { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::LinkUtil { .. })));
+        // Tracks follow the flow priorities.
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TraceEvent::FlowInjected {
+                track: fred_telemetry::event::Track::Mp,
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -11,8 +11,6 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
 
-use serde::{Deserialize, Serialize};
-
 /// An absolute instant on the simulation clock, in seconds since the
 /// start of the simulation.
 ///
@@ -21,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// let t = Time::ZERO + Duration::from_nanos(20.0);
 /// assert_eq!(t.as_nanos(), 20.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Time(f64);
 
 /// A span of simulated time, in seconds.
@@ -31,7 +29,7 @@ pub struct Time(f64);
 /// let d = Duration::from_micros(3.0) + Duration::from_micros(2.0);
 /// assert_eq!(d.as_micros(), 5.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Duration(f64);
 
 impl Time {
@@ -44,7 +42,10 @@ impl Time {
     ///
     /// Panics if `secs` is NaN or negative.
     pub fn from_secs(secs: f64) -> Time {
-        assert!(secs.is_finite() && secs >= 0.0, "time must be finite and non-negative");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "time must be finite and non-negative"
+        );
         Time(secs)
     }
 
@@ -92,7 +93,10 @@ impl Time {
     ///
     /// Panics (in debug builds) if `earlier` is later than `self`.
     pub fn since(self, earlier: Time) -> Duration {
-        debug_assert!(self.0 >= earlier.0 - 1e-15, "since() called with a later instant");
+        debug_assert!(
+            self.0 >= earlier.0 - 1e-15,
+            "since() called with a later instant"
+        );
         Duration((self.0 - earlier.0).max(0.0))
     }
 }

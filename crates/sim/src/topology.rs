@@ -10,16 +10,14 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::Duration;
 
 /// Identifier of a node within a [`Topology`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub usize);
 
 /// Identifier of a directed link within a [`Topology`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LinkId(pub usize);
 
 impl fmt::Display for NodeId {
@@ -35,7 +33,7 @@ impl fmt::Display for LinkId {
 }
 
 /// The role a node plays on the wafer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NodeKind {
     /// A compute NPU (H100-class chiplet + HBM stacks, Table 3).
     Npu,
@@ -58,7 +56,7 @@ impl NodeKind {
 }
 
 /// A node of the topology.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Node {
     /// The role of this node.
     pub kind: NodeKind,
@@ -67,7 +65,7 @@ pub struct Node {
 }
 
 /// A directed link of the topology.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Link {
     /// Source node.
     pub src: NodeId,
@@ -94,18 +92,15 @@ pub type Route = Vec<LinkId>;
 /// assert_eq!(topo.link(ab).src, a);
 /// assert_eq!(topo.find_link(a, b), Some(ab));
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Topology {
     nodes: Vec<Node>,
     links: Vec<Link>,
     /// (src, dst) -> link ids, in insertion order.
-    #[serde(skip)]
     by_endpoints: HashMap<(NodeId, NodeId), Vec<LinkId>>,
     /// Outgoing links per node.
-    #[serde(skip)]
     outgoing: HashMap<NodeId, Vec<LinkId>>,
     /// Incoming links per node.
-    #[serde(skip)]
     incoming: HashMap<NodeId, Vec<LinkId>>,
 }
 
@@ -118,7 +113,10 @@ impl Topology {
     /// Adds a node and returns its id.
     pub fn add_node(&mut self, kind: NodeKind, label: impl Into<String>) -> NodeId {
         let id = NodeId(self.nodes.len());
-        self.nodes.push(Node { kind, label: label.into() });
+        self.nodes.push(Node {
+            kind,
+            label: label.into(),
+        });
         id
     }
 
@@ -219,7 +217,9 @@ impl Topology {
 
     /// The first link from `src` to `dst`, if any.
     pub fn find_link(&self, src: NodeId, dst: NodeId) -> Option<LinkId> {
-        self.by_endpoints.get(&(src, dst)).and_then(|v| v.first().copied())
+        self.by_endpoints
+            .get(&(src, dst))
+            .and_then(|v| v.first().copied())
     }
 
     /// All parallel links from `src` to `dst`.
@@ -260,7 +260,11 @@ impl Topology {
         for &l in &route[1..] {
             let link = self.link(l);
             if link.src != at {
-                return Err(RouteError::Discontiguous { expected: at, found: link.src, link: l });
+                return Err(RouteError::Discontiguous {
+                    expected: at,
+                    found: link.src,
+                    link: l,
+                });
             }
             at = link.dst;
         }
@@ -327,7 +331,10 @@ impl Topology {
         self.incoming.clear();
         for (i, l) in self.links.iter().enumerate() {
             let id = LinkId(i);
-            self.by_endpoints.entry((l.src, l.dst)).or_default().push(id);
+            self.by_endpoints
+                .entry((l.src, l.dst))
+                .or_default()
+                .push(id);
             self.outgoing.entry(l.src).or_default().push(id);
             self.incoming.entry(l.dst).or_default().push(id);
         }
@@ -354,7 +361,11 @@ impl fmt::Display for RouteError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RouteError::UnknownLink(l) => write!(f, "route references unknown link {l}"),
-            RouteError::Discontiguous { expected, found, link } => write!(
+            RouteError::Discontiguous {
+                expected,
+                found,
+                link,
+            } => write!(
                 f,
                 "route is discontiguous at link {link}: expected start {expected}, found {found}"
             ),
@@ -370,7 +381,9 @@ mod tests {
 
     fn line3() -> (Topology, Vec<NodeId>, Vec<LinkId>) {
         let mut t = Topology::new();
-        let n: Vec<_> = (0..3).map(|i| t.add_node(NodeKind::Npu, format!("n{i}"))).collect();
+        let n: Vec<_> = (0..3)
+            .map(|i| t.add_node(NodeKind::Npu, format!("n{i}")))
+            .collect();
         let l01 = t.add_link(n[0], n[1], 100.0, 1e-9);
         let l12 = t.add_link(n[1], n[2], 200.0, 2e-9);
         (t, n, vec![l01, l12])
@@ -444,7 +457,7 @@ mod tests {
 
     #[test]
     fn rebuild_indexes_restores_adjacency() {
-        // The adjacency maps are #[serde(skip)]; after deserialisation
+        // The adjacency maps are derived indexes; after reloading a topology
         // callers must rebuild them. Emulate by rebuilding in place and
         // checking every index agrees with the original.
         let (t, n, l) = line3();

@@ -1,0 +1,255 @@
+//! Structured simulation events.
+//!
+//! Events carry raw identifiers and `f64` seconds so every layer of
+//! the stack (netsim, collectives, trainer) can emit without this
+//! crate depending on any of them. Flow-lifecycle variants are `Copy`
+//! data end to end — recording one never allocates.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which display track an event belongs to — one per parallelism
+/// dimension plus housekeeping tracks. Mirrors the paper's MP / PP /
+/// DP phase taxonomy (§3.1) and the virtual-channel classes (§5.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Track {
+    /// Model/tensor-parallel collectives.
+    Mp,
+    /// Pipeline-parallel stage transfers.
+    Pp,
+    /// Data-parallel gradient collectives.
+    Dp,
+    /// Input loading, weight streaming and other bulk traffic.
+    Bulk,
+    /// Compute tasks (trainer roofline spans).
+    Compute,
+    /// Whole-iteration stage markers.
+    Iteration,
+}
+
+impl Track {
+    /// All tracks, in display order.
+    pub const ALL: [Track; 6] = [
+        Track::Mp,
+        Track::Pp,
+        Track::Dp,
+        Track::Bulk,
+        Track::Compute,
+        Track::Iteration,
+    ];
+
+    /// Stable small integer for exporters (Perfetto `tid`).
+    pub fn index(self) -> u32 {
+        match self {
+            Track::Mp => 0,
+            Track::Pp => 1,
+            Track::Dp => 2,
+            Track::Bulk => 3,
+            Track::Compute => 4,
+            Track::Iteration => 5,
+        }
+    }
+
+    /// Human-readable track name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Track::Mp => "MP (tensor parallel)",
+            Track::Pp => "PP (pipeline parallel)",
+            Track::Dp => "DP (data parallel)",
+            Track::Bulk => "bulk / streaming",
+            Track::Compute => "compute",
+            Track::Iteration => "iteration",
+        }
+    }
+}
+
+impl fmt::Display for Track {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One structured simulation event. Times are simulation seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A flow started draining bytes into the network.
+    FlowInjected {
+        /// Simulation time.
+        t: f64,
+        /// Flow id (unique per network).
+        id: u64,
+        /// Caller-supplied tag (collective phase, task id, …).
+        tag: u64,
+        /// Payload bytes.
+        bytes: f64,
+        /// Priority-derived track.
+        track: Track,
+        /// Route length in links.
+        hops: u32,
+    },
+    /// A flow pushed its last byte (stops consuming bandwidth).
+    FlowDrained {
+        /// Simulation time.
+        t: f64,
+        /// Flow id.
+        id: u64,
+    },
+    /// A flow's tail arrived at the destination.
+    FlowCompleted {
+        /// Simulation time.
+        t: f64,
+        /// Flow id.
+        id: u64,
+        /// Caller-supplied tag.
+        tag: u64,
+        /// When the flow was injected (for completion-time metrics).
+        injected_at: f64,
+        /// Priority-derived track.
+        track: Track,
+    },
+    /// The max-min allocator recomputed every flow's rate (a
+    /// rate-reallocation epoch — happens whenever the active set
+    /// changes).
+    RateEpoch {
+        /// Simulation time.
+        t: f64,
+        /// Flows holding bandwidth after the recompute.
+        active_flows: u32,
+    },
+    /// Utilization sample for one link, emitted when its allocated
+    /// rate changes at a rate epoch.
+    LinkUtil {
+        /// Simulation time.
+        t: f64,
+        /// Link index (`LinkId.0`).
+        link: u32,
+        /// Allocated rate / capacity, in `[0, 1]`.
+        utilization: f64,
+    },
+    /// A collective phase (or other span) began.
+    PhaseBegin {
+        /// Simulation time.
+        t: f64,
+        /// Display track.
+        track: Track,
+        /// Span id pairing this with its [`TraceEvent::PhaseEnd`].
+        span: u64,
+        /// Span label (plan label, task name, …).
+        label: Box<str>,
+        /// Bytes the phase moves (0 when unknown).
+        bytes: f64,
+        /// Endpoints participating (0 when unknown).
+        npus: u32,
+    },
+    /// A collective phase ended.
+    PhaseEnd {
+        /// Simulation time.
+        t: f64,
+        /// Display track.
+        track: Track,
+        /// Span id of the matching [`TraceEvent::PhaseBegin`].
+        span: u64,
+    },
+    /// An instantaneous trainer iteration-stage marker.
+    IterStage {
+        /// Simulation time.
+        t: f64,
+        /// Marker label.
+        label: Box<str>,
+    },
+}
+
+impl TraceEvent {
+    /// The simulation time the event occurred at.
+    pub fn time(&self) -> f64 {
+        match *self {
+            TraceEvent::FlowInjected { t, .. }
+            | TraceEvent::FlowDrained { t, .. }
+            | TraceEvent::FlowCompleted { t, .. }
+            | TraceEvent::RateEpoch { t, .. }
+            | TraceEvent::LinkUtil { t, .. }
+            | TraceEvent::PhaseBegin { t, .. }
+            | TraceEvent::PhaseEnd { t, .. }
+            | TraceEvent::IterStage { t, .. } => t,
+        }
+    }
+}
+
+/// Process-wide span-id source for [`TraceEvent::PhaseBegin`] /
+/// [`TraceEvent::PhaseEnd`] pairs. Ids are unique within a process;
+/// they never affect simulation results, only trace pairing.
+pub fn next_span_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_ids_are_unique() {
+        let a = next_span_id();
+        let b = next_span_id();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn time_accessor_covers_all_variants() {
+        let evs = [
+            TraceEvent::FlowInjected {
+                t: 1.0,
+                id: 0,
+                tag: 0,
+                bytes: 1.0,
+                track: Track::Mp,
+                hops: 1,
+            },
+            TraceEvent::FlowDrained { t: 2.0, id: 0 },
+            TraceEvent::FlowCompleted {
+                t: 3.0,
+                id: 0,
+                tag: 0,
+                injected_at: 1.0,
+                track: Track::Mp,
+            },
+            TraceEvent::RateEpoch {
+                t: 4.0,
+                active_flows: 2,
+            },
+            TraceEvent::LinkUtil {
+                t: 5.0,
+                link: 0,
+                utilization: 0.5,
+            },
+            TraceEvent::PhaseBegin {
+                t: 6.0,
+                track: Track::Dp,
+                span: 1,
+                label: "x".into(),
+                bytes: 0.0,
+                npus: 0,
+            },
+            TraceEvent::PhaseEnd {
+                t: 7.0,
+                track: Track::Dp,
+                span: 1,
+            },
+            TraceEvent::IterStage {
+                t: 8.0,
+                label: "fwd".into(),
+            },
+        ];
+        for (i, e) in evs.iter().enumerate() {
+            assert_eq!(e.time(), (i + 1) as f64);
+        }
+    }
+
+    #[test]
+    fn track_indices_are_distinct() {
+        let mut seen = std::collections::BTreeSet::new();
+        for t in Track::ALL {
+            assert!(seen.insert(t.index()), "duplicate tid for {t}");
+        }
+    }
+}

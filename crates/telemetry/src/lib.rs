@@ -1,0 +1,64 @@
+#![warn(missing_docs)]
+
+//! # fred-telemetry — simulation observability
+//!
+//! FRED's claims are about *where time and bandwidth go* inside one
+//! training iteration: link-level contention, overlapping MP/PP/DP
+//! collective phases, effective per-NPU bandwidth. This crate gives
+//! every layer of the reproduction a common way to make that visible:
+//!
+//! * [`event::TraceEvent`] — structured simulation events: flow
+//!   lifecycle (injected / drained / completed), rate-reallocation
+//!   epochs with per-link utilization samples, collective phase
+//!   begin/end, and trainer iteration stages;
+//! * [`sink::TraceSink`] — the recording trait the simulator layers
+//!   emit through. [`sink::NullSink`] is the zero-overhead default
+//!   (instrumented code checks [`sink::TraceSink::enabled`] and skips
+//!   event construction entirely); [`sink::RingRecorder`] is a
+//!   preallocated ring-buffer recorder that never allocates per event
+//!   once constructed;
+//! * [`perfetto`] — a Chrome-trace / Perfetto JSON exporter. Open the
+//!   emitted file at <https://ui.perfetto.dev>: collective phases
+//!   render as duration spans, one track per parallelism dimension
+//!   (MP / PP / DP), per-link utilization and active-flow counts as
+//!   counter tracks;
+//! * [`metrics`] — an aggregation layer computing per-link busy time,
+//!   peak/mean utilization, flow-completion-time histograms, and
+//!   per-phase effective bandwidth in GB/s per NPU (the paper's §8.1
+//!   metric).
+//!
+//! The crate is dependency-free and knows nothing about the simulator:
+//! events carry raw ids (`u64` flows, `u32` links) and seconds as
+//! `f64`, so `fred-sim`, `fred-collectives` and `fred-workloads` can
+//! all emit into one sink without a layering cycle.
+//!
+//! ## Example
+//!
+//! ```
+//! use fred_telemetry::event::{TraceEvent, Track};
+//! use fred_telemetry::sink::{RingRecorder, TraceSink};
+//! use fred_telemetry::metrics::Metrics;
+//!
+//! let rec = RingRecorder::with_capacity(1024);
+//! rec.record(TraceEvent::PhaseBegin {
+//!     t: 0.0, track: Track::Mp, span: 1, label: "ring-allreduce".into(),
+//!     bytes: 1e9, npus: 20,
+//! });
+//! rec.record(TraceEvent::PhaseEnd { t: 0.5, track: Track::Mp, span: 1 });
+//! let m = Metrics::from_events(&rec.events());
+//! assert_eq!(m.phases.len(), 1);
+//! let mut json = Vec::new();
+//! fred_telemetry::perfetto::export_chrome_trace(&rec.events(), &Default::default(), &mut json)
+//!     .unwrap();
+//! assert!(String::from_utf8(json).unwrap().contains("traceEvents"));
+//! ```
+
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod perfetto;
+pub mod sink;
+
+pub use event::{TraceEvent, Track};
+pub use metrics::Metrics;
+pub use sink::{NullSink, RingRecorder, TeeSink, TraceSink};

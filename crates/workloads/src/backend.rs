@@ -119,7 +119,7 @@ impl FabricBackend {
                 let cols = m.cols();
                 let y = slot / cols;
                 let x = slot % cols;
-                let x = if y % 2 == 0 { x } else { cols - 1 - x };
+                let x = if y.is_multiple_of(2) { x } else { cols - 1 - x };
                 y * cols + x
             }
             FabricBackend::Fred(_) => slot,
@@ -155,9 +155,12 @@ impl FabricBackend {
                     )
                 } else {
                     let clusters = f.partition_by_l1(group);
-                    hierarchical::all_reduce(&clusters, bytes, Direction::Unidirectional, &|a, b| {
-                        f.npu_route(a, b)
-                    })
+                    hierarchical::all_reduce(
+                        &clusters,
+                        bytes,
+                        Direction::Unidirectional,
+                        &|a, b| f.npu_route(a, b),
+                    )
                 }
             }
         }
@@ -214,9 +217,12 @@ impl FabricBackend {
                     )
                 } else {
                     let clusters = f.partition_by_l1(group);
-                    hierarchical::all_gather(&clusters, bytes, Direction::Unidirectional, &|a, b| {
-                        f.npu_route(a, b)
-                    })
+                    hierarchical::all_gather(
+                        &clusters,
+                        bytes,
+                        Direction::Unidirectional,
+                        &|a, b| f.npu_route(a, b),
+                    )
                 }
             }
         }
@@ -292,7 +298,10 @@ impl FabricBackend {
                 });
             }
         }
-        CommPlan { label: "pp-stage-transfer".into(), phases: vec![phase] }
+        CommPlan {
+            label: "pp-stage-transfer".into(),
+            phases: vec![phase],
+        }
     }
 
     /// Streams `total_bytes` of weights from external memory onto the
@@ -307,21 +316,19 @@ impl FabricBackend {
                     // The first flow is the external-memory ingress; the
                     // rest are broadcast-tree edges (label src/dst 0 so
                     // traffic accounting can separate I/O from fabric).
-                    for (i, f) in streaming::streaming_in_flows(
-                        m,
-                        io,
-                        per_channel,
-                        Priority::Bulk,
-                        io as u64,
-                    )
-                    .into_iter()
-                    .enumerate()
+                    for (i, f) in
+                        streaming::streaming_in_flows(m, io, per_channel, Priority::Bulk, io as u64)
+                            .into_iter()
+                            .enumerate()
                     {
                         let src = if i == 0 { EXT_LABEL } else { 0 };
                         phase.transfers.push(flow_to_transfer(f, src, 0));
                     }
                 }
-                CommPlan { label: "mesh-stream-in".into(), phases: vec![phase] }
+                CommPlan {
+                    label: "mesh-stream-in".into(),
+                    phases: vec![phase],
+                }
             }
             FabricBackend::Fred(f) => {
                 let group: Vec<usize> = (0..f.npu_count()).collect();
@@ -386,7 +393,10 @@ impl FabricBackend {
                         }
                     }
                 }
-                CommPlan { label: "fred-stream-in".into(), phases: vec![phase] }
+                CommPlan {
+                    label: "fred-stream-in".into(),
+                    phases: vec![phase],
+                }
             }
         }
     }
@@ -413,7 +423,10 @@ impl FabricBackend {
                         phase.transfers.push(flow_to_transfer(f, 0, dst));
                     }
                 }
-                CommPlan { label: "mesh-stream-out".into(), phases: vec![phase] }
+                CommPlan {
+                    label: "mesh-stream-out".into(),
+                    phases: vec![phase],
+                }
             }
             FabricBackend::Fred(f) => {
                 let group: Vec<usize> = (0..f.npu_count()).collect();
@@ -472,7 +485,10 @@ impl FabricBackend {
                         });
                     }
                 }
-                CommPlan { label: "fred-stream-out".into(), phases: vec![phase] }
+                CommPlan {
+                    label: "fred-stream-out".into(),
+                    phases: vec![phase],
+                }
             }
         }
     }
@@ -496,12 +512,20 @@ impl FabricBackend {
                 route,
             });
         }
-        CommPlan { label: "input-load".into(), phases: vec![phase] }
+        CommPlan {
+            label: "input-load".into(),
+            phases: vec![phase],
+        }
     }
 }
 
 fn flow_to_transfer(f: FlowSpec, src: usize, dst: usize) -> Transfer {
-    Transfer { src, dst, bytes: f.bytes, route: f.route }
+    Transfer {
+        src,
+        dst,
+        bytes: f.bytes,
+        route: f.route,
+    }
 }
 
 fn flows_to_plan(label: &str, flows: Vec<FlowSpec>) -> CommPlan {
@@ -509,7 +533,10 @@ fn flows_to_plan(label: &str, flows: Vec<FlowSpec>) -> CommPlan {
     for f in flows {
         phase.transfers.push(flow_to_transfer(f, 0, 0));
     }
-    CommPlan { label: label.into(), phases: vec![phase] }
+    CommPlan {
+        label: label.into(),
+        phases: vec![phase],
+    }
 }
 
 #[cfg(test)]
@@ -518,7 +545,10 @@ mod tests {
     use fred_collectives::plan::execute_standalone;
 
     fn backends() -> Vec<FabricBackend> {
-        FabricConfig::ALL.iter().map(|&c| FabricBackend::new(c)).collect()
+        FabricConfig::ALL
+            .iter()
+            .map(|&c| FabricBackend::new(c))
+            .collect()
     }
 
     #[test]
@@ -550,9 +580,8 @@ mod tests {
             ] {
                 for phase in &plan.phases {
                     for t in &phase.transfers {
-                        topo.validate_route(&t.route).unwrap_or_else(|e| {
-                            panic!("{} / {}: {e}", b.config(), plan.label)
-                        });
+                        topo.validate_route(&t.route)
+                            .unwrap_or_else(|e| panic!("{} / {}: {e}", b.config(), plan.label));
                     }
                 }
             }
@@ -573,13 +602,25 @@ mod tests {
             t.insert(b.config(), dur.as_secs());
         }
         use FabricConfig::*;
-        assert!(t[&FredD] < t[&FredB], "D {:?} vs B {:?}", t[&FredD], t[&FredB]);
+        assert!(
+            t[&FredD] < t[&FredB],
+            "D {:?} vs B {:?}",
+            t[&FredD],
+            t[&FredB]
+        );
         assert!(t[&FredC] < t[&FredA], "C vs A");
-        assert!(t[&FredD] < t[&BaselineMesh] / 1.5, "D must beat baseline clearly");
+        assert!(
+            t[&FredD] < t[&BaselineMesh] / 1.5,
+            "D must beat baseline clearly"
+        );
         assert!(t[&FredB] < t[&FredA], "in-network helps at equal bisection");
         // Fred-D's effective NPU bandwidth ~3 TBps with D bytes traffic:
         // duration ~ D/3e12.
-        assert!((t[&FredD] - d / 3e12).abs() / (d / 3e12) < 0.1, "FredD {}", t[&FredD]);
+        assert!(
+            (t[&FredD] - d / 3e12).abs() / (d / 3e12) < 0.1,
+            "FredD {}",
+            t[&FredD]
+        );
     }
 
     /// §8.1 Fig 9 right: the DP phase of MP(2)-DP(5)-PP(2). Fred-A is
@@ -606,9 +647,18 @@ mod tests {
         let fred_a = time_for(FabricConfig::FredA);
         let fred_c = time_for(FabricConfig::FredC);
         let fred_d = time_for(FabricConfig::FredD);
-        assert!(fred_a > baseline, "Fred-A {fred_a} should lose to baseline {baseline}");
-        assert!(fred_c < baseline, "Fred-C {fred_c} should beat baseline {baseline}");
-        assert!(fred_d < fred_c * 1.01, "Fred-D {fred_d} at least matches Fred-C {fred_c}");
+        assert!(
+            fred_a > baseline,
+            "Fred-A {fred_a} should lose to baseline {baseline}"
+        );
+        assert!(
+            fred_c < baseline,
+            "Fred-C {fred_c} should beat baseline {baseline}"
+        );
+        assert!(
+            fred_d < fred_c * 1.01,
+            "Fred-D {fred_d} at least matches Fred-C {fred_c}"
+        );
     }
 
     #[test]

@@ -9,7 +9,6 @@
 //! "discarded strategies" the paper's intro worries about.
 
 use fred_core::placement::Strategy3D;
-use serde::{Deserialize, Serialize};
 
 use crate::model::{DnnModel, ModelClass, BYTES_PER_PARAM};
 
@@ -18,7 +17,7 @@ use crate::model::{DnnModel, ModelClass, BYTES_PER_PARAM};
 pub const OPTIMIZER_BYTES_PER_PARAM: f64 = 12.0;
 
 /// Per-NPU memory breakdown, bytes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Footprint {
     /// FP16 weights (replicated across DP, sharded by MP×PP).
     pub weights: f64,
@@ -57,11 +56,14 @@ pub fn footprint(model: &DnnModel, strategy: Strategy3D, minibatch: usize) -> Fo
     let layers_here = model.layers as f64 / strategy.pp as f64;
     let act_per_layer = match model.class {
         ModelClass::Cnn => model.activation_bytes(samples),
-        ModelClass::TransformerLm => {
-            model.activation_bytes(samples) / strategy.mp as f64
-        }
+        ModelClass::TransformerLm => model.activation_bytes(samples) / strategy.mp as f64,
     };
-    Footprint { weights, gradients, optimizer, activations: act_per_layer * layers_here }
+    Footprint {
+        weights,
+        gradients,
+        optimizer,
+        activations: act_per_layer * layers_here,
+    }
 }
 
 /// Whether the strategy fits weight-stationary in `hbm_bytes` per NPU.
@@ -125,9 +127,17 @@ mod tests {
         // attractive for 17B-class models.
         let m = DnnModel::transformer_17b();
         let fp = footprint(&m, Strategy3D::new(1, 20, 1), 800);
-        assert!(fp.total() > 0.85 * HBM && fp.total() < HBM, "{:.1} GB", fp.total() / 1e9);
+        assert!(
+            fp.total() > 0.85 * HBM && fp.total() < HBM,
+            "{:.1} GB",
+            fp.total() / 1e9
+        );
         let fp2 = footprint(&m, Strategy3D::new(1, 20, 1), 1600);
-        assert!(fp2.total() > HBM, "{:.1} GB should not fit", fp2.total() / 1e9);
+        assert!(
+            fp2.total() > HBM,
+            "{:.1} GB should not fit",
+            fp2.total() / 1e9
+        );
     }
 
     #[test]
@@ -138,7 +148,10 @@ mod tests {
         // activations blow the budget at any DP >= 1... check the
         // Table 6 strategy specifically.
         let fp = footprint(&m, m.default_strategy, 80);
-        assert!(fp.total() > HBM, "GPT-3 should need weight streaming: {fp:?}");
+        assert!(
+            fp.total() > HBM,
+            "GPT-3 should need weight streaming: {fp:?}"
+        );
     }
 
     #[test]

@@ -13,13 +13,12 @@
 //! streaming sits on its critical path (§8.2).
 
 use fred_core::placement::Strategy3D;
-use serde::{Deserialize, Serialize};
 
 /// Gradient/parameter precision (§7.3: FP16).
 pub const BYTES_PER_PARAM: f64 = 2.0;
 
 /// Execution mode on the wafer (§3.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ExecutionMode {
     /// The whole model lives in on-wafer HBM; only inputs are loaded
     /// per iteration (§3.1.1).
@@ -31,7 +30,7 @@ pub enum ExecutionMode {
 
 /// Broad architecture class (drives which collectives MP sharding
 /// incurs).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ModelClass {
     /// Convolutional network (ResNet): pure-DP in the paper.
     Cnn,
@@ -41,7 +40,7 @@ pub enum ModelClass {
 }
 
 /// A DNN training workload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DnnModel {
     /// Display name.
     pub name: String,
@@ -227,10 +226,19 @@ mod tests {
 
     #[test]
     fn table6_strategies() {
-        assert_eq!(DnnModel::resnet152().default_strategy, Strategy3D::new(1, 20, 1));
-        assert_eq!(DnnModel::transformer_17b().default_strategy, Strategy3D::new(3, 3, 2));
+        assert_eq!(
+            DnnModel::resnet152().default_strategy,
+            Strategy3D::new(1, 20, 1)
+        );
+        assert_eq!(
+            DnnModel::transformer_17b().default_strategy,
+            Strategy3D::new(3, 3, 2)
+        );
         assert_eq!(DnnModel::gpt3().default_strategy, Strategy3D::new(2, 5, 2));
-        assert_eq!(DnnModel::transformer_1t().default_strategy, Strategy3D::new(1, 20, 1));
+        assert_eq!(
+            DnnModel::transformer_1t().default_strategy,
+            Strategy3D::new(1, 20, 1)
+        );
     }
 
     #[test]
@@ -262,7 +270,10 @@ mod tests {
         let per_token = |m: &DnnModel| m.flops_per_sample_fwd() / m.seq as f64;
         assert!(per_token(&sparse) < per_token(&dense));
         // Backward is 2x forward.
-        assert_eq!(dense.flops_per_sample_bwd(), 2.0 * dense.flops_per_sample_fwd());
+        assert_eq!(
+            dense.flops_per_sample_bwd(),
+            2.0 * dense.flops_per_sample_fwd()
+        );
     }
 
     #[test]

@@ -9,12 +9,9 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use fred_sim::time::Duration;
-use serde::{Deserialize, Serialize};
 
 /// The sources of exposed communication time (Fig 10's stack segments).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum CommType {
     /// Initial input-minibatch load.
     InputLoad,
@@ -78,7 +75,7 @@ pub fn patterns_for(parallelism: CommType) -> &'static [&'static str] {
 }
 
 /// Breakdown of one simulated training iteration.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct TrainingReport {
     /// Workload name.
     pub workload: String,
@@ -192,7 +189,13 @@ mod tests {
             .iter()
             .flat_map(|&t| patterns_for(t).iter().copied())
             .collect();
-        for p in ["reduce-scatter", "all-gather", "all-reduce", "all-to-all", "point-to-point"] {
+        for p in [
+            "reduce-scatter",
+            "all-gather",
+            "all-reduce",
+            "all-to-all",
+            "point-to-point",
+        ] {
             assert!(td.contains(p), "3D union missing {p}");
         }
         // DP never needs all-to-all; PP only point-to-point.

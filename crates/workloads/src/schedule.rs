@@ -20,18 +20,17 @@ use fred_collectives::plan::CommPlan;
 use fred_core::placement::{Placement, Strategy3D};
 use fred_sim::flow::Priority;
 use fred_sim::time::Duration;
-use serde::{Deserialize, Serialize};
 
 use crate::backend::FabricBackend;
 use crate::model::{DnnModel, ExecutionMode};
 use crate::report::CommType;
 
 /// Index of a task within a [`Schedule`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TaskId(pub usize);
 
 /// Index of a virtual worker (`w = pp + PP · dp`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct WorkerId(pub usize);
 
 /// What a task does.
@@ -80,7 +79,7 @@ pub struct Schedule {
 }
 
 /// Scheduling inputs beyond the model and strategy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScheduleParams {
     /// Minibatch samples per iteration (§7.3: DP × 16 or DP × 40).
     pub minibatch: usize,
@@ -157,7 +156,10 @@ impl<'a> Builder<'a> {
 
     fn push_compute(&mut self, w: WorkerId, secs: f64, deps: Vec<TaskId>) -> TaskId {
         let id = self.push(
-            TaskBody::Compute { worker: w, duration: Duration::from_secs(secs.max(0.0)) },
+            TaskBody::Compute {
+                worker: w,
+                duration: Duration::from_secs(secs.max(0.0)),
+            },
             deps,
         );
         self.chains[w.0].push(id);
@@ -172,7 +174,14 @@ impl<'a> Builder<'a> {
         deps: Vec<TaskId>,
         blocked: &[WorkerId],
     ) -> TaskId {
-        let id = self.push(TaskBody::Comm { plan, priority, ctype }, deps);
+        let id = self.push(
+            TaskBody::Comm {
+                plan,
+                priority,
+                ctype,
+            },
+            deps,
+        );
         for w in blocked {
             self.chains[w.0].push(id);
         }
@@ -181,9 +190,7 @@ impl<'a> Builder<'a> {
 
     /// Samples per microbatch per DP replica.
     fn mb_samples(&self) -> f64 {
-        self.params.minibatch as f64
-            / self.strategy.dp as f64
-            / self.params.microbatches as f64
+        self.params.minibatch as f64 / self.strategy.dp as f64 / self.params.microbatches as f64
     }
 
     /// Roofline seconds for `layers` layers of one microbatch on one
@@ -210,7 +217,9 @@ impl<'a> Builder<'a> {
     }
 
     fn mp_comm(&mut self, dp: usize, pp: usize, layers: f64, deps: Vec<TaskId>) -> TaskId {
-        let group = self.backend.physical_group(&self.placement.mp_group_npus(dp, pp));
+        let group = self
+            .backend
+            .physical_group(&self.placement.mp_group_npus(dp, pp));
         let plan = self.backend.all_reduce(&group, self.mp_bytes(layers));
         let w = self.worker(dp, pp);
         self.push_comm(plan, Priority::Mp, CommType::Mp, deps, &[w])
@@ -219,14 +228,19 @@ impl<'a> Builder<'a> {
     /// PP boundary: the source MP group feeds the destination MP group
     /// member-to-member (identical outputs, §8.1 footnote 8).
     fn pp_comm(&mut self, dp: usize, from_pp: usize, to_pp: usize, deps: Vec<TaskId>) -> TaskId {
-        let srcs = self.backend.physical_group(&self.placement.mp_group_npus(dp, from_pp));
-        let dsts = self.backend.physical_group(&self.placement.mp_group_npus(dp, to_pp));
+        let srcs = self
+            .backend
+            .physical_group(&self.placement.mp_group_npus(dp, from_pp));
+        let dsts = self
+            .backend
+            .physical_group(&self.placement.mp_group_npus(dp, to_pp));
         let bytes = self.model.activation_bytes(self.mb_samples());
         let plan = self.backend.stage_transfer(&srcs, &dsts, bytes);
         let w = self.worker(dp, to_pp);
         self.push_comm(plan, Priority::Pp, CommType::Pp, deps, &[w])
     }
 
+    #[allow(clippy::needless_range_loop)]
     fn build_weight_stationary(mut self) -> Schedule {
         let s = self.strategy;
         let m = self.params.microbatches;
@@ -236,7 +250,13 @@ impl<'a> Builder<'a> {
         let load_bytes = self.params.minibatch as f64 * self.model.sample_bytes;
         let load_plan = self.backend.input_load(load_bytes);
         let stage0: Vec<WorkerId> = (0..s.dp).map(|d| self.worker(d, 0)).collect();
-        let load = self.push_comm(load_plan, Priority::Bulk, CommType::InputLoad, vec![], &stage0);
+        let load = self.push_comm(
+            load_plan,
+            Priority::Bulk,
+            CommType::InputLoad,
+            vec![],
+            &stage0,
+        );
 
         // fwd_done[d][p][mb] = task that completes (compute + MP) fwd.
         let mut fwd_done = vec![vec![vec![TaskId(0); m]; s.pp]; s.dp];
@@ -302,16 +322,16 @@ impl<'a> Builder<'a> {
         // ZeRO-2 DP communication: gradient Reduce-Scatter followed by
         // parameter All-Gather per (mp, pp) DP group (§7.3).
         if s.dp > 1 {
-            let grad_bytes_per_member =
-                self.model.grad_bytes() / (s.mp as f64 * s.pp as f64);
+            let grad_bytes_per_member = self.model.grad_bytes() / (s.mp as f64 * s.pp as f64);
             for mp in 0..s.mp {
                 for p in 0..s.pp {
-                    let group = self.backend.physical_group(&self.placement.dp_group_npus(mp, p));
+                    let group = self
+                        .backend
+                        .physical_group(&self.placement.dp_group_npus(mp, p));
                     let deps: Vec<TaskId> = (0..s.dp).map(|d| bwd_done[d][p][m - 1]).collect();
                     let blocked: Vec<WorkerId> = (0..s.dp).map(|d| self.worker(d, p)).collect();
                     let rs = self.backend.reduce_scatter(&group, grad_bytes_per_member);
-                    let rs_id =
-                        self.push_comm(rs, Priority::Dp, CommType::Dp, deps, &blocked);
+                    let rs_id = self.push_comm(rs, Priority::Dp, CommType::Dp, deps, &blocked);
                     let ag = self.backend.all_gather(&group, grad_bytes_per_member);
                     self.push_comm(ag, Priority::Dp, CommType::Dp, vec![rs_id], &blocked);
                 }
@@ -326,6 +346,7 @@ impl<'a> Builder<'a> {
         }
     }
 
+    #[allow(clippy::needless_range_loop)]
     fn build_weight_streaming(mut self) -> Schedule {
         let s = self.strategy;
         let m = self.params.microbatches;
@@ -343,8 +364,13 @@ impl<'a> Builder<'a> {
         // channels are busy, §8.2).
         let load_bytes = self.params.minibatch as f64 * self.model.sample_bytes;
         let load_plan = self.backend.input_load(load_bytes);
-        let load =
-            self.push_comm(load_plan, Priority::Bulk, CommType::InputLoad, vec![], &all_workers);
+        let load = self.push_comm(
+            load_plan,
+            Priority::Bulk,
+            CommType::InputLoad,
+            vec![],
+            &all_workers,
+        );
 
         let mut prev_in_worker: Vec<Option<TaskId>> = vec![None; s.dp * s.pp];
         let mut prev_stream: Option<TaskId> = None;
@@ -362,7 +388,11 @@ impl<'a> Builder<'a> {
                 if r == 0 && !backward {
                     deps.push(load);
                 }
-                let buf = if this.params.stream_double_buffer { r % 2 } else { 0 };
+                let buf = if this.params.stream_double_buffer {
+                    r % 2
+                } else {
+                    0
+                };
                 deps.extend(prev_round_done[buf].iter().copied());
                 let stream = this.push_comm(
                     this.backend.stream_in(chunk_bytes),
@@ -375,8 +405,7 @@ impl<'a> Builder<'a> {
 
                 // The window pipeline: microbatches through pp stages of
                 // one layer each.
-                let mut done_stage =
-                    vec![vec![TaskId(0); m]; s.pp];
+                let mut done_stage = vec![vec![TaskId(0); m]; s.pp];
                 for mb in 0..m {
                     for d in 0..s.dp {
                         for p in 0..s.pp {
@@ -386,12 +415,10 @@ impl<'a> Builder<'a> {
                                 deps.push(prev);
                             }
                             if p > 0 {
-                                let arrive =
-                                    this.pp_comm(d, p - 1, p, vec![done_stage[p - 1][mb]]);
+                                let arrive = this.pp_comm(d, p - 1, p, vec![done_stage[p - 1][mb]]);
                                 deps.push(arrive);
                             }
-                            let c =
-                                this.push_compute(w, this.compute_secs(1.0, backward), deps);
+                            let c = this.push_compute(w, this.compute_secs(1.0, backward), deps);
                             let done = if s.mp > 1 {
                                 this.mp_comm(d, p, 1.0, vec![c])
                             } else {
@@ -403,9 +430,12 @@ impl<'a> Builder<'a> {
                     }
                 }
                 // The round's barrier: every worker's last task.
-                let round_done: Vec<TaskId> =
-                    prev_in_worker.iter().flatten().copied().collect();
-                let buf = if this.params.stream_double_buffer { r % 2 } else { 0 };
+                let round_done: Vec<TaskId> = prev_in_worker.iter().flatten().copied().collect();
+                let buf = if this.params.stream_double_buffer {
+                    r % 2
+                } else {
+                    0
+                };
                 prev_round_done[buf] = round_done.clone();
 
                 // Backward rounds stream the window's weight gradients
@@ -521,7 +551,10 @@ mod tests {
         let backend = FabricBackend::new(config);
         let placement = Placement::new(strategy, PlacementPolicy::MpPpDp);
         let params = ScheduleParams::paper_default(model, strategy);
-        (build_schedule(model, strategy, &placement, &backend, params), backend)
+        (
+            build_schedule(model, strategy, &placement, &backend, params),
+            backend,
+        )
     }
 
     #[test]
@@ -560,7 +593,12 @@ mod tests {
         let (s, _) = build(&m, m.default_strategy, FabricConfig::FredD);
         let mut stream_bytes = 0.0;
         for t in &s.tasks {
-            if let TaskBody::Comm { plan, ctype: CommType::Streaming, .. } = &t.body {
+            if let TaskBody::Comm {
+                plan,
+                ctype: CommType::Streaming,
+                ..
+            } = &t.body
+            {
                 // Streaming plans are single-phase; count the payload
                 // entering/leaving through the ext-memory links (one
                 // transfer per channel carries the chunk shard).
@@ -569,8 +607,7 @@ mod tests {
                     .iter()
                     .flat_map(|p| &p.transfers)
                     .filter(|tr| {
-                        tr.src == crate::backend::EXT_LABEL
-                            || tr.dst == crate::backend::EXT_LABEL
+                        tr.src == crate::backend::EXT_LABEL || tr.dst == crate::backend::EXT_LABEL
                     })
                     .map(|tr| tr.bytes)
                     .sum::<f64>();
@@ -593,7 +630,15 @@ mod tests {
         let streams = s
             .tasks
             .iter()
-            .filter(|t| matches!(&t.body, TaskBody::Comm { ctype: CommType::Streaming, .. }))
+            .filter(|t| {
+                matches!(
+                    &t.body,
+                    TaskBody::Comm {
+                        ctype: CommType::Streaming,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(streams, 120 * 2 + 120);
     }

@@ -12,12 +12,12 @@ use fred_core::placement::Strategy3D;
 pub fn aligned_strategies(npus: usize) -> Vec<Strategy3D> {
     let mut out = Vec::new();
     for mp in (1..=npus).rev() {
-        if npus % mp != 0 {
+        if !npus.is_multiple_of(mp) {
             continue;
         }
         let rest = npus / mp;
         for dp in 1..=rest {
-            if rest % dp != 0 {
+            if !rest.is_multiple_of(dp) {
                 continue;
             }
             out.push(Strategy3D::new(mp, dp, rest / dp));
@@ -65,7 +65,7 @@ pub fn feasible_for_model(
     strategies
         .iter()
         .copied()
-        .filter(|s| s.pp <= layers && (s.mp == 1 || hidden % s.mp == 0))
+        .filter(|s| s.pp <= layers && (s.mp == 1 || hidden.is_multiple_of(s.mp)))
         .collect()
 }
 
@@ -90,8 +90,13 @@ mod tests {
     #[test]
     fn slack_admits_non_aligned() {
         let all = strategies_with_slack(20, 0.75);
-        assert!(all.contains(&Strategy3D::new(5, 3, 1)), "the Fig 6 strategy");
-        assert!(all.iter().all(|s| s.worker_count() >= 15 && s.worker_count() <= 20));
+        assert!(
+            all.contains(&Strategy3D::new(5, 3, 1)),
+            "the Fig 6 strategy"
+        );
+        assert!(all
+            .iter()
+            .all(|s| s.worker_count() >= 15 && s.worker_count() <= 20));
         // Full-utilisation strategies are still present.
         assert!(all.contains(&Strategy3D::new(2, 5, 2)));
         // And they come first (sorted by worker count descending).
@@ -106,7 +111,7 @@ mod tests {
         assert!(feasible.contains(&Strategy3D::new(4, 5, 1)));
         assert!(!feasible.contains(&Strategy3D::new(5, 4, 1)));
         assert!(!feasible.contains(&Strategy3D::new(20, 1, 1))); // 4256 % 20 != 0
-        // PP bound: layers=2 forbids PP > 2.
+                                                                 // PP bound: layers=2 forbids PP > 2.
         let shallow = feasible_for_model(&all, 4096, 2);
         assert!(shallow.iter().all(|s| s.pp <= 2));
     }

@@ -11,17 +11,30 @@
 //! communication not overlapped with compute).
 
 use std::collections::BTreeMap;
+use std::rc::Rc;
 
 use fred_core::placement::{Placement, PlacementPolicy, Strategy3D};
 use fred_sim::events::EventQueue;
 use fred_sim::flow::FlowSpec;
 use fred_sim::netsim::FlowNetwork;
 use fred_sim::time::{Duration, Time};
+use fred_telemetry::event::{next_span_id, TraceEvent, Track};
+use fred_telemetry::sink::{NullSink, TraceSink};
 
 use crate::backend::FabricBackend;
 use crate::model::DnnModel;
 use crate::report::{CommType, TrainingReport};
 use crate::schedule::{build_schedule, Schedule, ScheduleParams, TaskBody, TaskId};
+
+/// Maps an exposure type to its telemetry display track.
+pub fn track_of_comm(ctype: CommType) -> Track {
+    match ctype {
+        CommType::Mp => Track::Mp,
+        CommType::Pp => Track::Pp,
+        CommType::Dp => Track::Dp,
+        CommType::InputLoad | CommType::Streaming => Track::Bulk,
+    }
+}
 
 /// Per-task timing from one simulated iteration.
 #[derive(Debug, Clone)]
@@ -47,8 +60,32 @@ struct CommState {
 /// Panics if the schedule's dependency graph is malformed (a cycle or a
 /// reference to a missing task) or a plan route is invalid.
 pub fn run_iteration(schedule: &Schedule, backend: &FabricBackend) -> IterationTiming {
+    run_iteration_traced(schedule, backend, Rc::new(NullSink))
+}
+
+/// [`run_iteration`] with telemetry: every network event, collective
+/// phase and trainer task is recorded into `sink`. Timing results are
+/// bit-identical to an untraced run.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_iteration`].
+pub fn run_iteration_traced(
+    schedule: &Schedule,
+    backend: &FabricBackend,
+    sink: Rc<dyn TraceSink>,
+) -> IterationTiming {
     let n = schedule.tasks.len();
-    let mut net = FlowNetwork::new(backend.topology());
+    let mut net = FlowNetwork::with_sink(backend.topology(), sink.clone());
+    let tracing = sink.enabled();
+    // Open span per running task (telemetry only).
+    let mut spans: Vec<Option<u64>> = vec![None; n];
+    if tracing {
+        sink.record(TraceEvent::IterStage {
+            t: 0.0,
+            label: "iteration-start".into(),
+        });
+    }
     let mut indegree: Vec<usize> = schedule.tasks.iter().map(|t| t.deps.len()).collect();
     let mut dependents: Vec<Vec<TaskId>> = vec![Vec::new(); n];
     for (i, t) in schedule.tasks.iter().enumerate() {
@@ -105,12 +142,50 @@ pub fn run_iteration(schedule: &Schedule, backend: &FabricBackend) -> IterationT
         while let Some(i) = ready_stack.pop() {
             let t = net.now();
             start[i] = t;
+            if tracing {
+                let (track, label, bytes, npus) = match &schedule.tasks[i].body {
+                    TaskBody::Compute { worker, .. } => {
+                        (Track::Compute, format!("compute w{}", worker.0), 0.0, 0)
+                    }
+                    TaskBody::Comm { plan, ctype, .. } => {
+                        let mut srcs: Vec<usize> = plan
+                            .phases
+                            .iter()
+                            .flat_map(|p| p.transfers.iter().map(|tr| tr.src))
+                            .collect();
+                        srcs.sort_unstable();
+                        srcs.dedup();
+                        (
+                            track_of_comm(*ctype),
+                            plan.label.clone(),
+                            plan.total_bytes(),
+                            srcs.len() as u32,
+                        )
+                    }
+                };
+                let span = next_span_id();
+                spans[i] = Some(span);
+                sink.record(TraceEvent::PhaseBegin {
+                    t: t.as_secs(),
+                    track,
+                    span,
+                    label: label.into(),
+                    bytes,
+                    npus,
+                });
+            }
             match &schedule.tasks[i].body {
                 TaskBody::Compute { duration, .. } => {
                     compute_queue.schedule(t + *duration, i);
                 }
                 TaskBody::Comm { .. } => {
-                    comm.insert(i, CommState { phase: 0, outstanding: 0 });
+                    comm.insert(
+                        i,
+                        CommState {
+                            phase: 0,
+                            outstanding: 0,
+                        },
+                    );
                     if advance_comm(schedule, &mut net, &mut comm, i) {
                         finished_now.push(i);
                     }
@@ -125,6 +200,17 @@ pub fn run_iteration(schedule: &Schedule, backend: &FabricBackend) -> IterationT
                     done[i] = true;
                     finish[i] = net.now();
                     completed += 1;
+                    if let Some(span) = spans[i].take() {
+                        let track = match &schedule.tasks[i].body {
+                            TaskBody::Compute { .. } => Track::Compute,
+                            TaskBody::Comm { ctype, .. } => track_of_comm(*ctype),
+                        };
+                        sink.record(TraceEvent::PhaseEnd {
+                            t: net.now().as_secs(),
+                            track,
+                            span,
+                        });
+                    }
                     for &dep in &dependents[i] {
                         indegree[dep.0] -= 1;
                         if indegree[dep.0] == 0 {
@@ -171,7 +257,17 @@ pub fn run_iteration(schedule: &Schedule, backend: &FabricBackend) -> IterationT
     }
 
     let makespan = finish.iter().copied().max().unwrap_or(Time::ZERO);
-    IterationTiming { start, finish, makespan }
+    if tracing {
+        sink.record(TraceEvent::IterStage {
+            t: makespan.as_secs(),
+            label: "iteration-end".into(),
+        });
+    }
+    IterationTiming {
+        start,
+        finish,
+        makespan,
+    }
 }
 
 /// Builds the exposed-communication breakdown from a timed iteration
@@ -231,6 +327,18 @@ pub fn simulate(
     backend: &FabricBackend,
     params: ScheduleParams,
 ) -> TrainingReport {
+    simulate_traced(model, strategy, backend, params, Rc::new(NullSink))
+}
+
+/// [`simulate`] with telemetry recorded into `sink` (see
+/// [`run_iteration_traced`]).
+pub fn simulate_traced(
+    model: &DnnModel,
+    strategy: Strategy3D,
+    backend: &FabricBackend,
+    params: ScheduleParams,
+    sink: Rc<dyn TraceSink>,
+) -> TrainingReport {
     let policy = if backend.config().is_fred() {
         PlacementPolicy::MpPpDp
     } else {
@@ -238,7 +346,7 @@ pub fn simulate(
     };
     let placement = Placement::new(strategy, policy);
     let schedule = build_schedule(model, strategy, &placement, backend, params);
-    let timing = run_iteration(&schedule, backend);
+    let timing = run_iteration_traced(&schedule, backend, sink);
     breakdown(&schedule, &timing, &model.name, backend.config().name())
 }
 
@@ -249,7 +357,12 @@ mod tests {
     use fred_core::params::FabricConfig;
 
     fn quick_params(minibatch: usize, microbatches: usize) -> ScheduleParams {
-        ScheduleParams { minibatch, microbatches, npu_flops: 1000e12, stream_double_buffer: true }
+        ScheduleParams {
+            minibatch,
+            microbatches,
+            npu_flops: 1000e12,
+            stream_double_buffer: true,
+        }
     }
 
     #[test]

@@ -12,14 +12,20 @@ use fred::sim::netsim::FlowNetwork;
 fn main() {
     let d = 10e9; // 10 GB gradient all-reduce
     println!("global All-Reduce of 10 GB across FRED wafers (4 boundary channels/wafer)\n");
-    println!("{:<8} {:<24} {:<16} {:<16}", "wafers", "inter-wafer BW/channel", "time (ms)", "eff. NPU BW");
+    println!(
+        "{:<8} {:<24} {:<16} {:<16}",
+        "wafers", "inter-wafer BW/channel", "time (ms)", "eff. NPU BW"
+    );
     for wafers in [2usize, 4] {
         for inter_bw in [128e9, 512e9, 2e12] {
             let mw = MultiWafer::new(wafers, FabricConfig::FredD, 4, inter_bw);
             let mut net = FlowNetwork::new(mw.clone_topology());
             net.inject_batch(mw.global_all_reduce(d, Priority::Dp, 0));
             let done = net.run_to_completion();
-            let t = done.iter().map(|c| c.completed_at.as_secs()).fold(0.0, f64::max);
+            let t = done
+                .iter()
+                .map(|c| c.completed_at.as_secs())
+                .fold(0.0, f64::max);
             println!(
                 "{:<8} {:<24} {:<16.3} {:<16.2}",
                 wafers,

@@ -11,8 +11,8 @@
 use fred::collectives::hierarchical::merge_concurrent;
 use fred::core::params::FabricConfig;
 use fred::core::placement::{Placement, PlacementPolicy, Strategy3D};
-use fred::sim::netsim::FlowNetwork;
 use fred::sim::flow::Priority;
+use fred::sim::netsim::FlowNetwork;
 use fred::workloads::backend::FabricBackend;
 
 fn phase_time(backend: &FabricBackend, plans: Vec<fred::collectives::CommPlan>) -> f64 {
@@ -26,8 +26,14 @@ fn main() {
     let bytes = 1e9;
     for config in [FabricConfig::BaselineMesh, FabricConfig::FredD] {
         let backend = FabricBackend::new(config);
-        println!("\n### {} — {strategy}, 1 GB per collective ###", config.name());
-        println!("{:<10} {:>10} {:>10} {:>10}", "placement", "MP (ms)", "DP (ms)", "PP (ms)");
+        println!(
+            "\n### {} — {strategy}, 1 GB per collective ###",
+            config.name()
+        );
+        println!(
+            "{:<10} {:>10} {:>10} {:>10}",
+            "placement", "MP (ms)", "DP (ms)", "PP (ms)"
+        );
         for policy in PlacementPolicy::ALL {
             let pl = Placement::new(strategy, policy);
             let mp = phase_time(

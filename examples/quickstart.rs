@@ -12,9 +12,11 @@ use fred::core::switch::FredSwitch;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A Fred3(8) switch: 8 ports, 3 middle subnetworks (§4).
     let mut sw = FredSwitch::new(3, 8)?;
-    println!("built {} with {} 2x2-equivalent uSwitches",
+    println!(
+        "built {} with {} 2x2-equivalent uSwitches",
         sw.interconnect(),
-        sw.interconnect().stats().micro_switches);
+        sw.interconnect().stats().micro_switches
+    );
 
     // 2. Program a phase: two concurrent All-Reduces (Fig 7h). Routing
     //    happens now, at "compile time" (§5.2); conflicts would be
@@ -26,8 +28,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Execute: inject a payload per input port; the R/D/RD-μSwitches
     //    reduce and broadcast in-fabric.
-    let inputs: Vec<Option<Vec<f64>>> =
-        (0..8).map(|p| (p < 6).then(|| vec![10f64.powi(p as i32)])).collect();
+    let inputs: Vec<Option<Vec<f64>>> = (0..8)
+        .map(|p| (p < 6).then(|| vec![10f64.powi(p)]))
+        .collect();
     let out = sw.execute(phase, &inputs)?;
     println!("green AR over ports 0-2: port0 now carries {:?}", out[0]);
     println!("orange AR over ports 3-5: port5 now carries {:?}", out[5]);
@@ -35,8 +38,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(out[5].as_deref(), Some(&[111000.0][..]));
 
     // 4. Compound collectives decompose into serial flow steps (Table 2).
-    let steps = compile(&Pattern::ReduceScatter { group: vec![0, 2, 4, 6] })?;
-    println!("reduce-scatter among 4 ports compiles to {} serial steps", steps.len());
+    let steps = compile(&Pattern::ReduceScatter {
+        group: vec![0, 2, 4, 6],
+    })?;
+    println!(
+        "reduce-scatter among 4 ports compiles to {} serial steps",
+        steps.len()
+    );
     let net = Interconnect::new(3, 8)?;
     for (i, step) in steps.iter().enumerate() {
         let routed = route_flows(&net, &step.flows)?;

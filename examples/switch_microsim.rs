@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // The same DP message under 10% packet loss: Go-Back-N recovers.
-    let lossy = MicroSimParams { drop_probability: 0.10, ..MicroSimParams::default() };
+    let lossy = MicroSimParams {
+        drop_probability: 0.10,
+        ..MicroSimParams::default()
+    };
     let mut sim = MicroSim::new(lossy, 42);
     sim.offer(Message {
         flow: Flow::all_reduce([0, 1, 2, 3])?,

@@ -8,7 +8,9 @@
 //! * [`mesh`] — the baseline wafer-scale 2D mesh,
 //! * [`collectives`] — collective-communication plans and cost models,
 //! * [`workloads`] — DNN models, 3D parallelism and the trainer,
-//! * [`hwmodel`] — area/power/wafer-budget/I/O-hotspot analytics.
+//! * [`hwmodel`] — area/power/wafer-budget/I/O-hotspot analytics,
+//! * [`telemetry`] — trace events, ring-buffer recording, Perfetto
+//!   export and link-utilization metrics.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory and
 //! `EXPERIMENTS.md` for the paper-vs-measured record.
@@ -18,4 +20,5 @@ pub use fred_core as core;
 pub use fred_hwmodel as hwmodel;
 pub use fred_mesh as mesh;
 pub use fred_sim as sim;
+pub use fred_telemetry as telemetry;
 pub use fred_workloads as workloads;

@@ -17,20 +17,42 @@ fn table2_patterns_verify_on_fred3_12() {
     let net = Interconnect::new(3, 12).unwrap();
     let patterns = vec![
         Pattern::Unicast { src: 0, dst: 11 },
-        Pattern::Multicast { src: 3, dsts: vec![0, 5, 9, 11] },
-        Pattern::Reduce { srcs: vec![1, 4, 7, 10], dst: 2 },
-        Pattern::AllReduce { group: vec![0, 3, 6, 9] },
-        Pattern::ReduceScatter { group: vec![2, 5, 8, 11] },
-        Pattern::AllGather { group: vec![1, 6, 10] },
-        Pattern::Scatter { src: 0, dsts: vec![4, 8] },
-        Pattern::Gather { srcs: vec![3, 7], dst: 11 },
-        Pattern::AllToAll { group: vec![0, 2, 4, 6, 8] },
+        Pattern::Multicast {
+            src: 3,
+            dsts: vec![0, 5, 9, 11],
+        },
+        Pattern::Reduce {
+            srcs: vec![1, 4, 7, 10],
+            dst: 2,
+        },
+        Pattern::AllReduce {
+            group: vec![0, 3, 6, 9],
+        },
+        Pattern::ReduceScatter {
+            group: vec![2, 5, 8, 11],
+        },
+        Pattern::AllGather {
+            group: vec![1, 6, 10],
+        },
+        Pattern::Scatter {
+            src: 0,
+            dsts: vec![4, 8],
+        },
+        Pattern::Gather {
+            srcs: vec![3, 7],
+            dst: 11,
+        },
+        Pattern::AllToAll {
+            group: vec![0, 2, 4, 6, 8],
+        },
     ];
     for p in patterns {
         for (i, step) in compile(&p).unwrap().iter().enumerate() {
-            let routed = route_flows(&net, &step.flows)
+            let routed =
+                route_flows(&net, &step.flows).unwrap_or_else(|e| panic!("{p} step {i}: {e}"));
+            routed
+                .verify(&step.flows)
                 .unwrap_or_else(|e| panic!("{p} step {i}: {e}"));
-            routed.verify(&step.flows).unwrap_or_else(|e| panic!("{p} step {i}: {e}"));
         }
     }
 }

@@ -21,7 +21,9 @@ fn simulated_ring_matches_cost_model() {
     let group = vec![0usize, 1, 2, 3]; // one L1 cluster
     let plan = match &backend {
         FabricBackend::Fred(f) => {
-            ring::all_reduce(&group, d, Direction::Unidirectional, &|a, b| f.npu_route(a, b))
+            ring::all_reduce(&group, d, Direction::Unidirectional, &|a, b| {
+                f.npu_route(a, b)
+            })
         }
         FabricBackend::Mesh(_) => unreachable!(),
     };
@@ -76,16 +78,27 @@ fn streaming_linerate_fractions() {
         }
     }
     let done = net.run_to_completion();
-    let t = done.iter().map(|c| c.completed_at.as_secs()).fold(0.0, f64::max);
+    let t = done
+        .iter()
+        .map(|c| c.completed_at.as_secs())
+        .fold(0.0, f64::max);
     let predicted = cost::mesh_streaming_linerate_fraction(5, 128e9, 750e9);
-    assert!((1.0 / t - predicted).abs() < 0.03, "mesh fraction {}", 1.0 / t);
+    assert!(
+        (1.0 / t - predicted).abs() < 0.03,
+        "mesh fraction {}",
+        1.0 / t
+    );
 
     // FRED (in-network): full line rate.
     let fred = FabricBackend::new(FabricConfig::FredD);
     let bytes = 18.0 * 128e9;
     let plan = fred.stream_in(bytes);
     let (dur, _) = execute_standalone(fred.topology(), &plan, bytes);
-    assert!((dur.as_secs() - 1.0).abs() < 0.05, "fred stream {}", dur.as_secs());
+    assert!(
+        (dur.as_secs() - 1.0).abs() < 0.05,
+        "fred stream {}",
+        dur.as_secs()
+    );
 }
 
 /// Priorities: an MP collective injected during a DP collective
@@ -110,7 +123,7 @@ fn mp_preempts_dp_on_shared_fabric() {
         net.inject_batch(flows);
     }
     // MP op arrives; must complete in ~d / 3 TBps despite the DP load.
-    for phase in &b.all_reduce(&vec![0, 1, 2, 3], d).phases {
+    for phase in &b.all_reduce(&[0, 1, 2, 3], d).phases {
         let flows: Vec<_> = phase
             .transfers
             .iter()

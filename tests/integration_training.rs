@@ -30,8 +30,7 @@ fn fred_d_beats_baseline_on_all_table6_workloads() {
             "{}: Fred-D speedup {speedup:.2} implausibly large",
             model.name
         );
-        let exposed_gain =
-            rb.exposed_total().as_secs() / rf.exposed_total().as_secs().max(1e-12);
+        let exposed_gain = rb.exposed_total().as_secs() / rf.exposed_total().as_secs().max(1e-12);
         assert!(
             exposed_gain > 1.5,
             "{}: exposed comm gain only {exposed_gain:.2}",
@@ -47,11 +46,32 @@ fn fred_c_is_between_baseline_and_fred_d() {
     let model = DnnModel::resnet152();
     let strategy = model.default_strategy;
     let params = ScheduleParams::paper_default(&model, strategy);
-    let rb = simulate(&model, strategy, &FabricBackend::new(FabricConfig::BaselineMesh), params);
-    let rc = simulate(&model, strategy, &FabricBackend::new(FabricConfig::FredC), params);
-    let rd = simulate(&model, strategy, &FabricBackend::new(FabricConfig::FredD), params);
-    assert!(rc.total < rb.total, "Fred-C {rc} not faster than baseline {rb}");
-    assert!(rd.total.as_secs() < rc.total.as_secs() * 1.1, "Fred-D {rd} slower than Fred-C {rc}");
+    let rb = simulate(
+        &model,
+        strategy,
+        &FabricBackend::new(FabricConfig::BaselineMesh),
+        params,
+    );
+    let rc = simulate(
+        &model,
+        strategy,
+        &FabricBackend::new(FabricConfig::FredC),
+        params,
+    );
+    let rd = simulate(
+        &model,
+        strategy,
+        &FabricBackend::new(FabricConfig::FredD),
+        params,
+    );
+    assert!(
+        rc.total < rb.total,
+        "Fred-C {rc} not faster than baseline {rb}"
+    );
+    assert!(
+        rd.total.as_secs() < rc.total.as_secs() * 1.1,
+        "Fred-D {rd} slower than Fred-C {rc}"
+    );
 }
 
 /// The compute component is fabric-invariant: the network must never
@@ -67,7 +87,10 @@ fn compute_time_is_fabric_invariant() {
         computes.push(r.compute.as_secs());
     }
     for w in computes.windows(2) {
-        assert!((w[0] - w[1]).abs() < 1e-9, "compute differs across fabrics: {computes:?}");
+        assert!(
+            (w[0] - w[1]).abs() < 1e-9,
+            "compute differs across fabrics: {computes:?}"
+        );
     }
 }
 
@@ -96,8 +119,18 @@ fn streaming_exposure_shrinks_on_fred() {
     let model = DnnModel::transformer_1t();
     let strategy = model.default_strategy;
     let params = ScheduleParams::paper_default(&model, strategy);
-    let rb = simulate(&model, strategy, &FabricBackend::new(FabricConfig::BaselineMesh), params);
-    let rf = simulate(&model, strategy, &FabricBackend::new(FabricConfig::FredD), params);
+    let rb = simulate(
+        &model,
+        strategy,
+        &FabricBackend::new(FabricConfig::BaselineMesh),
+        params,
+    );
+    let rf = simulate(
+        &model,
+        strategy,
+        &FabricBackend::new(FabricConfig::FredD),
+        params,
+    );
     let sb = rb.exposed_for(CommType::Streaming).as_secs();
     let sf = rf.exposed_for(CommType::Streaming).as_secs();
     assert!(sb > 0.0, "baseline shows no streaming exposure");

@@ -1,4 +1,10 @@
 //! Property-based tests on the core invariants.
+//!
+//! Uses the deterministic `fred::sim::rng::Rng64` generator rather
+//! than an external property-testing crate so the suite runs in
+//! hermetic environments. Each test draws a fixed number of random
+//! cases from a fixed seed; failures print the case index so a
+//! shrunken repro can be extracted by re-running with that seed.
 
 use std::collections::BTreeSet;
 
@@ -7,114 +13,235 @@ use fred::core::interconnect::Interconnect;
 use fred::core::routing::{route_flows, RouteFlowsError};
 use fred::sim::fairshare::{max_min_rates, AllocFlow};
 use fred::sim::flow::Priority;
-use proptest::prelude::*;
+use fred::sim::rng::Rng64;
 
 /// Random disjoint flow sets on a P-port switch: a partition of a
-/// random subset of ports into groups of >= 1, with random ips/ops
-/// split inside each group.
-fn arb_flows(ports: usize) -> impl Strategy<Value = Vec<Flow>> {
-    proptest::collection::vec(0..ports, 0..ports)
-        .prop_map(move |mut picks| {
-            let mut seen = BTreeSet::new();
-            picks.retain(|p| seen.insert(*p));
-            // Chop the distinct ports into contiguous runs of 1..=4.
-            let mut flows = Vec::new();
-            let mut i = 0;
-            while i < picks.len() {
-                let len = 1 + (picks[i] % 4).min(picks.len() - i - 1);
-                let group: Vec<usize> = picks[i..i + len].to_vec();
-                i += len;
-                if group.len() >= 2 {
-                    flows.push(Flow::all_reduce(group).unwrap());
-                } else {
-                    flows.push(Flow::unicast(group[0], group[0]));
-                }
-            }
-            flows
-        })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Whenever routing succeeds, functional verification succeeds too:
-    /// the configured μSwitches compute exactly the requested
-    /// reductions/broadcasts. And routing never succeeds on invalid
-    /// flow sets.
-    #[test]
-    fn routed_implies_verified(flows in arb_flows(16), m in 2usize..=3) {
-        prop_assume!(validate_phase(&flows, 16).is_ok());
-        let net = Interconnect::new(m, 16).unwrap();
-        match route_flows(&net, &flows) {
-            Ok(routed) => routed.verify(&flows).unwrap(),
-            Err(RouteFlowsError::Conflict(_)) => {
-                // A conflict on m=3 must also be a conflict on m=2
-                // (fewer colours can never help).
-                if m == 3 {
-                    let net2 = Interconnect::new(2, 16).unwrap();
-                    prop_assert!(route_flows(&net2, &flows).is_err());
-                }
-            }
-            Err(e) => prop_assert!(false, "unexpected error {e}"),
+/// random subset of ports into groups, as All-Reduces (>= 2 members)
+/// or self-unicasts.
+fn arb_flows(rng: &mut Rng64, ports: usize) -> Vec<Flow> {
+    let mut picks: Vec<usize> = (0..rng.gen_range_inclusive(0, ports))
+        .map(|_| rng.gen_range(0, ports))
+        .collect();
+    let mut seen = BTreeSet::new();
+    picks.retain(|p| seen.insert(*p));
+    let mut flows = Vec::new();
+    let mut i = 0;
+    while i < picks.len() {
+        let len = 1 + (picks[i] % 4).min(picks.len() - i - 1);
+        let group: Vec<usize> = picks[i..i + len].to_vec();
+        i += len;
+        if group.len() >= 2 {
+            flows.push(Flow::all_reduce(group).unwrap());
+        } else {
+            flows.push(Flow::unicast(group[0], group[0]));
         }
     }
+    flows
+}
 
-    /// m = 3 routes a superset of what m = 2 routes.
-    #[test]
-    fn more_middles_never_hurt(flows in arb_flows(12)) {
-        prop_assume!(validate_phase(&flows, 12).is_ok());
+/// Random allocator input: capacities plus routed, prioritised flows.
+fn arb_alloc_case(rng: &mut Rng64) -> (Vec<f64>, Vec<Vec<usize>>, Vec<Priority>) {
+    let links = rng.gen_range_inclusive(1, 30);
+    let caps: Vec<f64> = (0..links).map(|_| 1.0 + rng.gen_f64() * 1e12).collect();
+    let n = rng.gen_range_inclusive(0, 40);
+    let routes: Vec<Vec<usize>> = (0..n)
+        .map(|_| {
+            (0..rng.gen_range_inclusive(1, 4))
+                .map(|_| rng.gen_range(0, links))
+                .collect()
+        })
+        .collect();
+    let prios: Vec<Priority> = (0..n)
+        .map(|_| Priority::ALL[rng.gen_range(0, Priority::ALL.len())])
+        .collect();
+    (caps, routes, prios)
+}
+
+/// Whenever routing succeeds, functional verification succeeds too:
+/// the configured μSwitches compute exactly the requested
+/// reductions/broadcasts. And a conflict on m=3 implies one on m=2
+/// (fewer colours can never help).
+#[test]
+fn routed_implies_verified() {
+    let mut rng = Rng64::seed_from_u64(0x5EED_0001);
+    for case in 0..64 {
+        let flows = arb_flows(&mut rng, 16);
+        let m = rng.gen_range_inclusive(2, 3);
+        if validate_phase(&flows, 16).is_err() {
+            continue;
+        }
+        let net = Interconnect::new(m, 16).unwrap();
+        match route_flows(&net, &flows) {
+            Ok(routed) => routed
+                .verify(&flows)
+                .unwrap_or_else(|e| panic!("case {case}: routed but verify failed: {e}")),
+            Err(RouteFlowsError::Conflict(_)) => {
+                if m == 3 {
+                    let net2 = Interconnect::new(2, 16).unwrap();
+                    assert!(
+                        route_flows(&net2, &flows).is_err(),
+                        "case {case}: conflict on m=3 but routable on m=2"
+                    );
+                }
+            }
+            Err(e) => panic!("case {case}: unexpected error {e}"),
+        }
+    }
+}
+
+/// m = 3 routes a superset of what m = 2 routes.
+#[test]
+fn more_middles_never_hurt() {
+    let mut rng = Rng64::seed_from_u64(0x5EED_0002);
+    for case in 0..64 {
+        let flows = arb_flows(&mut rng, 12);
+        if validate_phase(&flows, 12).is_err() {
+            continue;
+        }
         let m2 = route_flows(&Interconnect::new(2, 12).unwrap(), &flows);
         let m3 = route_flows(&Interconnect::new(3, 12).unwrap(), &flows);
         if m2.is_ok() {
-            prop_assert!(m3.is_ok(), "m=2 routed but m=3 conflicted");
+            assert!(m3.is_ok(), "case {case}: m=2 routed but m=3 conflicted");
         }
     }
+}
 
-    /// The max-min allocator never oversubscribes a link and never
-    /// assigns a negative rate, for any flow/priority mix.
-    #[test]
-    fn fairshare_is_feasible(
-        caps in proptest::collection::vec(1.0f64..1e12, 1..30),
-        routes in proptest::collection::vec(
-            proptest::collection::vec(0usize..30, 1..5),
-            0..40,
-        ),
-        prios in proptest::collection::vec(0usize..5, 0..40),
-    ) {
-        let n = routes.len().min(prios.len());
-        let links = caps.len();
-        let routes: Vec<Vec<usize>> = routes[..n]
-            .iter()
-            .map(|r| r.iter().map(|&l| l % links).collect())
-            .collect();
+/// The max-min allocator never oversubscribes a link and never assigns
+/// a negative rate, for any flow/priority mix.
+#[test]
+fn fairshare_is_feasible() {
+    let mut rng = Rng64::seed_from_u64(0x5EED_0003);
+    for case in 0..64 {
+        let (caps, routes, prios) = arb_alloc_case(&mut rng);
         let flows: Vec<AllocFlow<'_>> = routes
             .iter()
-            .zip(&prios[..n])
-            .map(|(r, &p)| AllocFlow { links: r, priority: Priority::ALL[p] })
+            .zip(&prios)
+            .map(|(r, &p)| AllocFlow {
+                links: r,
+                priority: p,
+            })
             .collect();
         let rates = max_min_rates(&caps, &flows);
-        let mut load = vec![0.0f64; links];
+        let mut load = vec![0.0f64; caps.len()];
         for (f, &rate) in flows.iter().zip(&rates) {
-            prop_assert!(rate >= 0.0);
-            prop_assert!(rate.is_finite() || f.links.is_empty());
+            assert!(rate >= 0.0, "case {case}: negative rate {rate}");
+            assert!(
+                rate.is_finite() || f.links.is_empty(),
+                "case {case}: infinite rate on a routed flow"
+            );
             for &l in f.links {
                 load[l] += rate;
             }
         }
         for (l, (&used, &cap)) in load.iter().zip(&caps).enumerate() {
-            prop_assert!(used <= cap * (1.0 + 1e-6), "link {l}: {used} > {cap}");
+            assert!(
+                used <= cap * (1.0 + 1e-6),
+                "case {case}: link {l} oversubscribed: {used} > {cap}"
+            );
         }
     }
+}
 
-    /// Work conservation within one priority class: with a single
-    /// shared link, the full capacity is handed out.
-    #[test]
-    fn single_link_is_work_conserving(n in 1usize..20, cap in 1.0f64..1e9) {
+/// Every flow with a route is bottlenecked: at least one of its links
+/// is saturated (remaining capacity ~ 0 after all classes are served).
+/// Otherwise the allocation would not be max-min — that flow could be
+/// given more rate for free.
+#[test]
+fn fairshare_every_flow_hits_a_saturated_link() {
+    let mut rng = Rng64::seed_from_u64(0x5EED_0004);
+    for case in 0..64 {
+        let (caps, routes, prios) = arb_alloc_case(&mut rng);
+        let flows: Vec<AllocFlow<'_>> = routes
+            .iter()
+            .zip(&prios)
+            .map(|(r, &p)| AllocFlow {
+                links: r,
+                priority: p,
+            })
+            .collect();
+        let rates = max_min_rates(&caps, &flows);
+        let mut load = vec![0.0f64; caps.len()];
+        for (f, &rate) in flows.iter().zip(&rates) {
+            for &l in f.links {
+                load[l] += rate;
+            }
+        }
+        for (i, f) in flows.iter().enumerate() {
+            if f.links.is_empty() {
+                continue;
+            }
+            let bottlenecked = f.links.iter().any(|&l| {
+                // Saturated within float tolerance, scaled to capacity.
+                load[l] >= caps[l] * (1.0 - 1e-6)
+            });
+            assert!(
+                bottlenecked,
+                "case {case}: flow {i} (rate {}) crosses no saturated link \
+                 — allocation is not max-min",
+                rates[i]
+            );
+        }
+    }
+}
+
+/// The allocation is invariant under flow reordering: permuting the
+/// input flows permutes the rates identically (no order-dependent
+/// tie-breaking leaks into the result).
+#[test]
+fn fairshare_invariant_under_reordering() {
+    let mut rng = Rng64::seed_from_u64(0x5EED_0005);
+    for case in 0..64 {
+        let (caps, routes, prios) = arb_alloc_case(&mut rng);
+        let n = routes.len();
+        let flows: Vec<AllocFlow<'_>> = routes
+            .iter()
+            .zip(&prios)
+            .map(|(r, &p)| AllocFlow {
+                links: r,
+                priority: p,
+            })
+            .collect();
+        let rates = max_min_rates(&caps, &flows);
+
+        let mut perm: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut perm);
+        let shuffled: Vec<AllocFlow<'_>> = perm.iter().map(|&i| flows[i].clone()).collect();
+        let shuffled_rates = max_min_rates(&caps, &shuffled);
+        for (k, &i) in perm.iter().enumerate() {
+            let (a, b) = (rates[i], shuffled_rates[k]);
+            let close = if a.is_infinite() {
+                b.is_infinite()
+            } else {
+                (a - b).abs() <= 1e-6 * a.abs().max(1.0)
+            };
+            assert!(
+                close,
+                "case {case}: flow {i} rate changed under reordering: {a} vs {b}"
+            );
+        }
+    }
+}
+
+/// Work conservation within one priority class: with a single shared
+/// link, the full capacity is handed out.
+#[test]
+fn single_link_is_work_conserving() {
+    let mut rng = Rng64::seed_from_u64(0x5EED_0006);
+    for _ in 0..64 {
+        let n = rng.gen_range_inclusive(1, 19);
+        let cap = 1.0 + rng.gen_f64() * 1e9;
         let links = vec![0usize];
-        let flows: Vec<AllocFlow<'_>> =
-            (0..n).map(|_| AllocFlow { links: &links, priority: Priority::Dp }).collect();
+        let flows: Vec<AllocFlow<'_>> = (0..n)
+            .map(|_| AllocFlow {
+                links: &links,
+                priority: Priority::Dp,
+            })
+            .collect();
         let rates = max_min_rates(&[cap], &flows);
         let total: f64 = rates.iter().sum();
-        prop_assert!((total - cap).abs() < cap * 1e-9);
+        assert!(
+            (total - cap).abs() < cap * 1e-9,
+            "capacity not fully shared: {total} vs {cap}"
+        );
     }
 }
