@@ -7,18 +7,21 @@
 //! varying counts/sizes on every Table 5 fabric.
 
 use fred_bench::table::{fmt_bw, Table};
+use fred_bench::traceopt::TraceOpts;
 use fred_collectives::hierarchical::merge_concurrent;
 use fred_core::params::FabricConfig;
 use fred_sim::netsim::FlowNetwork;
 use fred_workloads::backend::FabricBackend;
 
 fn main() {
+    let mut opts = TraceOpts::from_args("ep_alltoall");
     let bytes = 1e9;
     let mut table = Table::new(vec!["EP layout", "config", "time (ms)", "effective NPU BW"]);
     // (groups, members) layouts covering 20 NPUs.
     for (groups, members) in [(1usize, 20usize), (2, 10), (4, 5), (5, 4), (10, 2)] {
         for config in FabricConfig::ALL {
             let backend = FabricBackend::new(config);
+            opts.name_links(&backend.topology());
             let plans = (0..groups)
                 .map(|g| {
                     let slots: Vec<usize> = (0..members).map(|m| g * members + m).collect();
@@ -27,12 +30,16 @@ fn main() {
                 })
                 .collect();
             let merged = merge_concurrent("ep", plans);
-            let mut net = FlowNetwork::new(backend.topology());
+            let mut net = FlowNetwork::with_sink(backend.topology(), opts.sink());
             let secs = merged
                 .execute(&mut net, fred_sim::flow::Priority::Mp)
                 .as_secs();
             // All-to-All traffic per NPU: (n-1)/n * D.
             let per_npu = (members as f64 - 1.0) / members as f64 * bytes;
+            opts.metric(
+                format!("{groups}xEP{members}/{}/ms", config.name()),
+                secs * 1e3,
+            );
             table.row(vec![
                 format!("{groups} x EP({members})"),
                 config.name().into(),
@@ -47,4 +54,5 @@ fn main() {
          exploit, so Fred-B/D match Fred-A/C — the win over the mesh comes \
          entirely from the nonblocking topology (§5.3 option 3 territory)."
     );
+    opts.finish();
 }

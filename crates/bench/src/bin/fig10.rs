@@ -11,14 +11,16 @@
 //! ResNet-152).
 
 use fred_bench::table::{fmt_secs, Table};
+use fred_bench::traceopt::TraceOpts;
 use fred_core::params::FabricConfig;
 use fred_workloads::backend::FabricBackend;
 use fred_workloads::model::DnnModel;
 use fred_workloads::report::{CommType, TrainingReport};
 use fred_workloads::schedule::ScheduleParams;
-use fred_workloads::trainer::simulate;
+use fred_workloads::trainer::simulate_traced;
 
 fn main() {
+    let mut opts = TraceOpts::from_args("fig10");
     let configs = [
         FabricConfig::BaselineMesh,
         FabricConfig::FredC,
@@ -43,7 +45,12 @@ fn main() {
         let mut reports: Vec<TrainingReport> = Vec::new();
         for config in configs {
             let backend = FabricBackend::new(config);
-            let r = simulate(&model, strategy, &backend, params);
+            opts.name_links(&backend.topology());
+            let r = simulate_traced(&model, strategy, &backend, params, opts.sink());
+            opts.metric(
+                format!("{}/{}/total_secs", model.name, config.name()),
+                r.total.as_secs(),
+            );
             reports.push(r);
         }
         let base_total = reports[0].total.as_secs();
@@ -64,6 +71,14 @@ fn main() {
             "Fig 10 — {} [{}], minibatch {}",
             model.name, strategy, params.minibatch
         ));
+        opts.metric(
+            format!("{}/fredc_speedup", model.name),
+            reports[1].speedup_over(&reports[0]),
+        );
+        opts.metric(
+            format!("{}/fredd_speedup", model.name),
+            reports[2].speedup_over(&reports[0]),
+        );
         summary.row(vec![
             model.name.clone(),
             format!("{:.2}x", reports[1].speedup_over(&reports[0])),
@@ -75,4 +90,5 @@ fn main() {
         "\npaper reference (Fred-D): ResNet-152 1.76x, Transformer-17B 1.87x, \
          GPT-3 1.34x, Transformer-1T 1.40x"
     );
+    opts.finish();
 }

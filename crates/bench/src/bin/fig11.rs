@@ -76,6 +76,8 @@ fn sweep(model: &DnnModel, strategies: &[Strategy3D], opts: &mut TraceOpts) {
         );
         let speedup = bt / ft;
         let gain = if fe > 0.0 { be / fe } else { f64::INFINITY };
+        opts.metric(format!("{}/{s}/base_ms_per_sample", model.name), bt);
+        opts.metric(format!("{}/{s}/fredd_ms_per_sample", model.name), ft);
         speedups.push(speedup);
         exposed_gains.push(gain.min(50.0));
         let label = s.to_string();
@@ -100,6 +102,11 @@ fn sweep(model: &DnnModel, strategies: &[Strategy3D], opts: &mut TraceOpts) {
         ]);
     }
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    opts.metric(format!("{}/avg_speedup", model.name), avg(&speedups));
+    opts.metric(
+        format!("{}/avg_exposed_gain", model.name),
+        avg(&exposed_gains),
+    );
     table.row(vec![
         "Avg".into(),
         String::new(),

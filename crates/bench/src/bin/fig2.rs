@@ -56,6 +56,8 @@ fn main() {
         let compute = r.compute.as_secs() * per;
         let exposed = r.exposed_total().as_secs() * per;
         let total = r.total.as_secs() * per;
+        opts.metric(format!("{strategy}/total_ms_per_sample"), total);
+        opts.metric(format!("{strategy}/exposed_ms_per_sample"), exposed);
         table.row(vec![
             r.strategy.clone(),
             r.minibatch.to_string(),

@@ -10,6 +10,7 @@
 //!    the 5×4 baseline stream concurrently (expected ≈ 0.65).
 
 use fred_bench::table::{fmt_bw, Table};
+use fred_bench::traceopt::TraceOpts;
 use fred_hwmodel::iohotspot;
 use fred_mesh::streaming;
 use fred_mesh::topology::MeshFabric;
@@ -17,6 +18,7 @@ use fred_sim::flow::Priority;
 use fred_sim::netsim::FlowNetwork;
 
 fn main() {
+    let mut opts = TraceOpts::from_args("fig4");
     // 1. Closed-form sweep.
     let mut t = Table::new(vec![
         "mesh width N",
@@ -52,7 +54,8 @@ fn main() {
 
     // 3. Simulated concurrent streaming on the paper baseline.
     let mesh = MeshFabric::paper_baseline();
-    let mut net = FlowNetwork::new(mesh.clone_topology());
+    opts.name_links(&mesh.clone_topology());
+    let mut net = FlowNetwork::with_sink(mesh.clone_topology(), opts.sink());
     let bytes = 128e9; // one second at channel line rate
     for io in 0..mesh.io_count() {
         for f in streaming::streaming_in_flows(&mesh, io, bytes, Priority::Bulk, io as u64) {
@@ -64,9 +67,11 @@ fn main() {
         .iter()
         .map(|c| c.completed_at.as_secs())
         .fold(0.0, f64::max);
+    opts.metric("baseline_line_rate_fraction", 1.0 / t_end);
     println!(
         "\nsimulated 18-channel concurrent streaming on the 5x4 baseline: \
          line-rate fraction {:.3} (paper: 750/1152 = 0.651)",
         1.0 / t_end
     );
+    opts.finish();
 }

@@ -6,17 +6,21 @@
 //! two dimensions and congests the third (Fig 5a vs 5b); on Fred-D the
 //! rows coincide — placement stops mattering.
 
+use std::rc::Rc;
+
 use fred_bench::table::Table;
+use fred_bench::traceopt::TraceOpts;
 use fred_collectives::hierarchical::merge_concurrent;
 use fred_collectives::plan::CommPlan;
 use fred_core::params::FabricConfig;
 use fred_core::placement::{Placement, PlacementPolicy, Strategy3D};
 use fred_sim::netsim::FlowNetwork;
+use fred_telemetry::sink::TraceSink;
 use fred_workloads::backend::FabricBackend;
 
-fn phase_time(backend: &FabricBackend, plans: Vec<CommPlan>) -> f64 {
+fn phase_time(backend: &FabricBackend, plans: Vec<CommPlan>, sink: Rc<dyn TraceSink>) -> f64 {
     let merged = merge_concurrent("phase", plans);
-    let mut net = FlowNetwork::new(backend.topology());
+    let mut net = FlowNetwork::with_sink(backend.topology(), sink);
     merged
         .execute(&mut net, fred_sim::flow::Priority::Bulk)
         .as_secs()
@@ -24,10 +28,12 @@ fn phase_time(backend: &FabricBackend, plans: Vec<CommPlan>) -> f64 {
 }
 
 fn main() {
+    let mut opts = TraceOpts::from_args("fig5_placement");
     let strategy = Strategy3D::new(2, 4, 2);
     let bytes = 1e9;
     for config in [FabricConfig::BaselineMesh, FabricConfig::FredD] {
         let backend = FabricBackend::new(config);
+        opts.name_links(&backend.topology());
         let mut table = Table::new(vec![
             "placement",
             "MP (ms)",
@@ -43,6 +49,7 @@ fn main() {
                     .iter()
                     .map(|g| backend.all_reduce(&backend.physical_group(g), bytes))
                     .collect(),
+                opts.sink(),
             );
             let dp = phase_time(
                 &backend,
@@ -50,6 +57,7 @@ fn main() {
                     .iter()
                     .map(|g| backend.all_reduce(&backend.physical_group(g), bytes))
                     .collect(),
+                opts.sink(),
             );
             let pp = phase_time(
                 &backend,
@@ -63,11 +71,15 @@ fn main() {
                         )
                     })
                     .collect(),
+                opts.sink(),
             );
             let worst = [("MP", mp), ("DP", dp), ("PP", pp)]
                 .into_iter()
                 .max_by(|a, b| a.1.total_cmp(&b.1))
                 .unwrap();
+            for (dim, ms) in [("MP", mp), ("DP", dp), ("PP", pp)] {
+                opts.metric(format!("{}/{policy:?}/{dim}_ms", config.name()), ms);
+            }
             table.row(vec![
                 format!("{policy:?}"),
                 format!("{mp:.3}"),
@@ -85,4 +97,5 @@ fn main() {
         "\nreading: no mesh placement makes all three phases fast at once \
          (§3.2.2: \"mathematically impossible\"); Fred-D rows are identical."
     );
+    opts.finish();
 }

@@ -6,6 +6,7 @@
 //! On FRED the same groups route conflict-free at full bandwidth.
 
 use fred_bench::table::{fmt_bw, Table};
+use fred_bench::traceopt::TraceOpts;
 use fred_collectives::hierarchical::merge_concurrent;
 use fred_core::params::FabricConfig;
 use fred_core::placement::{Placement, PlacementPolicy, Strategy3D};
@@ -15,6 +16,7 @@ use fred_sim::netsim::FlowNetwork;
 use fred_workloads::backend::FabricBackend;
 
 fn main() {
+    let mut opts = TraceOpts::from_args("fig6_nonaligned");
     let strategy = Strategy3D::new(5, 3, 1);
     let mesh = MeshFabric::paper_baseline();
 
@@ -39,6 +41,7 @@ fn main() {
     let mut table = Table::new(vec!["config", "phase", "time (ms)", "effective NPU BW"]);
     for config in [FabricConfig::BaselineMesh, FabricConfig::FredD] {
         let backend = FabricBackend::new(config);
+        opts.name_links(&backend.topology());
         let policy = if config.is_fred() {
             PlacementPolicy::MpPpDp
         } else {
@@ -52,10 +55,11 @@ fn main() {
                 .map(|g| backend.all_reduce(&backend.physical_group(g), bytes))
                 .collect();
             let merged = merge_concurrent(label, plans);
-            let mut net = FlowNetwork::new(backend.topology());
+            let mut net = FlowNetwork::with_sink(backend.topology(), opts.sink());
             let secs = merged
                 .execute(&mut net, fred_sim::flow::Priority::Bulk)
                 .as_secs();
+            opts.metric(format!("{}/{label}_ms", config.name()), secs * 1e3);
             let per_npu = if config.in_network_collectives() && n > 2 {
                 bytes
             } else {
@@ -75,4 +79,5 @@ fn main() {
          for non-aligned strategies; FRED routes the same groups conflict-free \
          (§3.2.3, §5.3)."
     );
+    opts.finish();
 }

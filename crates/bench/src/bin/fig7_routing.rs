@@ -9,6 +9,7 @@
 //!    randomly generated concurrent-flow sets — counting the routings
 //!    that only the exact solver finds.
 
+use fred_bench::traceopt::TraceOpts;
 use fred_core::conflict::ConflictGraph;
 use fred_core::flow::{validate_phase, Flow};
 use fred_core::interconnect::Interconnect;
@@ -16,6 +17,9 @@ use fred_core::routing::route_flows;
 use fred_sim::rng::Rng64;
 
 fn main() {
+    // No flow-level simulation here, but --report still captures the
+    // routing/colouring counters as regression metrics.
+    let mut opts = TraceOpts::from_args("fig7_routing");
     // 1. Fig 7(h).
     let fred2_8 = Interconnect::new(2, 8).unwrap();
     let flows = vec![
@@ -28,6 +32,9 @@ fn main() {
     println!("  in-fabric reductions:    {}", routed.reduction_count());
     println!("  in-fabric distributions: {}", routed.distribution_count());
     println!("  active units:            {}", routed.active_unit_count());
+    opts.metric("fig7h/reductions", routed.reduction_count() as f64);
+    opts.metric("fig7h/distributions", routed.distribution_count() as f64);
+    opts.metric("fig7h/active_units", routed.active_unit_count() as f64);
 
     // 2. Fig 7(j)-style conflict.
     let conflicting = vec![
@@ -88,4 +95,8 @@ fn main() {
         "(the exact solver is what makes \"routing conflict\" mean true \
          uncolourability, Fig 7i-j)"
     );
+    opts.metric("ablation/both_colour", both as f64);
+    opts.metric("ablation/exact_only", exact_only as f64);
+    opts.metric("ablation/conflict", neither as f64);
+    opts.finish();
 }

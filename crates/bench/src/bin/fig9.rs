@@ -40,7 +40,7 @@ fn phase_row(
     per_npu_traffic: f64,
     table: &mut Table,
     sink: Rc<dyn TraceSink>,
-) {
+) -> f64 {
     let merged = merge_concurrent(label, plans);
     let secs = run_plan(backend, &merged, sink);
     table.row(vec![
@@ -49,6 +49,7 @@ fn phase_row(
         fmt_secs(secs),
         fmt_bw(per_npu_traffic / secs),
     ]);
+    secs
 }
 
 fn main() {
@@ -89,7 +90,7 @@ fn main() {
                     .iter()
                     .map(|g| backend.all_reduce(g, ar_bytes))
                     .collect();
-                phase_row(
+                let secs = phase_row(
                     &backend,
                     "MP all-reduce",
                     plans,
@@ -97,6 +98,7 @@ fn main() {
                     &mut table,
                     opts.sink(),
                 );
+                opts.metric(format!("{strategy}/{}/MP/secs", config.name()), secs);
             }
             // DP phase.
             if strategy.dp > 1 {
@@ -114,7 +116,7 @@ fn main() {
                     .iter()
                     .map(|g| backend.all_reduce(g, grad_bytes))
                     .collect();
-                phase_row(
+                let secs = phase_row(
                     &backend,
                     "DP all-reduce",
                     plans,
@@ -122,6 +124,7 @@ fn main() {
                     &mut table,
                     opts.sink(),
                 );
+                opts.metric(format!("{strategy}/{}/DP/secs", config.name()), secs);
             }
             // PP phase: every stage feeds the next, member-to-member.
             if strategy.pp > 1 {
@@ -133,7 +136,7 @@ fn main() {
                         plans.push(backend.stage_transfer(&srcs, &dsts, ar_bytes));
                     }
                 }
-                phase_row(
+                let secs = phase_row(
                     &backend,
                     "PP transfer",
                     plans,
@@ -141,6 +144,7 @@ fn main() {
                     &mut table,
                     opts.sink(),
                 );
+                opts.metric(format!("{strategy}/{}/PP/secs", config.name()), secs);
             }
         }
         table.print(&format!("Fig 9 — {strategy}"));

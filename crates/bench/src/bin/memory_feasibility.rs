@@ -6,11 +6,15 @@
 //! and the "discarded strategies" the paper's intro motivates.
 
 use fred_bench::table::Table;
+use fred_bench::traceopt::TraceOpts;
 use fred_workloads::memory;
 use fred_workloads::model::DnnModel;
 use fred_workloads::strategies::aligned_strategies;
 
 fn main() {
+    // Closed-form memory accounting — no simulation to trace, but
+    // --report records the fit counts as regression metrics.
+    let mut opts = TraceOpts::from_args("memory_feasibility");
     const HBM: f64 = 80e9;
     for model in DnnModel::all_paper_workloads() {
         let mut table = Table::new(vec![
@@ -38,6 +42,7 @@ fn main() {
                 if fits { "yes".into() } else { "NO".into() },
             ]);
         }
+        opts.metric(format!("{}/strategies_fitting", model.name), fit as f64);
         table.print(&format!(
             "§3.1 memory feasibility — {} ({}/{} strategies fit weight-stationary)",
             model.name,
@@ -50,4 +55,5 @@ fn main() {
          with MP/PP sharding and only marginally as pure DP; GPT-3 and \
          Transformer-1T fit nowhere — hence Table 6's weight-streaming rows."
     );
+    opts.finish();
 }

@@ -29,6 +29,7 @@ fn main() {
     ]);
     for n in [4usize, 5, 6, 8, 12, 16] {
         let frac = iohotspot::achievable_channel_rate(n, p, link) / p;
+        opts.metric(format!("mesh_line_rate_fraction/{n}x{n}"), frac);
         table.row(vec![
             format!("{} ({n}x{n})", n * n),
             fmt_bw(iohotspot::required_link_bw(n, p)),
@@ -58,6 +59,10 @@ fn main() {
                 .iter()
                 .map(|c| c.completed_at.as_secs())
                 .fold(0.0, f64::max);
+            opts.metric(
+                format!("global_ar_ms/{wafers}w/{}", fmt_bw(inter_bw)),
+                t * 1e3,
+            );
             table.row(vec![
                 wafers.to_string(),
                 fmt_bw(inter_bw),

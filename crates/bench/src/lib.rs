@@ -7,6 +7,7 @@
 //! Micro-benchmarks live under `benches/` on the self-contained
 //! [`timing`] harness.
 
+pub mod report;
 pub mod table;
 pub mod timing;
 pub mod traceopt;

@@ -1,4 +1,5 @@
-//! `--trace` / `--metrics` command-line support for figure binaries.
+//! `--trace` / `--metrics` / `--report` command-line support for
+//! figure binaries.
 //!
 //! Every instrumented binary accepts:
 //!
@@ -6,19 +7,28 @@
 //!   Perfetto JSON file (open at <https://ui.perfetto.dev>);
 //! * `--metrics <path>` — write the aggregated metrics JSON (per-link
 //!   busy time and utilization, completion-time histogram, per-phase
-//!   effective GB/s per NPU).
+//!   effective GB/s per NPU);
+//! * `--report <path>` — write a versioned machine-readable
+//!   [`BenchReport`](crate::report::BenchReport) JSON
+//!   (`BENCH_<name>.json` by convention) with the binary's headline
+//!   results, wall time, and critical-path attribution — the input to
+//!   `bench-diff`.
 //!
-//! Either flag alone turns recording on; with neither, the binary
-//! runs untraced through the zero-overhead `NullSink` and produces
+//! Any flag alone turns recording on; with none, the binary runs
+//! untraced through the zero-overhead `NullSink` and produces
 //! bit-identical simulation results.
 
 use std::path::PathBuf;
 use std::rc::Rc;
+use std::time::Instant;
 
 use fred_sim::topology::Topology;
+use fred_telemetry::analysis::Analysis;
 use fred_telemetry::metrics::Metrics;
 use fred_telemetry::perfetto::{export_chrome_trace, TraceMeta};
 use fred_telemetry::sink::{NullSink, RingRecorder, TraceSink};
+
+use crate::report::BenchReport;
 
 /// Parsed tracing options plus the shared sink to simulate with.
 #[derive(Debug)]
@@ -27,15 +37,20 @@ pub struct TraceOpts {
     pub trace_path: Option<PathBuf>,
     /// Where to write the metrics JSON, if requested.
     pub metrics_path: Option<PathBuf>,
+    /// Where to write the bench report JSON, if requested.
+    pub report_path: Option<PathBuf>,
     recorder: Option<Rc<RingRecorder>>,
     link_names: Vec<String>,
     process_name: String,
+    metrics: Vec<(String, f64)>,
+    started: Instant,
 }
 
 impl TraceOpts {
-    /// Parses `--trace <path>` / `--metrics <path>` out of the
-    /// process arguments. `process_name` labels the trace (use the
-    /// figure name).
+    /// Parses `--trace <path>` / `--metrics <path>` / `--report
+    /// <path>` out of the process arguments. `process_name` labels the
+    /// trace and report (use the figure name). Also starts the wall
+    /// timer that `--report` records.
     ///
     /// # Panics
     ///
@@ -44,6 +59,7 @@ impl TraceOpts {
     pub fn from_args(process_name: &str) -> TraceOpts {
         let mut trace_path = None;
         let mut metrics_path = None;
+        let mut report_path = None;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -59,13 +75,19 @@ impl TraceOpts {
                         .unwrap_or_else(|| usage(process_name, "--metrics"));
                     metrics_path = Some(PathBuf::from(v));
                 }
+                "--report" => {
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage(process_name, "--report"));
+                    report_path = Some(PathBuf::from(v));
+                }
                 other => {
                     eprintln!("{process_name}: unknown argument `{other}`");
                     usage(process_name, other);
                 }
             }
         }
-        let recorder = if trace_path.is_some() || metrics_path.is_some() {
+        let recorder = if trace_path.is_some() || metrics_path.is_some() || report_path.is_some() {
             Some(Rc::new(RingRecorder::new()))
         } else {
             None
@@ -73,9 +95,28 @@ impl TraceOpts {
         TraceOpts {
             trace_path,
             metrics_path,
+            report_path,
             recorder,
             link_names: Vec::new(),
             process_name: process_name.to_string(),
+            metrics: Vec::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Records one headline simulation result for the bench report
+    /// (e.g. `opts.metric("mesh/MP/secs", d.as_secs())`). Cheap no-op
+    /// storage when `--report` was not given; keys should be stable
+    /// across commits because `bench-diff` compares them leaf by
+    /// leaf.
+    pub fn metric(&mut self, key: impl Into<String>, value: f64) {
+        if self.report_path.is_none() {
+            return;
+        }
+        let key = key.into();
+        match self.metrics.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => *v = value,
+            None => self.metrics.push((key, value)),
         }
     }
 
@@ -120,7 +161,8 @@ impl TraceOpts {
         let events = rec.events();
         if rec.overwritten() > 0 {
             eprintln!(
-                "{}: trace ring overflowed; oldest {} events dropped",
+                "{}: WARNING: trace ring overflowed; oldest {} events dropped — \
+                 metrics, attribution, and reports below are incomplete",
                 self.process_name,
                 rec.overwritten()
             );
@@ -142,7 +184,7 @@ impl TraceOpts {
             );
         }
         if let Some(path) = &self.metrics_path {
-            let metrics = Metrics::from_events(&events);
+            let metrics = Metrics::from_events(&events).with_dropped(rec.overwritten());
             std::fs::write(path, metrics.to_json())
                 .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
             eprintln!(
@@ -153,10 +195,30 @@ impl TraceOpts {
                 path.display()
             );
         }
+        if let Some(path) = &self.report_path {
+            let mut report = BenchReport::new(self.process_name.clone());
+            report.wall_secs = self.started.elapsed().as_secs_f64();
+            report.sim = self.metrics.clone();
+            let analysis = Analysis::from_events(&events).with_dropped(rec.overwritten());
+            eprint!("{}", analysis.summary());
+            report.analysis = Some(analysis);
+            report
+                .write(path)
+                .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+            eprintln!(
+                "{}: wrote bench report ({} sim metrics) to {} — compare with `bench-diff`",
+                self.process_name,
+                report.sim.len(),
+                path.display()
+            );
+        }
     }
 }
 
 fn usage(process_name: &str, flag: &str) -> ! {
-    eprintln!("usage: {process_name} [--trace <path>] [--metrics <path>]  (failed at `{flag}`)");
+    eprintln!(
+        "usage: {process_name} [--trace <path>] [--metrics <path>] [--report <path>]  \
+         (failed at `{flag}`)"
+    );
     std::process::exit(2);
 }

@@ -1,0 +1,133 @@
+//! Integration tests for the bench-report pipeline: report files on
+//! disk, the `bench-diff` binary's exit codes, and self-check.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use fred_bench::report::{self, BenchReport};
+
+fn bench_diff() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bench-diff"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("fred-bench-test-{}-{name}", std::process::id()));
+    p
+}
+
+fn write_report(name: &str, metrics: &[(&str, f64)]) -> PathBuf {
+    let mut r = BenchReport::new("itest");
+    r.wall_secs = 0.01;
+    for (k, v) in metrics {
+        r.metric(*k, *v);
+    }
+    let path = tmp(name);
+    r.write(&path).unwrap();
+    path
+}
+
+#[test]
+fn identical_reports_exit_zero() {
+    let a = write_report("same-a.json", &[("m1", 1.0), ("m2", 2.0)]);
+    let b = write_report("same-b.json", &[("m1", 1.0), ("m2", 2.0)]);
+    let st = bench_diff().arg(&a).arg(&b).status().unwrap();
+    assert!(st.success());
+    std::fs::remove_file(a).ok();
+    std::fs::remove_file(b).ok();
+}
+
+#[test]
+fn regression_beyond_threshold_exits_nonzero() {
+    let a = write_report("reg-a.json", &[("m1", 1.0)]);
+    let b = write_report("reg-b.json", &[("m1", 1.2)]); // +20%
+    let fail = bench_diff()
+        .args([
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+            "--threshold",
+            "0.05",
+        ])
+        .status()
+        .unwrap();
+    assert_eq!(fail.code(), Some(1), "20% change must fail a 5% threshold");
+    let pass = bench_diff()
+        .args([
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+            "--threshold",
+            "0.5",
+        ])
+        .status()
+        .unwrap();
+    assert!(pass.success(), "20% change must pass a 50% threshold");
+    std::fs::remove_file(a).ok();
+    std::fs::remove_file(b).ok();
+}
+
+#[test]
+fn missing_metric_is_a_regression() {
+    let a = write_report("miss-a.json", &[("m1", 1.0), ("m2", 2.0)]);
+    let b = write_report("miss-b.json", &[("m1", 1.0)]);
+    let st = bench_diff()
+        .args([
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+            "--threshold",
+            "99",
+        ])
+        .status()
+        .unwrap();
+    assert_eq!(st.code(), Some(1));
+    std::fs::remove_file(a).ok();
+    std::fs::remove_file(b).ok();
+}
+
+#[test]
+fn self_check_accepts_valid_and_rejects_invalid() {
+    let good = write_report("sc-good.json", &[("m1", 1.0)]);
+    let st = bench_diff()
+        .args(["--self-check", good.to_str().unwrap()])
+        .status()
+        .unwrap();
+    assert!(st.success());
+
+    let bad = tmp("sc-bad.json");
+    // Attribution breaks the sum invariant.
+    std::fs::write(
+        &bad,
+        r#"{"schema_version":1,"name":"x","wall_secs":0,"sim":{},
+           "analysis":{"trace_truncated":false,"dropped_events":0,
+           "total_makespan_secs":5.0,
+           "attribution":{"compute":1.0},"runs":[]}}"#,
+    )
+    .unwrap();
+    let st = bench_diff()
+        .args(["--self-check", bad.to_str().unwrap()])
+        .status()
+        .unwrap();
+    assert_eq!(st.code(), Some(1));
+    std::fs::remove_file(good).ok();
+    std::fs::remove_file(bad).ok();
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let st = bench_diff().arg("only-one.json").status().unwrap();
+    assert_eq!(st.code(), Some(2));
+    let st = bench_diff().status().unwrap();
+    assert_eq!(st.code(), Some(2));
+}
+
+#[test]
+fn written_report_parses_and_diffs_via_library() {
+    let path = write_report("lib.json", &[("m", 4.0)]);
+    let text = std::fs::read_to_string(&path).unwrap();
+    let v = report::parse(&text).unwrap();
+    assert!(report::self_check(&v).is_ok());
+    assert!(report::diff(&v, &v)
+        .unwrap()
+        .iter()
+        .all(|e| !e.exceeds(0.0)));
+    std::fs::remove_file(path).ok();
+}

@@ -109,9 +109,13 @@ impl CommPlan {
     pub fn execute(&self, net: &mut FlowNetwork, priority: Priority) -> Duration {
         let start = net.now();
         let track = track_of(priority);
+        let mut prev_span: Option<u64> = None;
         for (k, phase) in self.phases.iter().enumerate() {
             // Phase-boundary telemetry: one duration span per plan
-            // phase on the priority's parallelism track.
+            // phase on the priority's parallelism track. The span id
+            // doubles as the flow correlation tag, and consecutive
+            // phases are chained with happens-before edges so the
+            // analysis layer can reconstruct the serial plan DAG.
             let span = if net.sink().enabled() {
                 let span = next_span_id();
                 let mut npus: Vec<usize> = phase.transfers.iter().map(|t| t.src).collect();
@@ -124,14 +128,27 @@ impl CommPlan {
                     label: format!("{}[{k}]", self.label).into(),
                     bytes: phase.total_bytes(),
                     npus: npus.len() as u32,
+                    tag: span,
                 });
+                if let Some(pred) = prev_span {
+                    net.sink().record(TraceEvent::SpanDep {
+                        t: net.now().as_secs(),
+                        span,
+                        pred,
+                    });
+                }
+                prev_span = Some(span);
                 Some(span)
             } else {
                 None
             };
             let mut outstanding = 0usize;
             for t in &phase.transfers {
-                net.inject(FlowSpec::new(t.route.clone(), t.bytes).with_priority(priority));
+                net.inject(
+                    FlowSpec::new(t.route.clone(), t.bytes)
+                        .with_priority(priority)
+                        .with_tag(span.unwrap_or(0)),
+                );
                 outstanding += 1;
             }
             while outstanding > 0 {

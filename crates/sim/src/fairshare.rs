@@ -123,6 +123,23 @@ pub fn max_min_rates(capacities: &[f64], flows: &[AllocFlow<'_>]) -> Vec<f64> {
     rates
 }
 
+/// The rate a single flow over `links` would get with the network to
+/// itself: the bottleneck-link capacity (`f64::INFINITY` for an empty,
+/// node-local route). This is the *ideal rate* the telemetry analysis
+/// layer re-costs flows at to split observed phase time into exposed
+/// communication vs. contention; it equals `max_min_rates` run over the
+/// flow alone.
+///
+/// # Panics
+///
+/// Panics if a link index is out of range of `capacities`.
+pub fn solo_rate(capacities: &[f64], links: &[usize]) -> f64 {
+    links
+        .iter()
+        .map(|&l| capacities[l])
+        .fold(f64::INFINITY, f64::min)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,6 +221,17 @@ mod tests {
         assert_eq!(r[1], 0.0);
         assert_eq!(r[2], 0.0);
         assert_eq!(r[3], 10.0);
+    }
+
+    #[test]
+    fn solo_rate_is_bottleneck_capacity() {
+        assert_eq!(solo_rate(&[10.0, 4.0, 7.0], &[0, 1, 2]), 4.0);
+        assert_eq!(solo_rate(&[10.0], &[]), f64::INFINITY);
+        // A lone flow's max-min allocation equals its solo rate.
+        let specs = [(vec![0usize, 1], Priority::Bulk)];
+        let caps = [10.0, 4.0];
+        let r = max_min_rates(&caps, &flows(&specs));
+        assert_eq!(r[0], solo_rate(&caps, &specs[0].0));
     }
 
     #[test]

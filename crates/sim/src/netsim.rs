@@ -134,6 +134,15 @@ impl FlowNetwork {
         let capacities: Vec<f64> = topo.links().map(|(_, l)| l.bandwidth).collect();
         let link_bytes = vec![0.0; capacities.len()];
         let link_alloc = vec![0.0; capacities.len()];
+        if sink.enabled() {
+            // Marks the start of a simulation segment within the
+            // recording and gives the analysis layer the capacities it
+            // needs to re-cost flows at their contention-free rate.
+            sink.record(TraceEvent::Topology {
+                t: 0.0,
+                capacities: capacities.clone().into_boxed_slice(),
+            });
+        }
         FlowNetwork {
             topo,
             now: Time::ZERO,
@@ -200,7 +209,7 @@ impl FlowNetwork {
                 tag: flow.tag,
                 bytes: spec.bytes,
                 track: track_of(flow.priority),
-                hops: flow.links.len() as u32,
+                links: flow.links.iter().map(|&l| l as u32).collect(),
             });
         }
         if flow.remaining <= DRAIN_EPS || flow.links.is_empty() {
@@ -247,7 +256,7 @@ impl FlowNetwork {
                     tag: flow.tag,
                     bytes: spec.bytes,
                     track: track_of(flow.priority),
-                    hops: flow.links.len() as u32,
+                    links: flow.links.iter().map(|&l| l as u32).collect(),
                 });
             }
             if flow.remaining <= DRAIN_EPS || flow.links.is_empty() {
@@ -292,6 +301,13 @@ impl FlowNetwork {
         let rates = max_min_rates(&self.capacities, &alloc);
         for (f, r) in self.active.iter_mut().zip(rates) {
             f.rate = r;
+            // Feasibility: no allocation can beat the flow's solo
+            // (bottleneck-capacity) rate — the ideal rate the analysis
+            // layer re-costs against.
+            debug_assert!(
+                f.rate <= crate::fairshare::solo_rate(&self.capacities, &f.links) + 1e-9,
+                "allocated rate exceeds contention-free rate"
+            );
         }
         if self.sink.enabled() {
             self.emit_rate_epoch();

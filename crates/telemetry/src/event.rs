@@ -2,8 +2,12 @@
 //!
 //! Events carry raw identifiers and `f64` seconds so every layer of
 //! the stack (netsim, collectives, trainer) can emit without this
-//! crate depending on any of them. Flow-lifecycle variants are `Copy`
-//! data end to end — recording one never allocates.
+//! crate depending on any of them. [`TraceEvent::FlowDrained`],
+//! [`TraceEvent::FlowCompleted`], [`TraceEvent::RateEpoch`] and
+//! [`TraceEvent::LinkUtil`] are `Copy` data end to end;
+//! [`TraceEvent::FlowInjected`] carries its route (one small boxed
+//! slice per flow) so the analysis layer can re-cost every flow at its
+//! contention-free rate and attribute link contention to phase pairs.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -72,6 +76,17 @@ impl fmt::Display for Track {
 /// One structured simulation event. Times are simulation seconds.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TraceEvent {
+    /// A fresh simulator was constructed over a topology. Marks the
+    /// start of a new simulation *segment* within one recording (the
+    /// figure binaries run several simulations into one sink) and
+    /// carries the per-link capacities the analysis layer needs to
+    /// re-cost flows at their contention-free rate.
+    Topology {
+        /// Simulation time (always the new simulator's clock zero).
+        t: f64,
+        /// Capacity in bytes/s per link, indexed by `LinkId.0`.
+        capacities: Box<[f64]>,
+    },
     /// A flow started draining bytes into the network.
     FlowInjected {
         /// Simulation time.
@@ -84,8 +99,8 @@ pub enum TraceEvent {
         bytes: f64,
         /// Priority-derived track.
         track: Track,
-        /// Route length in links.
-        hops: u32,
+        /// Route as link indices (`LinkId.0`), in traversal order.
+        links: Box<[u32]>,
     },
     /// A flow pushed its last byte (stops consuming bandwidth).
     FlowDrained {
@@ -140,6 +155,10 @@ pub enum TraceEvent {
         bytes: f64,
         /// Endpoints participating (0 when unknown).
         npus: u32,
+        /// Correlation tag: flows injected with this
+        /// [`TraceEvent::FlowInjected::tag`] while the span is open
+        /// belong to it (0 when the span owns no flows).
+        tag: u64,
     },
     /// A collective phase ended.
     PhaseEnd {
@@ -149,6 +168,19 @@ pub enum TraceEvent {
         track: Track,
         /// Span id of the matching [`TraceEvent::PhaseBegin`].
         span: u64,
+    },
+    /// A happens-before edge between two spans: `span` could not start
+    /// before `pred` finished (a trainer task dependency or the serial
+    /// phase ordering of a collective plan). The analysis layer uses
+    /// these edges to reconstruct the causal DAG and its critical path.
+    SpanDep {
+        /// Simulation time the edge was observed (the successor's
+        /// start).
+        t: f64,
+        /// The successor span id.
+        span: u64,
+        /// The predecessor span id.
+        pred: u64,
     },
     /// An instantaneous trainer iteration-stage marker.
     IterStage {
@@ -163,13 +195,15 @@ impl TraceEvent {
     /// The simulation time the event occurred at.
     pub fn time(&self) -> f64 {
         match *self {
-            TraceEvent::FlowInjected { t, .. }
+            TraceEvent::Topology { t, .. }
+            | TraceEvent::FlowInjected { t, .. }
             | TraceEvent::FlowDrained { t, .. }
             | TraceEvent::FlowCompleted { t, .. }
             | TraceEvent::RateEpoch { t, .. }
             | TraceEvent::LinkUtil { t, .. }
             | TraceEvent::PhaseBegin { t, .. }
             | TraceEvent::PhaseEnd { t, .. }
+            | TraceEvent::SpanDep { t, .. }
             | TraceEvent::IterStage { t, .. } => t,
         }
     }
@@ -203,7 +237,7 @@ mod tests {
                 tag: 0,
                 bytes: 1.0,
                 track: Track::Mp,
-                hops: 1,
+                links: Box::new([0]),
             },
             TraceEvent::FlowDrained { t: 2.0, id: 0 },
             TraceEvent::FlowCompleted {
@@ -229,6 +263,7 @@ mod tests {
                 label: "x".into(),
                 bytes: 0.0,
                 npus: 0,
+                tag: 0,
             },
             TraceEvent::PhaseEnd {
                 t: 7.0,
@@ -238,6 +273,15 @@ mod tests {
             TraceEvent::IterStage {
                 t: 8.0,
                 label: "fwd".into(),
+            },
+            TraceEvent::Topology {
+                t: 9.0,
+                capacities: Box::new([100.0]),
+            },
+            TraceEvent::SpanDep {
+                t: 10.0,
+                span: 2,
+                pred: 1,
             },
         ];
         for (i, e) in evs.iter().enumerate() {

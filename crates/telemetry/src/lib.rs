@@ -25,7 +25,13 @@
 //! * [`metrics`] — an aggregation layer computing per-link busy time,
 //!   peak/mean utilization, flow-completion-time histograms, and
 //!   per-phase effective bandwidth in GB/s per NPU (the paper's §8.1
-//!   metric).
+//!   metric);
+//! * [`analysis`] / [`attribution`] — critical-path reconstruction
+//!   over the recorded span DAG, charging every makespan second to
+//!   {compute, exposed MP/PP/DP/bulk communication, contention,
+//!   unattributed} via ideal-rate re-costing, plus the per-link
+//!   contention matrix (which phase pairs shared a link and how much
+//!   slowdown each inflicted).
 //!
 //! The crate is dependency-free and knows nothing about the simulator:
 //! events carry raw ids (`u64` flows, `u32` links) and seconds as
@@ -42,7 +48,7 @@
 //! let rec = RingRecorder::with_capacity(1024);
 //! rec.record(TraceEvent::PhaseBegin {
 //!     t: 0.0, track: Track::Mp, span: 1, label: "ring-allreduce".into(),
-//!     bytes: 1e9, npus: 20,
+//!     bytes: 1e9, npus: 20, tag: 0,
 //! });
 //! rec.record(TraceEvent::PhaseEnd { t: 0.5, track: Track::Mp, span: 1 });
 //! let m = Metrics::from_events(&rec.events());
@@ -53,12 +59,16 @@
 //! assert!(String::from_utf8(json).unwrap().contains("traceEvents"));
 //! ```
 
+pub mod analysis;
+pub mod attribution;
 pub mod event;
 pub mod json;
 pub mod metrics;
 pub mod perfetto;
 pub mod sink;
 
+pub use analysis::Analysis;
+pub use attribution::{Attribution, Bucket};
 pub use event::{TraceEvent, Track};
 pub use metrics::Metrics;
 pub use sink::{NullSink, RingRecorder, TeeSink, TraceSink};

@@ -128,6 +128,10 @@ pub struct Metrics {
     pub flows_injected: u64,
     /// Last event timestamp (the observation window end), seconds.
     pub end_time: f64,
+    /// Events the ring recorder overwrote before aggregation (see
+    /// [`crate::sink::RingRecorder::overwritten`]). Non-zero means
+    /// every aggregate here was computed over a truncated trace.
+    pub dropped_events: u64,
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -193,6 +197,7 @@ impl Metrics {
                     label,
                     bytes,
                     npus,
+                    ..
                 } => {
                     open.insert(
                         *span,
@@ -216,7 +221,9 @@ impl Metrics {
                         });
                     }
                 }
-                TraceEvent::IterStage { .. } => {}
+                TraceEvent::IterStage { .. }
+                | TraceEvent::Topology { .. }
+                | TraceEvent::SpanDep { .. } => {}
             }
         }
 
@@ -252,11 +259,27 @@ impl Metrics {
         m
     }
 
+    /// Records how many events the ring recorder overwrote before the
+    /// trace was aggregated.
+    pub fn with_dropped(mut self, dropped: u64) -> Metrics {
+        self.dropped_events = dropped;
+        self
+    }
+
+    /// Whether the underlying trace lost events to ring overflow.
+    pub fn truncated(&self) -> bool {
+        self.dropped_events > 0
+    }
+
     /// Renders the metrics as a JSON document.
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(4096);
         s.push_str("{\"window_secs\":");
         push_num(&mut s, self.end_time);
+        s.push_str(",\"trace_truncated\":");
+        s.push_str(if self.truncated() { "true" } else { "false" });
+        s.push_str(",\"dropped_events\":");
+        push_num(&mut s, self.dropped_events as f64);
         s.push_str(",\"flows_injected\":");
         push_num(&mut s, self.flows_injected as f64);
         s.push_str(",\"rate_epochs\":");
@@ -340,6 +363,7 @@ mod tests {
                 label: "dp-allreduce".into(),
                 bytes: 4e9,
                 npus: 2,
+                tag: 0,
             },
             TraceEvent::FlowInjected {
                 t: 0.0,
@@ -347,7 +371,7 @@ mod tests {
                 tag: 0,
                 bytes: 2e9,
                 track: Track::Dp,
-                hops: 2,
+                links: Box::new([2, 3]),
             },
             TraceEvent::RateEpoch {
                 t: 0.0,
@@ -438,6 +462,18 @@ mod tests {
             })
             .sum();
         assert_eq!(braces, 0);
+    }
+
+    #[test]
+    fn dropped_events_surface_in_json() {
+        let m = Metrics::from_events(&events()).with_dropped(7);
+        assert!(m.truncated());
+        let j = m.to_json();
+        assert!(j.contains("\"trace_truncated\":true"));
+        assert!(j.contains("\"dropped_events\":7"));
+        let clean = Metrics::from_events(&events());
+        assert!(!clean.truncated());
+        assert!(clean.to_json().contains("\"trace_truncated\":false"));
     }
 
     #[test]

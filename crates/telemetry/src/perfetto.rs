@@ -140,6 +140,7 @@ pub fn export_chrome_trace(
                 label,
                 bytes,
                 npus,
+                ..
             } => {
                 open.insert(
                     *span,
@@ -200,10 +201,14 @@ pub fn export_chrome_trace(
             }
             // Individual flow lifecycle events are aggregated by the
             // metrics layer rather than drawn (hundreds of thousands
-            // of instants would drown the phase view).
+            // of instants would drown the phase view); topology
+            // markers and span dependencies belong to the analysis
+            // layer.
             TraceEvent::FlowInjected { .. }
             | TraceEvent::FlowDrained { .. }
-            | TraceEvent::FlowCompleted { .. } => {}
+            | TraceEvent::FlowCompleted { .. }
+            | TraceEvent::Topology { .. }
+            | TraceEvent::SpanDep { .. } => {}
         }
     }
 
@@ -230,6 +235,7 @@ mod tests {
                 label: "mp-allreduce".into(),
                 bytes: 2e9,
                 npus: 4,
+                tag: 0,
             },
             TraceEvent::LinkUtil {
                 t: 0.0,
@@ -287,6 +293,7 @@ mod tests {
                 label: "open".into(),
                 bytes: 0.0,
                 npus: 0,
+                tag: 0,
             },
             TraceEvent::RateEpoch {
                 t: 2.0,

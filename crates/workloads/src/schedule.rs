@@ -535,6 +535,18 @@ impl Schedule {
             .filter(|t| matches!(t.body, TaskBody::Comm { .. }))
             .count()
     }
+
+    /// Exports the stage DAG as `(task, dependency)` index pairs — the
+    /// same happens-before edges the traced trainer records as
+    /// `SpanDep` events. Every edge points backwards (`dep < task`)
+    /// because the builder emits tasks in topological order.
+    pub fn dag_edges(&self) -> Vec<(usize, usize)> {
+        self.tasks
+            .iter()
+            .enumerate()
+            .flat_map(|(i, t)| t.deps.iter().map(move |d| (i, d.0)))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -653,6 +665,20 @@ mod tests {
             for d in &t.deps {
                 assert!(d.0 < i, "task {i} depends on later task {}", d.0);
             }
+        }
+    }
+
+    #[test]
+    fn dag_edges_match_task_deps_and_point_backwards() {
+        let m = DnnModel::transformer_17b();
+        let (s, _) = build(&m, m.default_strategy, FabricConfig::BaselineMesh);
+        let edges = s.dag_edges();
+        let total_deps: usize = s.tasks.iter().map(|t| t.deps.len()).sum();
+        assert_eq!(edges.len(), total_deps);
+        assert!(!edges.is_empty());
+        for (task, dep) in edges {
+            assert!(dep < task, "edge ({task}, {dep}) points forward");
+            assert!(s.tasks[task].deps.contains(&TaskId(dep)));
         }
     }
 

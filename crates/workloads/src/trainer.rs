@@ -80,6 +80,9 @@ pub fn run_iteration_traced(
     let tracing = sink.enabled();
     // Open span per running task (telemetry only).
     let mut spans: Vec<Option<u64>> = vec![None; n];
+    // Persistent span id per task (survives PhaseEnd) so dependency
+    // edges can reference predecessors that already finished.
+    let mut span_ids: Vec<u64> = vec![0; n];
     if tracing {
         sink.record(TraceEvent::IterStage {
             t: 0.0,
@@ -117,12 +120,14 @@ pub fn run_iteration_traced(
             let transfers = &plan.phases[state.phase].transfers;
             state.phase += 1;
             if !transfers.is_empty() {
+                // The tag is the task index shifted by one: tag 0 is
+                // reserved for "no owner" in the telemetry layer.
                 let flows: Vec<FlowSpec> = transfers
                     .iter()
                     .map(|t| {
                         FlowSpec::new(t.route.clone(), t.bytes)
                             .with_priority(*priority)
-                            .with_tag(i as u64)
+                            .with_tag(i as u64 + 1)
                     })
                     .collect();
                 state.outstanding = flows.len();
@@ -165,6 +170,13 @@ pub fn run_iteration_traced(
                 };
                 let span = next_span_id();
                 spans[i] = Some(span);
+                span_ids[i] = span;
+                // Comm spans claim their flows through the task-index
+                // correlation tag (shifted by one; see advance_comm).
+                let tag = match &schedule.tasks[i].body {
+                    TaskBody::Comm { .. } => i as u64 + 1,
+                    TaskBody::Compute { .. } => 0,
+                };
                 sink.record(TraceEvent::PhaseBegin {
                     t: t.as_secs(),
                     track,
@@ -172,7 +184,20 @@ pub fn run_iteration_traced(
                     label: label.into(),
                     bytes,
                     npus,
+                    tag,
                 });
+                // The schedule's dependency edges become the trace's
+                // happens-before DAG.
+                for d in &schedule.tasks[i].deps {
+                    let pred = span_ids[d.0];
+                    if pred != 0 {
+                        sink.record(TraceEvent::SpanDep {
+                            t: t.as_secs(),
+                            span,
+                            pred,
+                        });
+                    }
+                }
             }
             match &schedule.tasks[i].body {
                 TaskBody::Compute { duration, .. } => {
@@ -240,9 +265,10 @@ pub fn run_iteration_traced(
         };
         net.advance_to(next);
 
-        // Network completions: progress comm tasks.
+        // Network completions: progress comm tasks (the tag carries
+        // the task index shifted by one).
         for c in net.drain_completed() {
-            let i = c.tag as usize;
+            let i = (c.tag - 1) as usize;
             let state = comm.get_mut(&i).expect("completion for unknown comm task");
             state.outstanding -= 1;
             if state.outstanding == 0 && advance_comm(schedule, &mut net, &mut comm, i) {
