@@ -8,6 +8,7 @@
 //!    2–4 wafers, showing the inter-wafer channel bandwidth taking over
 //!    as the bottleneck.
 
+use fred_bench::churn::{run_churn, SCALING_SWEEP};
 use fred_bench::table::{fmt_bw, Table};
 use fred_bench::traceopt::TraceOpts;
 use fred_core::multiwafer::MultiWafer;
@@ -76,5 +77,32 @@ fn main() {
         "\nreading: on-wafer FRED keeps each NPU at 3 TB/s regardless of wafer \
          count; the inter-wafer channels set the ceiling, as §8.3 anticipates."
     );
+
+    // 3. Simulator-throughput churn sweep: the fair-share solver is the
+    //    dominant cost at the 1k–4k-NPU points, so events/s here tracks
+    //    the allocator directly (the largest config is the regression
+    //    gate seeded in results/baselines/).
+    let mut table = Table::new(vec![
+        "NPUs",
+        "flows",
+        "sim makespan (ms)",
+        "wall (s)",
+        "events/s",
+    ]);
+    for cfg in &SCALING_SWEEP {
+        let r = run_churn(cfg);
+        let npus = cfg.npus();
+        opts.metric(format!("churn_makespan_ms/{npus}"), r.makespan_secs * 1e3);
+        opts.metric(format!("churn_checksum_secs/{npus}"), r.completion_checksum);
+        opts.metric(format!("events_per_sec/{npus}"), r.events_per_sec());
+        table.row(vec![
+            npus.to_string(),
+            cfg.flows.to_string(),
+            format!("{:.3}", r.makespan_secs * 1e3),
+            format!("{:.3}", r.wall_secs),
+            format!("{:.0}", r.events_per_sec()),
+        ]);
+    }
+    table.print("scaling — flow-churn simulator throughput (local traffic, target concurrency)");
     opts.finish();
 }

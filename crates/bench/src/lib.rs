@@ -7,6 +7,7 @@
 //! Micro-benchmarks live under `benches/` on the self-contained
 //! [`timing`] harness.
 
+pub mod churn;
 pub mod report;
 pub mod table;
 pub mod timing;

@@ -44,6 +44,7 @@ pub struct TraceOpts {
     process_name: String,
     metrics: Vec<(String, f64)>,
     started: Instant,
+    events_at_start: u64,
 }
 
 impl TraceOpts {
@@ -101,6 +102,7 @@ impl TraceOpts {
             process_name: process_name.to_string(),
             metrics: Vec::new(),
             started: Instant::now(),
+            events_at_start: fred_sim::netsim::global_events_processed(),
         }
     }
 
@@ -199,6 +201,17 @@ impl TraceOpts {
             let mut report = BenchReport::new(self.process_name.clone());
             report.wall_secs = self.started.elapsed().as_secs_f64();
             report.sim = self.metrics.clone();
+            // Simulator throughput headline, present in every report:
+            // flow lifecycle events processed per wall-clock second
+            // over this binary's whole run. Excluded keys (wall_secs
+            // and this one) are perf measurements, not simulation
+            // results — bench-diff treats them with its threshold.
+            let lifecycle_events =
+                fred_sim::netsim::global_events_processed() - self.events_at_start;
+            report.sim.push((
+                "events_per_sec".to_string(),
+                lifecycle_events as f64 / report.wall_secs.max(f64::MIN_POSITIVE),
+            ));
             let analysis = Analysis::from_events(&events).with_dropped(rec.overwritten());
             eprint!("{}", analysis.summary());
             report.analysis = Some(analysis);

@@ -142,15 +142,18 @@ impl CommPlan {
             } else {
                 None
             };
-            let mut outstanding = 0usize;
-            for t in &phase.transfers {
-                net.inject(
+            // All transfers of a phase start together: one batch, one
+            // solver delta.
+            let flows: Vec<FlowSpec> = phase
+                .transfers
+                .iter()
+                .map(|t| {
                     FlowSpec::new(t.route.clone(), t.bytes)
                         .with_priority(priority)
-                        .with_tag(span.unwrap_or(0)),
-                );
-                outstanding += 1;
-            }
+                        .with_tag(span.unwrap_or(0))
+                })
+                .collect();
+            let mut outstanding = net.inject_batch(flows).len();
             while outstanding > 0 {
                 let te = net
                     .next_event()

@@ -48,6 +48,7 @@ pub mod fairshare;
 pub mod flow;
 pub mod netsim;
 pub mod rng;
+pub mod solver;
 pub mod time;
 pub mod topology;
 

@@ -1,0 +1,572 @@
+//! Persistent, incrementally-updated max-min fair-share solver.
+//!
+//! [`FairShareSolver`] owns the link ↔ flow incidence structure of the
+//! active flow set and recomputes rates *incrementally*: an
+//! [`FairShareSolver::add_flow`] / [`FairShareSolver::remove_flow`]
+//! delta marks the touched links dirty, and the next
+//! [`FairShareSolver::solve`] re-runs progressive filling only over the
+//! *connected component* of links and flows transitively reachable from
+//! the dirty links (through shared links, across every priority class).
+//! Rates outside the component are provably unchanged — no flow outside
+//! the component shares a link with any flow inside it, so the
+//! progressive-filling solution decomposes exactly — and stay frozen.
+//!
+//! This turns the simulator's hot path from O(flows × links) per event
+//! into O(component) per event: with the mostly-local traffic of a
+//! wafer-scale fabric, a completing flow typically disturbs only its
+//! own neighbourhood. When churn *is* global (a wafer-wide collective
+//! phase boundary) the dirty component approaches the whole active set
+//! and the solver falls back to a global refill, which costs the same
+//! as the from-scratch allocator (see
+//! [`FairShareSolver::set_refill_fraction`]).
+//!
+//! The correctness contract — the foundation later PRs build on — is
+//! *rate identity*: after any sequence of deltas, [`FairShareSolver`]
+//! rates equal a from-scratch [`crate::fairshare::max_min_rates`] run
+//! over the current active set (bitwise up to float associativity;
+//! `tests/property_fairshare_incremental.rs` enforces ≤ 1e-9 relative
+//! under randomized churn). Both paths freeze links and flows in
+//! ascending-index order, so the filling arithmetic is identical
+//! operation for operation.
+
+use crate::flow::Priority;
+
+/// Same drained-capacity clamp as the from-scratch allocator
+/// ([`crate::fairshare::max_min_rates`]); keeping them identical is
+/// part of the rate-identity contract.
+const EPS: f64 = 1e-9;
+
+/// Handle to a flow registered with a [`FairShareSolver`]. Keys are
+/// reused after [`FairShareSolver::remove_flow`]; holders must not
+/// dereference a key they removed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowKey(pub u32);
+
+#[derive(Debug, Clone)]
+struct SolverFlow {
+    links: Box<[usize]>,
+    priority: Priority,
+    rate: f64,
+}
+
+/// Running cost counters, exposed for benchmarks and telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SolverStats {
+    /// Total solves that ran (dirty deltas flushed).
+    pub solves: u64,
+    /// Solves that fell back to a global refill.
+    pub global_solves: u64,
+    /// Flows whose rate was recomputed, summed over all solves (the
+    /// work actually done; compare against `solves × live flows` for
+    /// the from-scratch cost).
+    pub refilled_flows: u64,
+}
+
+/// Persistent max-min fair allocator over a fixed set of links.
+///
+/// See the [module docs](self) for the incremental algorithm and the
+/// rate-identity contract.
+#[derive(Debug)]
+pub struct FairShareSolver {
+    capacities: Vec<f64>,
+    flows: Vec<Option<SolverFlow>>,
+    free: Vec<u32>,
+    live: usize,
+    /// Flow keys crossing each link.
+    link_flows: Vec<Vec<u32>>,
+    /// Current allocated rate sum per link (kept for telemetry and
+    /// feasibility checks).
+    link_alloc: Vec<f64>,
+    /// Links touched by deltas since the last solve (may repeat).
+    seed_links: Vec<usize>,
+    dirty: bool,
+    refill_fraction: f64,
+    // Persistent scratch (epoch-stamped so nothing is ever cleared).
+    epoch: u64,
+    link_mark: Vec<u64>,
+    flow_mark: Vec<u64>,
+    remaining: Vec<f64>,
+    counts: Vec<usize>,
+    new_rate: Vec<f64>,
+    // Outputs of the last solve.
+    changed: Vec<FlowKey>,
+    touched_links: Vec<usize>,
+    stats: SolverStats,
+}
+
+impl FairShareSolver {
+    /// Default fraction of the live flow set beyond which a dirty
+    /// component triggers a global refill instead of component-local
+    /// bookkeeping.
+    pub const DEFAULT_REFILL_FRACTION: f64 = 0.5;
+
+    /// Creates a solver over links with the given capacities (bytes/s,
+    /// indexed by `LinkId.0`).
+    pub fn new(capacities: Vec<f64>) -> FairShareSolver {
+        let n = capacities.len();
+        FairShareSolver {
+            capacities,
+            flows: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            link_flows: vec![Vec::new(); n],
+            link_alloc: vec![0.0; n],
+            seed_links: Vec::new(),
+            dirty: false,
+            refill_fraction: Self::DEFAULT_REFILL_FRACTION,
+            epoch: 0,
+            link_mark: vec![0; n],
+            flow_mark: Vec::new(),
+            remaining: vec![0.0; n],
+            counts: vec![0; n],
+            new_rate: Vec::new(),
+            changed: Vec::new(),
+            touched_links: Vec::new(),
+            stats: SolverStats::default(),
+        }
+    }
+
+    /// Sets the dirty-component size (as a fraction of live flows)
+    /// beyond which [`FairShareSolver::solve`] falls back to a global
+    /// refill. `0.0` forces every solve global (the from-scratch
+    /// behaviour, useful as a benchmark baseline); values ≥ 1.0
+    /// effectively disable the fallback.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is NaN or negative.
+    pub fn set_refill_fraction(&mut self, fraction: f64) {
+        assert!(
+            fraction >= 0.0,
+            "refill fraction must be non-negative, got {fraction}"
+        );
+        self.refill_fraction = fraction;
+    }
+
+    /// Number of flows currently registered.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no flows are registered.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Whether deltas are pending a [`FairShareSolver::solve`].
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Cost counters accumulated since construction.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Registers a flow crossing `links` (indices into the capacity
+    /// table, multiset semantics identical to
+    /// [`crate::fairshare::AllocFlow`]). The flow's rate is `0.0`
+    /// (or `f64::INFINITY` for an empty, node-local route) until the
+    /// next [`FairShareSolver::solve`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a link index is out of range.
+    pub fn add_flow(&mut self, links: &[usize], priority: Priority) -> FlowKey {
+        for &l in links {
+            assert!(
+                l < self.capacities.len(),
+                "flow references unknown link index {l}"
+            );
+        }
+        let flow = SolverFlow {
+            links: links.into(),
+            priority,
+            rate: if links.is_empty() { f64::INFINITY } else { 0.0 },
+        };
+        let key = match self.free.pop() {
+            Some(k) => {
+                self.flows[k as usize] = Some(flow);
+                k
+            }
+            None => {
+                self.flows.push(Some(flow));
+                self.flow_mark.push(0);
+                self.new_rate.push(0.0);
+                (self.flows.len() - 1) as u32
+            }
+        };
+        self.live += 1;
+        for &l in links {
+            self.link_flows[l].push(key);
+            self.seed_links.push(l);
+            self.dirty = true;
+        }
+        FlowKey(key)
+    }
+
+    /// Removes a flow; its links become dirty seeds for the next
+    /// [`FairShareSolver::solve`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` does not name a live flow.
+    pub fn remove_flow(&mut self, key: FlowKey) {
+        let flow = self.flows[key.0 as usize]
+            .take()
+            .expect("remove_flow on a dead key");
+        self.live -= 1;
+        self.free.push(key.0);
+        for &l in flow.links.iter() {
+            // A flow crossing the same link twice holds two incidence
+            // slots; drop exactly one per traversal.
+            let pos = self.link_flows[l]
+                .iter()
+                .position(|&k| k == key.0)
+                .expect("incidence list out of sync");
+            self.link_flows[l].swap_remove(pos);
+            self.seed_links.push(l);
+            self.dirty = true;
+        }
+    }
+
+    /// The rate assigned at the last [`FairShareSolver::solve`]
+    /// (`0.0` for a flow added since, `f64::INFINITY` for node-local
+    /// flows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` does not name a live flow.
+    pub fn rate(&self, key: FlowKey) -> f64 {
+        self.flows[key.0 as usize]
+            .as_ref()
+            .expect("rate of a dead key")
+            .rate
+    }
+
+    /// Flows whose rate changed in the last [`FairShareSolver::solve`]
+    /// (removed flows are never reported).
+    pub fn changed_flows(&self) -> &[FlowKey] {
+        &self.changed
+    }
+
+    /// Links whose allocation was recomputed in the last
+    /// [`FairShareSolver::solve`] (a superset of the links whose
+    /// allocated sum actually changed).
+    pub fn touched_links(&self) -> &[usize] {
+        &self.touched_links
+    }
+
+    /// Current allocated rate sum on a link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link index is out of range.
+    pub fn link_allocated(&self, link: usize) -> f64 {
+        self.link_alloc[link]
+    }
+
+    /// Flushes pending deltas: recomputes the dirty component (or
+    /// everything, past the refill threshold) and freezes the rest.
+    /// Returns `true` when a solve actually ran; inspect
+    /// [`FairShareSolver::changed_flows`] /
+    /// [`FairShareSolver::touched_links`] afterwards.
+    pub fn solve(&mut self) -> bool {
+        if !self.dirty {
+            return false;
+        }
+        self.dirty = false;
+        self.stats.solves += 1;
+        self.epoch += 1;
+        let epoch = self.epoch;
+
+        // Component discovery: BFS from the dirty seed links through
+        // the incidence structure, aborting into a global refill when
+        // the component outgrows the threshold.
+        let threshold = (self.refill_fraction * self.live as f64) as usize;
+        let mut comp_links: Vec<usize> = Vec::new();
+        let mut comp_flows: Vec<u32> = Vec::new();
+        let mut stack: Vec<usize> = Vec::new();
+        for i in 0..self.seed_links.len() {
+            let l = self.seed_links[i];
+            if self.link_mark[l] != epoch {
+                self.link_mark[l] = epoch;
+                stack.push(l);
+            }
+        }
+        self.seed_links.clear();
+        let mut global = false;
+        'bfs: while let Some(l) = stack.pop() {
+            comp_links.push(l);
+            for i in 0..self.link_flows[l].len() {
+                let fk = self.link_flows[l][i];
+                if self.flow_mark[fk as usize] == epoch {
+                    continue;
+                }
+                self.flow_mark[fk as usize] = epoch;
+                comp_flows.push(fk);
+                if comp_flows.len() > threshold {
+                    global = true;
+                    break 'bfs;
+                }
+                let flow = self.flows[fk as usize].as_ref().expect("live incidence");
+                for &l2 in flow.links.iter() {
+                    if self.link_mark[l2] != epoch {
+                        self.link_mark[l2] = epoch;
+                        stack.push(l2);
+                    }
+                }
+            }
+        }
+        if global {
+            self.stats.global_solves += 1;
+            // Every link, not just populated ones: a link whose last
+            // flow was removed must still have its allocation zeroed.
+            comp_links.clear();
+            comp_links.extend(0..self.capacities.len());
+            comp_flows.clear();
+            for (k, f) in self.flows.iter().enumerate() {
+                if let Some(f) = f {
+                    if !f.links.is_empty() {
+                        comp_flows.push(k as u32);
+                    }
+                }
+            }
+        } else {
+            // Ascending order makes the filling arithmetic identical
+            // to the from-scratch allocator (rate identity) and the
+            // solve deterministic regardless of delta history.
+            comp_links.sort_unstable();
+            comp_flows.sort_unstable();
+        }
+        self.stats.refilled_flows += comp_flows.len() as u64;
+        self.refill(&comp_links, &comp_flows);
+        true
+    }
+
+    /// Progressive filling restricted to one component. `links` must
+    /// contain every link crossed by a flow in `flow_keys` and no link
+    /// crossed by any other flow; both slices must be sorted ascending.
+    fn refill(&mut self, links: &[usize], flow_keys: &[u32]) {
+        for &l in links {
+            self.remaining[l] = self.capacities[l];
+            debug_assert_eq!(self.counts[l], 0, "scratch counts not clean");
+        }
+        let mut unfrozen: Vec<u32> = Vec::new();
+        let mut used_links: Vec<usize> = Vec::new();
+        for class in Priority::ALL {
+            unfrozen.clear();
+            for &fk in flow_keys {
+                let f = self.flows[fk as usize].as_ref().expect("live component");
+                if f.priority != class {
+                    continue;
+                }
+                if f.links.is_empty() {
+                    self.new_rate[fk as usize] = f64::INFINITY;
+                    continue;
+                }
+                unfrozen.push(fk);
+                for &l in f.links.iter() {
+                    self.counts[l] += 1;
+                }
+            }
+            if unfrozen.is_empty() {
+                continue;
+            }
+            used_links.clear();
+            used_links.extend(links.iter().copied().filter(|&l| self.counts[l] > 0));
+            while !unfrozen.is_empty() {
+                let mut bottleneck: Option<(usize, f64)> = None;
+                used_links.retain(|&l| self.counts[l] > 0);
+                for &l in &used_links {
+                    let share = (self.remaining[l].max(0.0)) / self.counts[l] as f64;
+                    if bottleneck.is_none_or(|(_, s)| share < s) {
+                        bottleneck = Some((l, share));
+                    }
+                }
+                let Some((bl, share)) = bottleneck else { break };
+                let share = share.max(0.0);
+                let mut any = false;
+                unfrozen.retain(|&fk| {
+                    let f = self.flows[fk as usize].as_ref().expect("live component");
+                    if f.links.contains(&bl) {
+                        any = true;
+                        self.new_rate[fk as usize] = share;
+                        for &l in f.links.iter() {
+                            self.remaining[l] -= share;
+                            if self.remaining[l] < EPS {
+                                self.remaining[l] = 0.0;
+                            }
+                            self.counts[l] -= 1;
+                        }
+                        false
+                    } else {
+                        true
+                    }
+                });
+                debug_assert!(any, "bottleneck link had no flows");
+            }
+        }
+
+        // Commit: report changed rates and rebuild the allocation sums
+        // of every touched link.
+        self.changed.clear();
+        self.touched_links.clear();
+        self.touched_links.extend_from_slice(links);
+        for &l in links {
+            self.link_alloc[l] = 0.0;
+        }
+        for &fk in flow_keys {
+            let f = self.flows[fk as usize].as_mut().expect("live component");
+            let new = self.new_rate[fk as usize];
+            if new != f.rate {
+                f.rate = new;
+                self.changed.push(FlowKey(fk));
+            }
+            for &l in f.links.iter() {
+                self.link_alloc[l] += f.rate;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fairshare::{max_min_rates, AllocFlow};
+
+    fn oracle(caps: &[f64], specs: &[(Vec<usize>, Priority)]) -> Vec<f64> {
+        let flows: Vec<AllocFlow<'_>> = specs
+            .iter()
+            .map(|(links, p)| AllocFlow {
+                links,
+                priority: *p,
+            })
+            .collect();
+        max_min_rates(caps, &flows)
+    }
+
+    #[test]
+    fn matches_oracle_on_static_set() {
+        let caps = vec![10.0, 4.0];
+        let specs = vec![
+            (vec![0, 1], Priority::Bulk),
+            (vec![1], Priority::Bulk),
+            (vec![0], Priority::Bulk),
+        ];
+        let mut s = FairShareSolver::new(caps.clone());
+        let keys: Vec<FlowKey> = specs.iter().map(|(l, p)| s.add_flow(l, *p)).collect();
+        assert!(s.solve());
+        let want = oracle(&caps, &specs);
+        for (k, w) in keys.iter().zip(&want) {
+            assert_eq!(s.rate(*k), *w);
+        }
+    }
+
+    #[test]
+    fn removal_updates_only_the_component() {
+        // Two disjoint pairs of contending flows on separate links.
+        let caps = vec![100.0, 60.0];
+        let mut s = FairShareSolver::new(caps);
+        let a0 = s.add_flow(&[0], Priority::Bulk);
+        let a1 = s.add_flow(&[0], Priority::Bulk);
+        let b0 = s.add_flow(&[1], Priority::Bulk);
+        let b1 = s.add_flow(&[1], Priority::Bulk);
+        s.solve();
+        assert_eq!(s.rate(a0), 50.0);
+        assert_eq!(s.rate(b0), 30.0);
+        // Removing a0 only disturbs link 0's component.
+        s.remove_flow(a0);
+        assert!(s.solve());
+        assert_eq!(s.rate(a1), 100.0);
+        assert_eq!(s.changed_flows(), &[a1]);
+        assert!(s.touched_links().contains(&0));
+        assert!(!s.touched_links().contains(&1));
+        assert_eq!(s.rate(b0), 30.0);
+        assert_eq!(s.rate(b1), 30.0);
+    }
+
+    #[test]
+    fn priority_classes_fill_strictly() {
+        let mut s = FairShareSolver::new(vec![100.0]);
+        let hi = s.add_flow(&[0], Priority::Mp);
+        let lo = s.add_flow(&[0], Priority::Dp);
+        s.solve();
+        assert_eq!(s.rate(hi), 100.0);
+        assert_eq!(s.rate(lo), 0.0);
+        s.remove_flow(hi);
+        s.solve();
+        assert_eq!(s.rate(lo), 100.0);
+    }
+
+    #[test]
+    fn empty_route_is_infinite_and_not_dirty() {
+        let mut s = FairShareSolver::new(vec![10.0]);
+        let k = s.add_flow(&[], Priority::Bulk);
+        assert_eq!(s.rate(k), f64::INFINITY);
+        assert!(!s.is_dirty());
+        s.remove_flow(k);
+        assert!(!s.is_dirty());
+    }
+
+    #[test]
+    fn coalesced_deltas_solve_once() {
+        let mut s = FairShareSolver::new(vec![100.0]);
+        let a = s.add_flow(&[0], Priority::Bulk);
+        let _b = s.add_flow(&[0], Priority::Bulk);
+        s.remove_flow(a);
+        assert!(s.solve());
+        assert_eq!(s.stats().solves, 1);
+        assert!(!s.solve(), "clean solver must not re-solve");
+    }
+
+    #[test]
+    fn global_fallback_matches_incremental() {
+        let caps = vec![7.0, 5.0, 3.0];
+        let specs = vec![
+            (vec![0usize, 1], Priority::Bulk),
+            (vec![1, 2], Priority::Bulk),
+            (vec![0, 2], Priority::Bulk),
+            (vec![2], Priority::Mp),
+        ];
+        let run = |fraction: f64| {
+            let mut s = FairShareSolver::new(caps.clone());
+            s.set_refill_fraction(fraction);
+            let keys: Vec<FlowKey> = specs.iter().map(|(l, p)| s.add_flow(l, *p)).collect();
+            s.solve();
+            keys.iter().map(|&k| s.rate(k)).collect::<Vec<f64>>()
+        };
+        let incremental = run(10.0);
+        let forced_global = run(0.0);
+        assert_eq!(incremental, forced_global);
+        assert_eq!(incremental, oracle(&caps, &specs));
+    }
+
+    #[test]
+    fn key_reuse_after_removal() {
+        let mut s = FairShareSolver::new(vec![10.0, 20.0]);
+        let a = s.add_flow(&[0], Priority::Bulk);
+        s.solve();
+        s.remove_flow(a);
+        let b = s.add_flow(&[1], Priority::Bulk);
+        assert_eq!(a.0, b.0, "slab reuses freed keys");
+        s.solve();
+        assert_eq!(s.rate(b), 20.0);
+        assert_eq!(s.link_allocated(0), 0.0);
+        assert_eq!(s.link_allocated(1), 20.0);
+    }
+
+    #[test]
+    fn link_alloc_tracks_feasibility() {
+        let caps = vec![9.0, 6.0];
+        let mut s = FairShareSolver::new(caps.clone());
+        for i in 0..5 {
+            let links: Vec<usize> = if i % 2 == 0 { vec![0, 1] } else { vec![1] };
+            s.add_flow(&links, Priority::Bulk);
+        }
+        s.solve();
+        for (l, cap) in caps.iter().enumerate() {
+            assert!(s.link_allocated(l) <= cap + 1e-6);
+        }
+    }
+}

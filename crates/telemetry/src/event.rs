@@ -122,14 +122,17 @@ pub enum TraceEvent {
         /// Priority-derived track.
         track: Track,
     },
-    /// The max-min allocator recomputed every flow's rate (a
-    /// rate-reallocation epoch — happens whenever the active set
-    /// changes).
+    /// The fair-share solver refilled rates after the active set
+    /// changed (a rate-reallocation epoch). Emission is delta-aware:
+    /// epochs where no rate actually moved are suppressed.
     RateEpoch {
         /// Simulation time.
         t: f64,
-        /// Flows holding bandwidth after the recompute.
+        /// Flows holding bandwidth after the refill.
         active_flows: u32,
+        /// Flows whose rate actually changed in this refill (always
+        /// non-zero for emitted epochs).
+        changed: u32,
     },
     /// Utilization sample for one link, emitted when its allocated
     /// rate changes at a rate epoch.
@@ -250,6 +253,7 @@ mod tests {
             TraceEvent::RateEpoch {
                 t: 4.0,
                 active_flows: 2,
+                changed: 1,
             },
             TraceEvent::LinkUtil {
                 t: 5.0,

@@ -376,6 +376,7 @@ mod tests {
             TraceEvent::RateEpoch {
                 t: 0.0,
                 active_flows: 1,
+                changed: 1,
             },
             TraceEvent::LinkUtil {
                 t: 0.0,
@@ -391,6 +392,7 @@ mod tests {
             TraceEvent::RateEpoch {
                 t: 1.0,
                 active_flows: 0,
+                changed: 1,
             },
             TraceEvent::FlowCompleted {
                 t: 1.5,

@@ -175,7 +175,11 @@ pub fn export_chrome_trace(
                 ev.push_str("}}");
                 push_event(&mut body, &mut first, ev);
             }
-            TraceEvent::RateEpoch { t, active_flows } => {
+            TraceEvent::RateEpoch {
+                t,
+                active_flows,
+                changed,
+            } => {
                 let mut ev = String::new();
                 ev.push_str("{\"ph\":\"C\",\"pid\":");
                 push_num(&mut ev, PID_COUNTERS as f64);
@@ -183,6 +187,8 @@ pub fn export_chrome_trace(
                 push_num(&mut ev, us(*t));
                 ev.push_str(",\"args\":{\"flows\":");
                 push_num(&mut ev, *active_flows as f64);
+                ev.push_str(",\"changed\":");
+                push_num(&mut ev, *changed as f64);
                 ev.push_str("}}");
                 push_event(&mut body, &mut first, ev);
             }
@@ -245,6 +251,7 @@ mod tests {
             TraceEvent::RateEpoch {
                 t: 0.0,
                 active_flows: 4,
+                changed: 4,
             },
             TraceEvent::LinkUtil {
                 t: 0.5,
@@ -298,6 +305,7 @@ mod tests {
             TraceEvent::RateEpoch {
                 t: 2.0,
                 active_flows: 0,
+                changed: 0,
             },
         ];
         let s = export(&evs);

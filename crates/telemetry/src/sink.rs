@@ -163,7 +163,11 @@ mod tests {
     use super::*;
 
     fn marker(t: f64) -> TraceEvent {
-        TraceEvent::RateEpoch { t, active_flows: 0 }
+        TraceEvent::RateEpoch {
+            t,
+            active_flows: 0,
+            changed: 0,
+        }
     }
 
     #[test]

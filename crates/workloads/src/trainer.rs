@@ -104,11 +104,13 @@ pub fn run_iteration_traced(
     let mut compute_queue: EventQueue<usize> = EventQueue::new();
     let mut completed = 0usize;
 
-    // Injects the next non-empty phase of comm task `i`; returns true if
-    // the task is finished instead (no phases left).
+    // Stages the next non-empty phase of comm task `i` into the shared
+    // per-timestep flow buffer; returns true if the task is finished
+    // instead (no phases left). All flows staged at one timestep are
+    // released with a single `inject_batch` (one solver delta).
     fn advance_comm(
         schedule: &Schedule,
-        net: &mut FlowNetwork,
+        staged: &mut Vec<FlowSpec>,
         comm: &mut BTreeMap<usize, CommState>,
         i: usize,
     ) -> bool {
@@ -122,16 +124,12 @@ pub fn run_iteration_traced(
             if !transfers.is_empty() {
                 // The tag is the task index shifted by one: tag 0 is
                 // reserved for "no owner" in the telemetry layer.
-                let flows: Vec<FlowSpec> = transfers
-                    .iter()
-                    .map(|t| {
-                        FlowSpec::new(t.route.clone(), t.bytes)
-                            .with_priority(*priority)
-                            .with_tag(i as u64 + 1)
-                    })
-                    .collect();
-                state.outstanding = flows.len();
-                net.inject_batch(flows);
+                staged.extend(transfers.iter().map(|t| {
+                    FlowSpec::new(t.route.clone(), t.bytes)
+                        .with_priority(*priority)
+                        .with_tag(i as u64 + 1)
+                }));
+                state.outstanding = transfers.len();
                 return false;
             }
         }
@@ -141,6 +139,9 @@ pub fn run_iteration_traced(
     // Start a task at time `t`.
     let mut ready_stack: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
     let mut finished_now: Vec<usize> = Vec::new();
+    // Flows staged by comm tasks at the current timestep, injected as
+    // one batch before time advances.
+    let mut staged_flows: Vec<FlowSpec> = Vec::new();
 
     loop {
         // Start everything that became ready at the current time.
@@ -211,11 +212,16 @@ pub fn run_iteration_traced(
                             outstanding: 0,
                         },
                     );
-                    if advance_comm(schedule, &mut net, &mut comm, i) {
+                    if advance_comm(schedule, &mut staged_flows, &mut comm, i) {
                         finished_now.push(i);
                     }
                 }
             }
+        }
+
+        // Release every flow staged by the ready tasks as one batch.
+        if !staged_flows.is_empty() {
+            net.inject_batch(std::mem::take(&mut staged_flows));
         }
 
         // Settle zero-duration completions before advancing time.
@@ -271,9 +277,12 @@ pub fn run_iteration_traced(
             let i = (c.tag - 1) as usize;
             let state = comm.get_mut(&i).expect("completion for unknown comm task");
             state.outstanding -= 1;
-            if state.outstanding == 0 && advance_comm(schedule, &mut net, &mut comm, i) {
+            if state.outstanding == 0 && advance_comm(schedule, &mut staged_flows, &mut comm, i) {
                 finished_now.push(i);
             }
+        }
+        if !staged_flows.is_empty() {
+            net.inject_batch(std::mem::take(&mut staged_flows));
         }
         // Compute completions at this instant.
         while compute_queue.peek_time() == Some(next) {

@@ -1,0 +1,202 @@
+//! Differential property test for the incremental fair-share solver.
+//!
+//! The rate-identity contract (DESIGN.md §7): after any sequence of
+//! add/remove deltas, the persistent `FairShareSolver` must produce the
+//! same per-flow rates as a from-scratch `max_min_rates` run over the
+//! current live set — within 1e-9 relative — regardless of how the
+//! deltas were batched and regardless of the global-refill threshold.
+//! Every allocation must also respect the solo-rate upper bound (no
+//! flow can beat its bottleneck-link capacity).
+
+use fred::sim::fairshare::{max_min_rates, solo_rate, AllocFlow};
+use fred::sim::flow::Priority;
+use fred::sim::rng::Rng64;
+use fred::sim::solver::{FairShareSolver, FlowKey};
+
+const REL_TOL: f64 = 1e-9;
+
+/// One live flow as the harness tracks it (mirrors the solver's view).
+#[derive(Debug, Clone)]
+struct LiveFlow {
+    key: FlowKey,
+    links: Vec<usize>,
+    priority: Priority,
+}
+
+fn rel_diff(a: f64, b: f64) -> f64 {
+    if a == b {
+        return 0.0; // covers INFINITY == INFINITY and exact zeros
+    }
+    (a - b).abs() / a.abs().max(b.abs()).max(f64::MIN_POSITIVE)
+}
+
+fn random_links(rng: &mut Rng64, n_links: usize) -> Vec<usize> {
+    // Mostly short routes (1–4 links), occasionally node-local (empty).
+    if rng.gen_range(0, 16) == 0 {
+        return Vec::new();
+    }
+    let hops = rng.gen_range_inclusive(1, 4);
+    let mut links = Vec::with_capacity(hops);
+    for _ in 0..hops {
+        let l = rng.gen_range(0, n_links);
+        if !links.contains(&l) {
+            links.push(l);
+        }
+    }
+    links
+}
+
+fn random_priority(rng: &mut Rng64) -> Priority {
+    Priority::ALL[rng.gen_range(0, Priority::ALL.len())]
+}
+
+/// Compares the solver's rates against a from-scratch oracle run over
+/// the live set (oracle flows ordered by ascending solver key, matching
+/// the solver's own fill order).
+fn assert_rate_identity(solver: &FairShareSolver, live: &[LiveFlow], caps: &[f64], context: &str) {
+    let mut sorted: Vec<&LiveFlow> = live.iter().collect();
+    sorted.sort_by_key(|f| f.key.0);
+    let alloc: Vec<AllocFlow<'_>> = sorted
+        .iter()
+        .map(|f| AllocFlow {
+            links: &f.links,
+            priority: f.priority,
+        })
+        .collect();
+    let want = max_min_rates(caps, &alloc);
+    for (f, w) in sorted.iter().zip(&want) {
+        let got = solver.rate(f.key);
+        assert!(
+            rel_diff(got, *w) <= REL_TOL,
+            "{context}: flow {:?} (links {:?}, {:?}): incremental {got} vs oracle {w}",
+            f.key,
+            f.links,
+            f.priority,
+        );
+        // Solo-rate upper bound: no allocation beats the flow's
+        // bottleneck capacity.
+        assert!(
+            got <= solo_rate(caps, &f.links) + REL_TOL * solo_rate(caps, &f.links).min(1e30),
+            "{context}: flow {:?} rate {got} exceeds solo rate {}",
+            f.key,
+            solo_rate(caps, &f.links),
+        );
+    }
+}
+
+/// Drives `steps` random churn operations through the solver with the
+/// given refill threshold, checking rate identity after every solve.
+fn churn_case(seed: u64, n_links: usize, steps: usize, refill_fraction: Option<f64>) {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let caps: Vec<f64> = (0..n_links)
+        .map(|_| 1e9 * (1.0 + rng.gen_f64() * 999.0))
+        .collect();
+    let mut solver = FairShareSolver::new(caps.clone());
+    if let Some(f) = refill_fraction {
+        solver.set_refill_fraction(f);
+    }
+    let mut live: Vec<LiveFlow> = Vec::new();
+
+    for step in 0..steps {
+        // 1–4 deltas per solve: exercises coalescing of adds and
+        // removes into one dirty set.
+        let deltas = rng.gen_range_inclusive(1, 4);
+        for _ in 0..deltas {
+            let adding = live.is_empty() || rng.gen_range(0, 5) < 3;
+            if adding {
+                let links = random_links(&mut rng, n_links);
+                let priority = random_priority(&mut rng);
+                let key = solver.add_flow(&links, priority);
+                live.push(LiveFlow {
+                    key,
+                    links,
+                    priority,
+                });
+            } else {
+                let victim = rng.gen_range(0, live.len());
+                let f = live.swap_remove(victim);
+                solver.remove_flow(f.key);
+            }
+        }
+        solver.solve();
+        let ctx = format!(
+            "seed {seed} fraction {refill_fraction:?} step {step} ({} live)",
+            live.len()
+        );
+        assert_rate_identity(&solver, &live, &caps, &ctx);
+    }
+}
+
+#[test]
+fn incremental_matches_oracle_under_churn_default_threshold() {
+    for seed in [1u64, 2, 3, 0xFEED] {
+        churn_case(seed, 48, 120, None);
+    }
+}
+
+#[test]
+fn incremental_matches_oracle_with_global_fallback_forced() {
+    // fraction 0.0: every solve takes the global path.
+    for seed in [7u64, 8] {
+        churn_case(seed, 48, 80, Some(0.0));
+    }
+}
+
+#[test]
+fn incremental_matches_oracle_with_fallback_disabled() {
+    // A huge fraction never falls back: pure component-local refills.
+    for seed in [11u64, 12] {
+        churn_case(seed, 48, 80, Some(1e9));
+    }
+}
+
+#[test]
+fn incremental_matches_oracle_on_sparse_disjoint_traffic() {
+    // Few flows over many links: components stay tiny, maximising the
+    // frozen-rate reuse the incremental path is supposed to get right.
+    for seed in [21u64, 22] {
+        churn_case(seed, 256, 100, None);
+    }
+}
+
+#[test]
+fn changed_flows_reports_are_sound() {
+    // Rates of flows NOT reported as changed must be bitwise stable
+    // across a solve — the delta-aware telemetry depends on it.
+    let mut rng = Rng64::seed_from_u64(99);
+    let n_links = 32;
+    let caps: Vec<f64> = (0..n_links).map(|_| 1e9 * (1.0 + rng.gen_f64())).collect();
+    let mut solver = FairShareSolver::new(caps.clone());
+    let mut live: Vec<LiveFlow> = Vec::new();
+    for _ in 0..40 {
+        let links = random_links(&mut rng, n_links);
+        let priority = random_priority(&mut rng);
+        let key = solver.add_flow(&links, priority);
+        live.push(LiveFlow {
+            key,
+            links,
+            priority,
+        });
+    }
+    solver.solve();
+    for round in 0..30 {
+        let before: Vec<(FlowKey, f64)> =
+            live.iter().map(|f| (f.key, solver.rate(f.key))).collect();
+        let victim = rng.gen_range(0, live.len());
+        let f = live.swap_remove(victim);
+        solver.remove_flow(f.key);
+        solver.solve();
+        let changed: Vec<FlowKey> = solver.changed_flows().to_vec();
+        for (key, old_rate) in before {
+            if key == f.key || changed.contains(&key) {
+                continue;
+            }
+            assert_eq!(
+                solver.rate(key),
+                old_rate,
+                "round {round}: unchanged flow {key:?} moved without being reported"
+            );
+        }
+        assert_rate_identity(&solver, &live, &caps, &format!("round {round}"));
+    }
+}
