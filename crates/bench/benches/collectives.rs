@@ -27,6 +27,7 @@ fn main() {
         bench(&format!("allreduce20/{}", config.name()), || {
             let mut net = FlowNetwork::new(backend.topology());
             plan.execute(&mut net, fred_sim::flow::Priority::Dp)
+                .unwrap()
         });
     }
 }

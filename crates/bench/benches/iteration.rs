@@ -19,7 +19,7 @@ fn main() {
     for config in [FabricConfig::BaselineMesh, FabricConfig::FredD] {
         let backend = FabricBackend::new(config);
         bench(&format!("transformer17b/{}", config.name()), || {
-            simulate(&model, strategy, &backend, params)
+            simulate(&model, strategy, &backend, params).unwrap()
         });
     }
 }

@@ -33,6 +33,7 @@ fn main() {
             let mut net = FlowNetwork::with_sink(backend.topology(), opts.sink());
             let secs = merged
                 .execute(&mut net, fred_sim::flow::Priority::Mp)
+                .expect("benchmark plans run on a healthy fabric")
                 .as_secs();
             // All-to-All traffic per NPU: (n-1)/n * D.
             let per_npu = (members as f64 - 1.0) / members as f64 * bytes;

@@ -46,7 +46,7 @@ fn main() {
         for config in configs {
             let backend = FabricBackend::new(config);
             opts.name_links(&backend.topology());
-            let r = simulate_traced(&model, strategy, &backend, params, opts.sink());
+            let r = simulate_traced(&model, strategy, &backend, params, opts.sink()).unwrap();
             opts.metric(
                 format!("{}/{}/total_secs", model.name, config.name()),
                 r.total.as_secs(),

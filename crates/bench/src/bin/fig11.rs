@@ -66,8 +66,8 @@ fn sweep(model: &DnnModel, strategies: &[Strategy3D], opts: &mut TraceOpts) {
     let mut best_compute: Option<(f64, String)> = None;
     for &s in strategies {
         let params = ScheduleParams::sweep_default(model, s);
-        let rb: TrainingReport = simulate_traced(model, s, &baseline, params, opts.sink());
-        let rf: TrainingReport = simulate_traced(model, s, &fred_d, params, opts.sink());
+        let rb: TrainingReport = simulate_traced(model, s, &baseline, params, opts.sink()).unwrap();
+        let rf: TrainingReport = simulate_traced(model, s, &fred_d, params, opts.sink()).unwrap();
         let per = 1e3 / params.minibatch as f64;
         let (bt, ft) = (rb.total.as_secs() * per, rf.total.as_secs() * per);
         let (be, fe) = (

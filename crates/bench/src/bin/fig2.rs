@@ -51,7 +51,7 @@ fn main() {
     ]);
     for strategy in fig2_strategies() {
         let params = ScheduleParams::sweep_default(&model, strategy);
-        let r = simulate_traced(&model, strategy, &backend, params, opts.sink());
+        let r = simulate_traced(&model, strategy, &backend, params, opts.sink()).unwrap();
         let per = 1e3 / r.minibatch as f64;
         let compute = r.compute.as_secs() * per;
         let exposed = r.exposed_total().as_secs() * per;

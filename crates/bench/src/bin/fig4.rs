@@ -59,7 +59,8 @@ fn main() {
     let bytes = 128e9; // one second at channel line rate
     for io in 0..mesh.io_count() {
         for f in streaming::streaming_in_flows(&mesh, io, bytes, Priority::Bulk, io as u64) {
-            net.inject(f);
+            net.inject(f)
+                .expect("streaming flows route on a healthy mesh");
         }
     }
     let done = net.run_to_completion();

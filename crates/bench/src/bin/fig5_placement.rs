@@ -23,6 +23,7 @@ fn phase_time(backend: &FabricBackend, plans: Vec<CommPlan>, sink: Rc<dyn TraceS
     let mut net = FlowNetwork::with_sink(backend.topology(), sink);
     merged
         .execute(&mut net, fred_sim::flow::Priority::Bulk)
+        .expect("benchmark plans run on a healthy fabric")
         .as_secs()
         * 1e3
 }

@@ -58,6 +58,7 @@ fn main() {
             let mut net = FlowNetwork::with_sink(backend.topology(), opts.sink());
             let secs = merged
                 .execute(&mut net, fred_sim::flow::Priority::Bulk)
+                .expect("benchmark plans run on a healthy fabric")
                 .as_secs();
             opts.metric(format!("{}/{label}_ms", config.name()), secs * 1e3);
             let per_npu = if config.in_network_collectives() && n > 2 {

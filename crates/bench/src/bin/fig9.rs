@@ -30,6 +30,7 @@ use fred_workloads::model::DnnModel;
 fn run_plan(backend: &FabricBackend, plan: &CommPlan, sink: Rc<dyn TraceSink>) -> f64 {
     let mut net = FlowNetwork::with_sink(backend.topology(), sink);
     plan.execute(&mut net, fred_sim::flow::Priority::Bulk)
+        .expect("benchmark plans run on a healthy fabric")
         .as_secs()
 }
 

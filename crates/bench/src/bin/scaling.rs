@@ -54,7 +54,8 @@ fn main() {
             let topo = mw.clone_topology();
             opts.name_links(&topo);
             let mut net = FlowNetwork::with_sink(topo, opts.sink());
-            net.inject_batch(mw.global_all_reduce(d, Priority::Dp, 0));
+            net.inject_batch(mw.global_all_reduce(d, Priority::Dp, 0))
+                .expect("multiwafer routes are valid on a healthy fabric");
             let done = net.run_to_completion();
             let t = done
                 .iter()

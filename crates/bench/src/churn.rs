@@ -123,7 +123,8 @@ pub fn run_churn(cfg: &ChurnConfig) -> ChurnResult {
             draw_flow(&mesh, cfg, &mut rng, drawn - 1)
         })
         .collect();
-    net.inject_batch(first);
+    net.inject_batch(first)
+        .expect("churn draws XY routes on a healthy mesh; injection cannot fail");
 
     let mut completed = 0usize;
     let mut checksum = 0.0_f64;
@@ -149,7 +150,8 @@ pub fn run_churn(cfg: &ChurnConfig) -> ChurnResult {
                     draw_flow(&mesh, cfg, &mut rng, drawn - 1)
                 })
                 .collect();
-            net.inject_batch(batch);
+            net.inject_batch(batch)
+                .expect("churn draws XY routes on a healthy mesh; injection cannot fail");
         }
     }
     ChurnResult {

@@ -1,9 +1,11 @@
 //! Communication plans: serial phases of concurrent routed transfers.
 
+use std::fmt;
+
 use fred_sim::flow::{FlowSpec, Priority};
 use fred_sim::netsim::{track_of, FlowNetwork};
 use fred_sim::time::{Duration, Time};
-use fred_sim::topology::Route;
+use fred_sim::topology::{Route, RouteError};
 use fred_telemetry::event::{next_span_id, TraceEvent};
 
 /// Supplies the route between two endpoints (NPU indices, plus any
@@ -50,6 +52,52 @@ impl Phase {
         self.transfers.iter().map(|t| t.bytes).sum()
     }
 }
+
+/// Why a [`CommPlan`] could not run to completion.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// A phase's flows were rejected by the network (invalid route or
+    /// a route crossing a failed link that no repair was attempted for).
+    Route {
+        /// Index of the failing phase.
+        phase: usize,
+        /// The underlying routing error.
+        source: RouteError,
+    },
+    /// A phase crosses failed links and no surviving path exists
+    /// between some transfer's endpoints — the fabric is cut.
+    Unroutable {
+        /// Index of the unroutable phase.
+        phase: usize,
+    },
+    /// Transfers were in flight but the network had no pending event;
+    /// the plan would deadlock instead of completing.
+    Stalled {
+        /// Index of the stalled phase.
+        phase: usize,
+        /// Transfers still outstanding in that phase.
+        outstanding: usize,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Route { phase, source } => {
+                write!(f, "phase {phase} rejected by the network: {source}")
+            }
+            PlanError::Unroutable { phase } => {
+                write!(f, "phase {phase} has no surviving route around failed links")
+            }
+            PlanError::Stalled { phase, outstanding } => write!(
+                f,
+                "phase {phase} stalled with {outstanding} transfer(s) in flight and no pending event"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
 
 /// An endpoint-based collective compiled to serial phases.
 ///
@@ -103,10 +151,23 @@ impl CommPlan {
     /// phase, and returns the end-to-end duration. Used by the
     /// microbenchmarks; the trainer interleaves plans itself.
     ///
-    /// # Panics
+    /// Fault awareness: if the network has failed links, each phase's
+    /// transfers are re-routed over the shortest surviving paths before
+    /// injection (the retry-on-a-repaired-plan contract). On a healthy
+    /// network the phase flows are injected exactly as compiled — the
+    /// zero-fault code path is unchanged.
     ///
-    /// Panics if a route is invalid for the network's topology.
-    pub fn execute(&self, net: &mut FlowNetwork, priority: Priority) -> Duration {
+    /// # Errors
+    ///
+    /// [`PlanError::Route`] if the network rejects a phase (invalid
+    /// route), [`PlanError::Unroutable`] if failed links cut some
+    /// transfer's endpoints apart, [`PlanError::Stalled`] if a phase
+    /// would deadlock.
+    pub fn execute(
+        &self,
+        net: &mut FlowNetwork,
+        priority: Priority,
+    ) -> Result<Duration, PlanError> {
         let start = net.now();
         let track = track_of(priority);
         let mut prev_span: Option<u64> = None;
@@ -153,11 +214,24 @@ impl CommPlan {
                         .with_tag(span.unwrap_or(0))
                 })
                 .collect();
-            let mut outstanding = net.inject_batch(flows).len();
+            let flows = if net.any_link_failed() {
+                net.topology()
+                    .reroute_flows_avoiding(flows, |l| net.is_link_failed(l))
+                    .ok_or(PlanError::Unroutable { phase: k })?
+            } else {
+                flows
+            };
+            let injected = net
+                .inject_batch(flows)
+                .map_err(|source| PlanError::Route { phase: k, source })?;
+            let mut outstanding = injected.len();
             while outstanding > 0 {
-                let te = net
-                    .next_event()
-                    .expect("phase transfers in flight but no pending event");
+                let Some(te) = net.next_event() else {
+                    return Err(PlanError::Stalled {
+                        phase: k,
+                        outstanding,
+                    });
+                };
                 net.advance_to(te);
                 outstanding -= net.drain_completed().len();
             }
@@ -169,7 +243,7 @@ impl CommPlan {
                 });
             }
         }
-        net.now() - start
+        Ok(net.now() - start)
     }
 }
 
@@ -177,20 +251,26 @@ impl CommPlan {
 /// returns (duration, effective per-endpoint bandwidth) where the
 /// bandwidth is `collective_bytes / duration` — the paper's
 /// "effective NPU BW utilization" metric from §8.1.
+///
+/// # Errors
+///
+/// Propagates [`PlanError`] from [`CommPlan::execute`]. A fresh
+/// network has no failed links, so errors only arise from invalid
+/// plan routes.
 pub fn execute_standalone(
     topo: fred_sim::topology::Topology,
     plan: &CommPlan,
     collective_bytes: f64,
-) -> (Duration, f64) {
+) -> Result<(Duration, f64), PlanError> {
     let mut net = FlowNetwork::new(topo);
-    let d = plan.execute(&mut net, Priority::Bulk);
+    let d = plan.execute(&mut net, Priority::Bulk)?;
     debug_assert_eq!(net.now(), Time::ZERO + d);
     let bw = if d.as_secs() > 0.0 {
         collective_bytes / d.as_secs()
     } else {
         f64::INFINITY
     };
-    (d, bw)
+    Ok((d, bw))
 }
 
 #[cfg(test)]
@@ -232,7 +312,7 @@ mod tests {
             }],
         });
         let mut net = FlowNetwork::new(topo);
-        let d = plan.execute(&mut net, Priority::Bulk);
+        let d = plan.execute(&mut net, Priority::Bulk).unwrap();
         // Two serial 1-second phases.
         assert!((d.as_secs() - 2.0).abs() < 1e-9);
     }
@@ -258,8 +338,64 @@ mod tests {
             ],
         });
         let mut net = FlowNetwork::new(topo);
-        let d = plan.execute(&mut net, Priority::Bulk);
+        let d = plan.execute(&mut net, Priority::Bulk).unwrap();
         assert!((d.as_secs() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn execute_detours_around_failed_links() {
+        // Duplex line 0 - 1 - 2: the direct 0->1 link can fail, but
+        // 0 -> 1 survives via... nothing on a line — so build a triangle.
+        let mut t = Topology::new();
+        let n: Vec<_> = (0..3)
+            .map(|i| t.add_node(NodeKind::Npu, format!("n{i}")))
+            .collect();
+        let (l01, _) = t.add_duplex_link(n[0], n[1], 100.0, 0.0);
+        let (l12, _) = t.add_duplex_link(n[1], n[2], 100.0, 0.0);
+        let (l02, _) = t.add_duplex_link(n[0], n[2], 100.0, 0.0);
+        let mut plan = CommPlan::new("detour");
+        plan.phases.push(Phase {
+            transfers: vec![Transfer {
+                src: 0,
+                dst: 1,
+                bytes: 100.0,
+                route: vec![l01],
+            }],
+        });
+        let mut net = FlowNetwork::new(t);
+        assert!(net.fail_link(l01).is_empty());
+        // Repaired route 0 -> 2 -> 1: two hops at 100 B/s, 1 second.
+        let d = plan.execute(&mut net, Priority::Bulk).unwrap();
+        assert!((d.as_secs() - 1.0).abs() < 1e-9);
+        // Cutting the detour as well makes the plan unroutable.
+        net.fail_link(l02);
+        net.fail_link(l12);
+        assert_eq!(
+            plan.execute(&mut net, Priority::Bulk),
+            Err(PlanError::Unroutable { phase: 0 })
+        );
+    }
+
+    #[test]
+    fn execute_rejects_invalid_routes_cleanly() {
+        let (topo, _) = line(2, 100.0);
+        let mut plan = CommPlan::new("bad");
+        plan.phases.push(Phase {
+            transfers: vec![Transfer {
+                src: 0,
+                dst: 1,
+                bytes: 1.0,
+                route: vec![fred_sim::topology::LinkId(99)],
+            }],
+        });
+        let mut net = FlowNetwork::new(topo);
+        assert_eq!(
+            plan.execute(&mut net, Priority::Bulk),
+            Err(PlanError::Route {
+                phase: 0,
+                source: RouteError::UnknownLink(fred_sim::topology::LinkId(99)),
+            })
+        );
     }
 
     #[test]

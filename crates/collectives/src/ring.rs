@@ -272,7 +272,9 @@ mod tests {
         let plan = all_reduce(&order, 400.0, Direction::Unidirectional, &rt);
         assert_eq!(plan.phase_count(), 6);
         let mut net = FlowNetwork::new(rt.topo.clone());
-        let d = plan.execute(&mut net, fred_sim::flow::Priority::Bulk);
+        let d = plan
+            .execute(&mut net, fred_sim::flow::Priority::Bulk)
+            .unwrap();
         assert!((d.as_secs() - 6.0).abs() < 1e-9, "got {}", d.as_secs());
     }
 
@@ -282,7 +284,9 @@ mod tests {
         let order: Vec<usize> = (0..4).collect();
         let plan = all_reduce(&order, 400.0, Direction::Bidirectional, &rt);
         let mut net = FlowNetwork::new(rt.topo.clone());
-        let d = plan.execute(&mut net, fred_sim::flow::Priority::Bulk);
+        let d = plan
+            .execute(&mut net, fred_sim::flow::Priority::Bulk)
+            .unwrap();
         // Each phase now moves 50 B per direction concurrently: 3 s.
         assert!((d.as_secs() - 3.0).abs() < 1e-9, "got {}", d.as_secs());
     }

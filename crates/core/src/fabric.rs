@@ -212,6 +212,15 @@ impl WaferFabric {
         self.npus[i]
     }
 
+    /// The NPU index whose node id is `node`, or `None` if `node` is
+    /// not an NPU. O(1): NPUs are created first, so their node ids are
+    /// contiguous from the first NPU's.
+    pub fn npu_index(&self, node: NodeId) -> Option<usize> {
+        let base = self.npus.first()?.0;
+        let i = node.0.checked_sub(base)?;
+        (i < self.npus.len() && self.npus[i] == node).then_some(i)
+    }
+
     /// Node id of I/O controller `i`.
     ///
     /// # Panics
@@ -284,6 +293,28 @@ impl WaferFabric {
                 self.npu_down[b],
             ]
         }
+    }
+
+    /// Fault-aware variant of [`WaferFabric::npu_route`]: returns the
+    /// standard up/down tree route when it crosses no blocked link,
+    /// otherwise the shortest surviving path. In the 2-level tree the
+    /// only redundancy around a dead L1–L2 trunk runs through a
+    /// neighbouring L1 switch's I/O controllers and the external-memory
+    /// hub, so detours are longer but keep the pair connected. Returns
+    /// `None` when the blocked set cuts `a` from `b` (e.g. a dead
+    /// NPU–L1 link, the NPU's only attachment).
+    pub fn npu_route_avoiding(
+        &self,
+        a: usize,
+        b: usize,
+        blocked: impl Fn(LinkId) -> bool,
+    ) -> Option<Route> {
+        let standard = self.npu_route(a, b);
+        if !standard.iter().any(|&l| blocked(l)) {
+            return Some(standard);
+        }
+        self.topo
+            .shortest_path_avoiding(self.npus[a], self.npus[b], blocked)
     }
 
     /// Route from I/O controller `io` to NPU `npu`.
@@ -708,6 +739,67 @@ mod tests {
         );
         // Self route is empty.
         assert!(f.npu_route(7, 7).is_empty());
+    }
+
+    #[test]
+    fn npu_index_inverts_npu() {
+        let f = fabric(FabricConfig::FredD);
+        for i in 0..f.npu_count() {
+            assert_eq!(f.npu_index(f.npu(i)), Some(i));
+        }
+        assert_eq!(f.npu_index(f.l1(0)), None);
+        assert_eq!(f.npu_index(f.l2()), None);
+        assert_eq!(f.npu_index(f.external_memory()), None);
+    }
+
+    #[test]
+    fn route_avoiding_detours_around_dead_trunk() {
+        let f = fabric(FabricConfig::FredD);
+        let topo = f.topology();
+        // Healthy fabric: identical to the standard route.
+        assert_eq!(
+            f.npu_route_avoiding(0, 19, |_| false),
+            Some(f.npu_route(0, 19))
+        );
+        // Kill NPU 0's L1–L2 uplink: the detour must avoid it, still
+        // connect the same endpoints, and be longer than the tree path.
+        let dead = f.l1_up[f.l1_of_npu(0)];
+        let detour = f.npu_route_avoiding(0, 19, |l| l == dead).unwrap();
+        assert!(!detour.contains(&dead));
+        assert_eq!(
+            topo.validate_route(&detour).unwrap(),
+            Some((f.npu(0), f.npu(19)))
+        );
+        assert!(detour.len() > f.npu_route(0, 19).len());
+        // A dead NPU–L1 uplink is the NPU's only way out: unroutable.
+        let only_exit = f.npu_up[0];
+        assert_eq!(f.npu_route_avoiding(0, 19, |l| l == only_exit), None);
+        // Same-L1 pairs detour over the spine when one leg's down-link
+        // dies... but npu_down[b] is b's only way in, so instead kill a
+        // trunk that the same-L1 route never touches: route unchanged.
+        let r = f.npu_route_avoiding(0, 3, |l| l == dead).unwrap();
+        assert_eq!(r, f.npu_route(0, 3));
+    }
+
+    #[test]
+    fn reroute_flows_repairs_collective_tree() {
+        let f = fabric(FabricConfig::FredD);
+        let group: Vec<usize> = (0..20).collect();
+        let flows = f.in_network_all_reduce(&group, 1e9, Priority::Dp, 3);
+        let dead = f.l1_up[2];
+        let fixed = f
+            .topology()
+            .reroute_flows_avoiding(flows.clone(), |l| l == dead)
+            .unwrap();
+        assert_eq!(fixed.len(), flows.len());
+        for fl in &fixed {
+            assert!(!fl.route.contains(&dead));
+            f.topology().validate_route(&fl.route).unwrap();
+            assert_eq!(fl.tag, 3);
+        }
+        // Exactly one leg (the dead trunk's) was re-routed.
+        let moved = fixed.iter().zip(&flows).filter(|(a, b)| a != b).count();
+        assert_eq!(moved, 1);
     }
 
     #[test]

@@ -284,7 +284,8 @@ mod tests {
         let time_with = |inter_bw: f64| {
             let mw = MultiWafer::new(2, FabricConfig::FredD, 4, inter_bw);
             let mut net = FlowNetwork::new(mw.clone_topology());
-            net.inject_batch(mw.global_all_reduce(d, Priority::Dp, 0));
+            net.inject_batch(mw.global_all_reduce(d, Priority::Dp, 0))
+                .unwrap();
             let done = net.run_to_completion();
             done.iter()
                 .map(|c| c.completed_at.as_secs())

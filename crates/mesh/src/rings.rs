@@ -255,13 +255,17 @@ mod tests {
         let group: Vec<usize> = (0..16).collect();
         let plan = wafer_all_reduce(&m, &group, 1600.0);
         let mut net = FlowNetwork::new(m.clone_topology());
-        let d = plan.execute(&mut net, fred_sim::flow::Priority::Dp);
+        let d = plan
+            .execute(&mut net, fred_sim::flow::Priority::Dp)
+            .unwrap();
         assert!(d.as_secs() > 0.0);
         // Sanity: wafer AR must beat a naive snake ring (which pays long
         // wrap-around hops and full-ring serialisation).
         let ring_plan = all_reduce(&m, &group, 1600.0);
         let mut net2 = FlowNetwork::new(m.clone_topology());
-        let d_ring = ring_plan.execute(&mut net2, fred_sim::flow::Priority::Dp);
+        let d_ring = ring_plan
+            .execute(&mut net2, fred_sim::flow::Priority::Dp)
+            .unwrap();
         assert!(d <= d_ring, "hier {d:?} vs ring {d_ring:?}");
     }
 
@@ -303,6 +307,7 @@ mod tests {
         let mut net = FlowNetwork::new(m.clone_topology());
         let dur = plan
             .execute(&mut net, fred_sim::flow::Priority::Dp)
+            .unwrap()
             .as_secs();
         let per_npu = fred_collectives::cost::endpoint_all_reduce_traffic(20, d);
         let eff = per_npu / dur;

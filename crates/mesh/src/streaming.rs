@@ -171,14 +171,7 @@ mod tests {
             let mut reached = BTreeSet::from([m.io_entry_npu(io)]);
             for l in &links {
                 let link = m.topology().link(*l);
-                let dst_label = &m.topology().node(link.dst).label;
-                let id = m
-                    .topology()
-                    .nodes()
-                    .position(|(n, node)| n == link.dst && node.label == *dst_label);
-                let _ = id;
-                // Map NodeId back to NPU index via label position.
-                let npu = (0..m.npu_count()).find(|&i| m.npu(i) == link.dst).unwrap();
+                let npu = m.npu_index(link.dst).expect("tree edges end at NPUs");
                 assert!(
                     reached.insert(npu) || npu == m.io_entry_npu(io),
                     "npu {npu} reached twice"
@@ -209,7 +202,7 @@ mod tests {
         let bytes = 128e9; // 1 second at line rate
         for io in 0..m.io_count() {
             for f in streaming_in_flows(&m, io, bytes, Priority::Bulk, io as u64) {
-                net.inject(f);
+                net.inject(f).unwrap();
             }
         }
         let done = net.run_to_completion();
@@ -227,7 +220,7 @@ mod tests {
         let m = MeshFabric::paper_baseline();
         let mut net = FlowNetwork::new(m.clone_topology());
         for f in streaming_in_flows(&m, 0, 128e9, Priority::Bulk, 0) {
-            net.inject(f);
+            net.inject(f).unwrap();
         }
         let done = net.run_to_completion();
         let t = done.iter().map(|c| c.completed_at).max().unwrap().as_secs();

@@ -241,6 +241,15 @@ impl MeshFabric {
         self.npus[i]
     }
 
+    /// The NPU index whose node id is `node`, or `None` if `node` is
+    /// not an NPU. O(1): NPUs are created first, so their node ids are
+    /// contiguous from the first NPU's.
+    pub fn npu_index(&self, node: NodeId) -> Option<usize> {
+        let base = self.npus.first()?.0;
+        let i = node.0.checked_sub(base)?;
+        (i < self.npus.len() && self.npus[i] == node).then_some(i)
+    }
+
     /// The external-memory node.
     pub fn external_memory(&self) -> NodeId {
         self.ext
@@ -284,6 +293,59 @@ impl MeshFabric {
             }
         }
         route
+    }
+
+    /// Y-X (y first, then x) route between two NPUs — the secondary
+    /// dimension order, used as the first detour when the X-Y route
+    /// crosses a failed link.
+    pub fn yx_route(&self, src: usize, dst: usize) -> Route {
+        let (mut x, mut y) = self.coords(src);
+        let (dx, dy) = self.coords(dst);
+        let mut route = Vec::new();
+        while y != dy {
+            let id = y * self.cols + x;
+            if y < dy {
+                route.push(self.dir_links[SOUTH][id].expect("south link exists"));
+                y += 1;
+            } else {
+                route.push(self.dir_links[NORTH][id].expect("north link exists"));
+                y -= 1;
+            }
+        }
+        while x != dx {
+            let id = y * self.cols + x;
+            if x < dx {
+                route.push(self.dir_links[EAST][id].expect("east link exists"));
+                x += 1;
+            } else {
+                route.push(self.dir_links[WEST][id].expect("west link exists"));
+                x -= 1;
+            }
+        }
+        route
+    }
+
+    /// Fault-aware variant of [`MeshFabric::xy_route`]: X-Y if it
+    /// crosses no blocked link, else Y-X (same hop count, the other
+    /// corner of the rectangle), else the shortest surviving path —
+    /// which pays a detour penalty in extra hops. Returns `None` when
+    /// the blocked set cuts `src` from `dst`.
+    pub fn xy_route_avoiding(
+        &self,
+        src: usize,
+        dst: usize,
+        blocked: impl Fn(LinkId) -> bool,
+    ) -> Option<Route> {
+        let xy = self.xy_route(src, dst);
+        if !xy.iter().any(|&l| blocked(l)) {
+            return Some(xy);
+        }
+        let yx = self.yx_route(src, dst);
+        if !yx.iter().any(|&l| blocked(l)) {
+            return Some(yx);
+        }
+        self.topo
+            .shortest_path_avoiding(self.npus[src], self.npus[dst], blocked)
     }
 
     /// Route from I/O controller `io` into NPU `npu` (X-Y after entry).
@@ -389,6 +451,60 @@ mod tests {
                 m.topology().validate_route(&r).unwrap();
             }
         }
+    }
+
+    #[test]
+    fn npu_index_inverts_npu() {
+        let m = MeshFabric::paper_baseline();
+        for i in 0..m.npu_count() {
+            assert_eq!(m.npu_index(m.npu(i)), Some(i));
+        }
+        assert_eq!(m.npu_index(m.external_memory()), None);
+        // I/O controller node ids follow the NPUs; none maps back.
+        for io in 0..m.io_count() {
+            assert_eq!(m.npu_index(m.ios[io]), None);
+        }
+    }
+
+    #[test]
+    fn route_avoiding_falls_back_yx_then_bfs() {
+        let m = MeshFabric::paper_baseline();
+        let src = m.npu_at(0, 0);
+        let dst = m.npu_at(2, 2);
+        // Healthy: identical to X-Y.
+        assert_eq!(
+            m.xy_route_avoiding(src, dst, |_| false),
+            Some(m.xy_route(src, dst))
+        );
+        // Block the first X-Y hop: Y-X has the same length and avoids it.
+        let first = m.xy_route(src, dst)[0];
+        let r = m.xy_route_avoiding(src, dst, |l| l == first).unwrap();
+        assert_eq!(r, m.yx_route(src, dst));
+        assert_eq!(r.len(), m.xy_route(src, dst).len());
+        m.topology().validate_route(&r).unwrap();
+        // Block the first hop of both dimension orders: that is every
+        // mesh exit of the corner, so the BFS detour escapes through an
+        // I/O controller and the external-memory hub. Same endpoints,
+        // strictly longer than the healthy route.
+        let f2 = m.yx_route(src, dst)[0];
+        let r = m
+            .xy_route_avoiding(src, dst, |l| l == first || l == f2)
+            .unwrap();
+        assert!(!r.contains(&first) && !r.contains(&f2));
+        let ends = m.topology().validate_route(&r).unwrap().unwrap();
+        assert_eq!(ends, (m.npu(src), m.npu(dst)));
+        assert!(r.len() > m.xy_route(src, dst).len());
+        // Corner (0,0) has exactly two mesh exits, but BFS may still
+        // escape through an I/O controller and the external-memory hub;
+        // additionally cutting the corner's io links isolates it.
+        let io_exits: Vec<LinkId> = (0..m.io_count())
+            .filter(|&io| m.io_entry_npu(io) == src)
+            .map(|io| m.io_out[io])
+            .collect();
+        assert_eq!(
+            m.xy_route_avoiding(src, dst, |l| l == first || l == f2 || io_exits.contains(&l)),
+            None
+        );
     }
 
     #[test]

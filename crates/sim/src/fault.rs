@@ -1,0 +1,327 @@
+//! Deterministic fault injection: seeded plans of link failures and
+//! degradations applied to a running [`FlowNetwork`].
+//!
+//! Wafer-scale integration lives or dies by defect tolerance (FRED §3):
+//! a dead micro-switch port must be routed around, not abort the run.
+//! This module is the *plan* half of the fault layer — a sorted,
+//! reproducible list of [`FaultEvent`]s saying which link loses how
+//! much capacity when. The *mechanism* half lives in
+//! [`FlowNetwork::fail_link`] / [`FlowNetwork::degrade_link`] (capacity
+//! loss + flow eviction) and in the fabric crates' fault-aware routers
+//! (`npu_route_avoiding` on the FRED tree, `xy_route_avoiding` on the
+//! mesh), which detour the evicted traffic.
+//!
+//! Determinism contract: plans are generated from an explicit
+//! [`Rng64`](crate::rng::Rng64) seed, events are kept sorted by
+//! `(time, link)`, and an **empty plan injects nothing** — a simulation
+//! driven with [`FaultPlan::none`] takes the exact code path of a
+//! fault-free build and stays bit-identical to it. The seeded generator
+//! ([`FaultPlan::seeded_link_failures`]) additionally guarantees
+//! *survivability* (it never disconnects the fabric) and *nestedness*
+//! (the failed set at a lower fraction is a prefix of the set at a
+//! higher fraction with the same seed), which is what makes
+//! makespan-vs-failure-fraction sweeps meaningful.
+
+use std::collections::HashSet;
+
+use crate::netsim::{EvictedFlow, FlowNetwork};
+use crate::rng::Rng64;
+use crate::time::Time;
+use crate::topology::{LinkId, NodeId, NodeKind, Topology};
+
+/// What happens to the link when the fault fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The link dies: capacity drops to zero, in-flight flows crossing
+    /// it are evicted, and new injections across it are rejected.
+    LinkFail,
+    /// The link survives at the given fraction of its bandwidth
+    /// (a lossy port running at reduced width). Must be in `(0, 1]`.
+    LinkDegrade(f64),
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault fires.
+    pub at: Time,
+    /// The affected link.
+    pub link: LinkId,
+    /// Failure or degradation.
+    pub kind: FaultKind,
+}
+
+impl FaultEvent {
+    /// Applies this fault to `net`, returning the flows evicted by a
+    /// [`FaultKind::LinkFail`] (empty for degradations). The caller is
+    /// responsible for re-routing and re-injecting the evictees.
+    pub fn apply(&self, net: &mut FlowNetwork) -> Vec<EvictedFlow> {
+        match self.kind {
+            FaultKind::LinkFail => net.fail_link(self.link),
+            FaultKind::LinkDegrade(fraction) => {
+                net.degrade_link(self.link, fraction);
+                Vec::new()
+            }
+        }
+    }
+}
+
+/// A deterministic, time-sorted list of faults.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// The empty plan: injects nothing, and guarantees the simulation
+    /// takes the same code path (and produces bit-identical results)
+    /// as one with no fault layer at all.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Builds a plan from arbitrary events; they are sorted by
+    /// `(time, link)` so application order is independent of
+    /// construction order.
+    pub fn new(mut events: Vec<FaultEvent>) -> FaultPlan {
+        events.sort_by(|a, b| a.at.cmp(&b.at).then(a.link.cmp(&b.link)));
+        FaultPlan { events }
+    }
+
+    /// Whether the plan has no events (the zero-fault fast-path guard).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The events, sorted by `(time, link)`. Drivers keep a cursor into
+    /// this slice and apply events whose `at` has been reached.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// The fire time of the first event at index ≥ `cursor`, if any —
+    /// the next fault horizon for an event-loop driver.
+    pub fn next_at(&self, cursor: usize) -> Option<Time> {
+        self.events.get(cursor).map(|e| e.at)
+    }
+
+    /// Generates a *survivable* plan failing `fraction` of `topo`'s
+    /// links at time `at`, seeded by `seed`.
+    ///
+    /// Candidates are shuffled with [`Rng64`] and accepted greedily,
+    /// skipping any link whose failure would change which nodes can
+    /// reach / be reached from the rest of the fabric (so every NPU
+    /// pair, and every NPU↔external-memory path, stays routable and a
+    /// degraded run can always complete). Because acceptance does not
+    /// depend on the target count, the plan for a smaller fraction is
+    /// a strict prefix of the plan for a larger one under the same
+    /// seed — sweeps over the fraction axis fail *nested* link sets.
+    ///
+    /// The target count is `round(fraction × link_count)`; fewer links
+    /// fail if the topology runs out of survivable candidates first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not in `[0, 1]`.
+    pub fn seeded_link_failures(topo: &Topology, fraction: f64, at: Time, seed: u64) -> FaultPlan {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "failure fraction must be in [0, 1], got {fraction}"
+        );
+        let target = (fraction * topo.link_count() as f64).round() as usize;
+        if target == 0 {
+            return FaultPlan::none();
+        }
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut candidates: Vec<LinkId> = topo.links().map(|(id, _)| id).collect();
+        rng.shuffle(&mut candidates);
+
+        // Reachability baseline from/to an anchor node: greedy
+        // acceptance must never shrink either set. Reachability is
+        // transitive through the anchor, so preserving both sets
+        // preserves connectivity between every pair that had it.
+        let anchor = topo
+            .nodes_of_kind(NodeKind::Npu)
+            .first()
+            .copied()
+            .unwrap_or(NodeId(0));
+        let mut failed: HashSet<LinkId> = HashSet::new();
+        let fwd0 = reachable(topo, anchor, false, &failed);
+        let bwd0 = reachable(topo, anchor, true, &failed);
+
+        let mut events = Vec::with_capacity(target);
+        for cand in candidates {
+            if events.len() == target {
+                break;
+            }
+            failed.insert(cand);
+            let ok = reachable(topo, anchor, false, &failed) == fwd0
+                && reachable(topo, anchor, true, &failed) == bwd0;
+            if ok {
+                events.push(FaultEvent {
+                    at,
+                    link: cand,
+                    kind: FaultKind::LinkFail,
+                });
+            } else {
+                failed.remove(&cand);
+            }
+        }
+        FaultPlan::new(events)
+    }
+}
+
+/// Nodes reachable from `from` (or reaching it, with `reverse`) without
+/// crossing a failed link.
+fn reachable(
+    topo: &Topology,
+    from: NodeId,
+    reverse: bool,
+    failed: &HashSet<LinkId>,
+) -> HashSet<NodeId> {
+    let mut seen: HashSet<NodeId> = HashSet::new();
+    seen.insert(from);
+    let mut stack = vec![from];
+    while let Some(at) = stack.pop() {
+        let links = if reverse {
+            topo.incoming(at)
+        } else {
+            topo.outgoing(at)
+        };
+        for &l in links {
+            if failed.contains(&l) {
+                continue;
+            }
+            let next = if reverse {
+                topo.link(l).src
+            } else {
+                topo.link(l).dst
+            };
+            if seen.insert(next) {
+                stack.push(next);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowSpec;
+
+    fn ladder(n: usize) -> Topology {
+        // n NPUs in a ring of duplex links: every single link failure
+        // is survivable, failing both directions of every rung is not.
+        let mut t = Topology::new();
+        let nodes: Vec<NodeId> = (0..n)
+            .map(|i| t.add_node(NodeKind::Npu, format!("n{i}")))
+            .collect();
+        for i in 0..n {
+            t.add_duplex_link(nodes[i], nodes[(i + 1) % n], 100.0, 0.0);
+        }
+        t
+    }
+
+    #[test]
+    fn empty_plan_is_empty() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        assert_eq!(plan.len(), 0);
+        assert_eq!(plan.next_at(0), None);
+        let topo = ladder(4);
+        assert_eq!(
+            FaultPlan::seeded_link_failures(&topo, 0.0, Time::ZERO, 1),
+            plan
+        );
+    }
+
+    #[test]
+    fn events_sort_by_time_then_link() {
+        let t1 = Time::from_secs(1.0);
+        let t2 = Time::from_secs(2.0);
+        let plan = FaultPlan::new(vec![
+            FaultEvent {
+                at: t2,
+                link: LinkId(0),
+                kind: FaultKind::LinkFail,
+            },
+            FaultEvent {
+                at: t1,
+                link: LinkId(5),
+                kind: FaultKind::LinkFail,
+            },
+            FaultEvent {
+                at: t1,
+                link: LinkId(2),
+                kind: FaultKind::LinkDegrade(0.5),
+            },
+        ]);
+        let order: Vec<(Time, LinkId)> = plan.events().iter().map(|e| (e.at, e.link)).collect();
+        assert_eq!(
+            order,
+            vec![(t1, LinkId(2)), (t1, LinkId(5)), (t2, LinkId(0))]
+        );
+        assert_eq!(plan.next_at(0), Some(t1));
+        assert_eq!(plan.next_at(2), Some(t2));
+    }
+
+    #[test]
+    fn seeded_plan_is_deterministic_and_nested() {
+        let topo = ladder(16); // 32 directed links
+        let a = FaultPlan::seeded_link_failures(&topo, 0.125, Time::ZERO, 42);
+        let b = FaultPlan::seeded_link_failures(&topo, 0.125, Time::ZERO, 42);
+        assert_eq!(a, b, "same seed, same plan");
+        let c = FaultPlan::seeded_link_failures(&topo, 0.25, Time::ZERO, 42);
+        assert!(a.len() < c.len());
+        // Nested: the smaller plan's link set is a subset of the larger.
+        let small: HashSet<LinkId> = a.events().iter().map(|e| e.link).collect();
+        let large: HashSet<LinkId> = c.events().iter().map(|e| e.link).collect();
+        assert!(small.is_subset(&large));
+        let other_seed = FaultPlan::seeded_link_failures(&topo, 0.25, Time::ZERO, 43);
+        assert_ne!(c, other_seed, "different seed, different plan");
+    }
+
+    #[test]
+    fn seeded_plan_preserves_connectivity() {
+        let topo = ladder(8);
+        // Ask for far more failures than survivability allows.
+        let plan = FaultPlan::seeded_link_failures(&topo, 1.0, Time::ZERO, 7);
+        assert!(plan.len() < topo.link_count());
+        let failed: HashSet<LinkId> = plan.events().iter().map(|e| e.link).collect();
+        let npus = topo.nodes_of_kind(NodeKind::Npu);
+        let seen = reachable(&topo, npus[0], false, &failed);
+        for &n in &npus {
+            assert!(seen.contains(&n), "{n} unreachable after faults");
+        }
+    }
+
+    #[test]
+    fn apply_fails_and_degrades_links() {
+        let topo = ladder(3);
+        let l = LinkId(0);
+        let mut net = FlowNetwork::new(topo);
+        net.inject(FlowSpec::new(vec![l], 100.0)).unwrap();
+        net.next_event();
+        let fail = FaultEvent {
+            at: Time::ZERO,
+            link: l,
+            kind: FaultKind::LinkFail,
+        };
+        let evicted = fail.apply(&mut net);
+        assert_eq!(evicted.len(), 1);
+        assert!(net.is_link_failed(l));
+        let degrade = FaultEvent {
+            at: Time::ZERO,
+            link: LinkId(2),
+            kind: FaultKind::LinkDegrade(0.5),
+        };
+        assert!(degrade.apply(&mut net).is_empty());
+        assert_eq!(net.link_capacity(LinkId(2)), 50.0);
+    }
+}

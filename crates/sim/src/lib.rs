@@ -36,8 +36,8 @@
 //! let l = topo.add_link(a, b, 100.0, 0.0);
 //!
 //! let mut net = FlowNetwork::new(topo);
-//! net.inject(FlowSpec::new(vec![l], 100.0).with_tag(1));
-//! net.inject(FlowSpec::new(vec![l], 100.0).with_tag(2));
+//! net.inject(FlowSpec::new(vec![l], 100.0).with_tag(1)).unwrap();
+//! net.inject(FlowSpec::new(vec![l], 100.0).with_tag(2)).unwrap();
 //! let done = net.run_to_completion();
 //! assert_eq!(done.len(), 2);
 //! assert!((done[0].completed_at.as_secs() - 2.0).abs() < 1e-9);
@@ -45,6 +45,7 @@
 
 pub mod events;
 pub mod fairshare;
+pub mod fault;
 pub mod flow;
 pub mod netsim;
 pub mod rng;
@@ -55,8 +56,9 @@ pub mod topology;
 /// Convenience re-exports of the most commonly used simulator types.
 pub mod prelude {
     pub use crate::events::{EventQueue, Scheduled};
+    pub use crate::fault::{FaultEvent, FaultKind, FaultPlan};
     pub use crate::flow::{FlowId, FlowSpec, Priority};
-    pub use crate::netsim::{CompletedFlow, FlowNetwork};
+    pub use crate::netsim::{CompletedFlow, EvictedFlow, FlowNetwork};
     pub use crate::time::{Duration, Time};
-    pub use crate::topology::{LinkId, NodeId, NodeKind, Route, Topology};
+    pub use crate::topology::{LinkId, NodeId, NodeKind, Route, RouteError, Topology};
 }

@@ -42,7 +42,7 @@ use fred_telemetry::sink::{NullSink, TraceSink};
 use crate::flow::{FlowId, FlowSpec, Priority};
 use crate::solver::{FairShareSolver, FlowKey};
 use crate::time::{Duration, Time};
-use crate::topology::Topology;
+use crate::topology::{LinkId, Route, RouteError, Topology};
 
 /// Maps a priority class to its telemetry display track.
 pub fn track_of(priority: Priority) -> Track {
@@ -88,6 +88,26 @@ struct ActiveFlow {
     generation: u64,
     injected_at: Time,
     latency: Duration,
+}
+
+/// A flow forcibly removed from the network by [`FlowNetwork::fail_link`]
+/// because its route crossed the failed link. The caller (the trainer's
+/// fault handler, or any re-planning layer) is expected to re-route the
+/// remaining bytes and re-inject them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvictedFlow {
+    /// The id the flow had while in flight.
+    pub id: FlowId,
+    /// The tag from the [`FlowSpec`].
+    pub tag: u64,
+    /// The flow's priority class.
+    pub priority: Priority,
+    /// Bytes still unsent when the link died (the payload to re-inject).
+    pub remaining_bytes: f64,
+    /// The route the flow was using (crosses the failed link).
+    pub route: Route,
+    /// When the flow was originally injected.
+    pub injected_at: Time,
 }
 
 /// Record of a finished flow.
@@ -155,6 +175,9 @@ pub struct FlowNetwork {
     /// contribution since each flow's `updated_at`).
     link_bytes: Vec<f64>,
     capacities: Vec<f64>,
+    /// Links killed by [`FlowNetwork::fail_link`]; failed links reject
+    /// new injections and are what routing layers must detour around.
+    failed: Vec<bool>,
     events: u64,
     /// Telemetry sink; [`NullSink`] (zero overhead) by default.
     sink: Rc<dyn TraceSink>,
@@ -201,6 +224,7 @@ impl FlowNetwork {
             pending: BinaryHeap::new(),
             completed: Vec::new(),
             link_bytes,
+            failed: vec![false; capacities.len()],
             capacities,
             events: 0,
             sink,
@@ -262,13 +286,16 @@ impl FlowNetwork {
     /// single refill by the next [`FlowNetwork::next_event`] /
     /// [`FlowNetwork::advance_to`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the route is not a contiguous path in the topology.
-    pub fn inject(&mut self, spec: FlowSpec) -> FlowId {
-        self.topo
-            .validate_route(&spec.route)
-            .unwrap_or_else(|e| panic!("invalid flow route: {e}"));
+    /// Returns [`RouteError`] if the route is not a contiguous path in
+    /// the topology or crosses a link killed by
+    /// [`FlowNetwork::fail_link`]. The network is unchanged on error.
+    pub fn inject(&mut self, spec: FlowSpec) -> Result<FlowId, RouteError> {
+        self.topo.validate_route(&spec.route)?;
+        if let Some(&dead) = spec.route.iter().find(|l| self.failed[l.0]) {
+            return Err(RouteError::FailedLink(dead));
+        }
         let id = FlowId(self.next_id);
         self.next_id += 1;
         let latency = self.topo.route_latency(&spec.route);
@@ -310,7 +337,7 @@ impl FlowNetwork {
             }
             self.active_count += 1;
         }
-        id
+        Ok(id)
     }
 
     /// Injects several flows at the current time. Since the solver runs
@@ -318,11 +345,148 @@ impl FlowNetwork {
     /// calls; it is kept as the idiomatic entry point for starting a
     /// collective phase.
     ///
+    /// # Errors
+    ///
+    /// Returns the first [`RouteError`] among the specs. Every route is
+    /// validated up front, so on error *no* flow has been injected —
+    /// a phase either starts whole or not at all.
+    pub fn inject_batch(&mut self, specs: Vec<FlowSpec>) -> Result<Vec<FlowId>, RouteError> {
+        for spec in &specs {
+            self.topo.validate_route(&spec.route)?;
+            if let Some(&dead) = spec.route.iter().find(|l| self.failed[l.0]) {
+                return Err(RouteError::FailedLink(dead));
+            }
+        }
+        specs.into_iter().map(|spec| self.inject(spec)).collect()
+    }
+
+    /// Current capacity of a link (bytes/s): the topology bandwidth,
+    /// reduced by [`FlowNetwork::degrade_link`], zero after
+    /// [`FlowNetwork::fail_link`].
+    pub fn link_capacity(&self, link: LinkId) -> f64 {
+        self.capacities[link.0]
+    }
+
+    /// Whether `link` has been killed by [`FlowNetwork::fail_link`].
+    pub fn is_link_failed(&self, link: LinkId) -> bool {
+        self.failed[link.0]
+    }
+
+    /// All links killed so far, in id order.
+    pub fn failed_links(&self) -> Vec<LinkId> {
+        self.failed
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f)
+            .map(|(i, _)| LinkId(i))
+            .collect()
+    }
+
+    /// Whether any link has been killed (cheap guard: the zero-fault
+    /// fast paths branch on this to stay bit-identical to a fault-free
+    /// build).
+    pub fn any_link_failed(&self) -> bool {
+        self.failed.iter().any(|&f| f)
+    }
+
+    /// Kills `link` at the current instant: its capacity drops to zero,
+    /// new injections across it are rejected, and every in-flight flow
+    /// crossing it is *evicted* — returned with its unsent byte count so
+    /// the caller can re-route and re-inject. Surviving flows that
+    /// shared a bottleneck with the dead link's flows are re-solved by
+    /// the incremental allocator at the next event.
+    ///
+    /// Idempotent: failing an already-dead link evicts nothing.
+    pub fn fail_link(&mut self, link: LinkId) -> Vec<EvictedFlow> {
+        if self.failed[link.0] {
+            return Vec::new();
+        }
+        self.failed[link.0] = true;
+        let evicted = self.set_capacity_inner(link, 0.0);
+        if self.sink.enabled() {
+            self.sink.record(TraceEvent::Fault {
+                t: self.now.as_secs(),
+                link: link.0 as u32,
+                capacity_fraction: 0.0,
+                evicted: evicted.len() as u32,
+            });
+        }
+        evicted
+    }
+
+    /// Degrades `link` to `fraction` of its topology bandwidth (a lossy
+    /// port surviving at reduced width). Flows crossing it keep flowing
+    /// at the re-solved lower rate; nothing is evicted. A `fraction` of
+    /// `0.0` is a full failure — use [`FlowNetwork::fail_link`], which
+    /// also evicts.
+    ///
     /// # Panics
     ///
-    /// Panics if any route is not a contiguous path in the topology.
-    pub fn inject_batch(&mut self, specs: Vec<FlowSpec>) -> Vec<FlowId> {
-        specs.into_iter().map(|spec| self.inject(spec)).collect()
+    /// Panics if `fraction` is not in `(0.0, 1.0]`.
+    pub fn degrade_link(&mut self, link: LinkId, fraction: f64) {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "degrade fraction must be in (0, 1], got {fraction} (use fail_link for 0)"
+        );
+        let cap = self.topo.link(link).bandwidth * fraction;
+        self.capacities[link.0] = cap;
+        self.solver.set_capacity(link.0, cap);
+        if self.sink.enabled() {
+            self.sink.record(TraceEvent::Fault {
+                t: self.now.as_secs(),
+                link: link.0 as u32,
+                capacity_fraction: fraction,
+                evicted: 0,
+            });
+        }
+    }
+
+    /// Shared fault body: sets the capacity and evicts crossing flows
+    /// when the link is now dead. Byte accounting of evicted flows is
+    /// settled at their pre-fault rate up to `now`.
+    fn set_capacity_inner(&mut self, link: LinkId, cap: f64) -> Vec<EvictedFlow> {
+        self.capacities[link.0] = cap;
+        self.solver.set_capacity(link.0, cap);
+        let mut evicted = Vec::new();
+        if cap > 0.0 {
+            return evicted;
+        }
+        let now = self.now;
+        for slot in 0..self.flows.len() {
+            let crosses = self.flows[slot]
+                .as_ref()
+                .is_some_and(|f| f.links.contains(&link.0));
+            if !crosses {
+                continue;
+            }
+            let mut f = self.flows[slot].take().expect("checked live");
+            self.active_count -= 1;
+            // Settle bytes moved at the pre-fault rate; the stale drain
+            // prediction is discarded on pop (empty slot).
+            let moved = {
+                let dt = (now - f.updated_at).as_secs();
+                if f.rate > 0.0 && dt > 0.0 {
+                    (f.rate * dt).min(f.remaining)
+                } else {
+                    0.0
+                }
+            };
+            f.remaining -= moved;
+            for &l in &f.links {
+                self.link_bytes[l] += moved;
+            }
+            self.solver.remove_flow(FlowKey(slot as u32));
+            self.count_event();
+            evicted.push(EvictedFlow {
+                id: f.id,
+                tag: f.tag,
+                priority: f.priority,
+                remaining_bytes: f.remaining,
+                route: f.links.iter().map(|&l| LinkId(l)).collect(),
+                injected_at: f.injected_at,
+            });
+        }
+        evicted
     }
 
     fn push_pending(&mut self, f: ActiveFlow) {
@@ -405,10 +569,16 @@ impl FlowNetwork {
         for &l in self.solver.touched_links() {
             let new = self.solver.link_allocated(l);
             if (new - self.link_alloc[l]).abs() > 1e-9 * self.capacities[l].max(1.0) {
+                // A dead link (capacity 0) reports utilization 0, not NaN.
+                let utilization = if self.capacities[l] > 0.0 {
+                    new / self.capacities[l]
+                } else {
+                    0.0
+                };
                 self.sink.record(TraceEvent::LinkUtil {
                     t,
                     link: l as u32,
-                    utilization: new / self.capacities[l],
+                    utilization,
                 });
             }
             self.link_alloc[l] = new;
@@ -610,7 +780,7 @@ mod tests {
     #[test]
     fn single_flow_takes_bytes_over_bandwidth() {
         let (mut net, l) = two_node_net(100.0, 0.0);
-        net.inject(FlowSpec::new(vec![l], 500.0));
+        net.inject(FlowSpec::new(vec![l], 500.0)).unwrap();
         let done = net.run_to_completion();
         assert_eq!(done.len(), 1);
         assert!((done[0].completed_at.as_secs() - 5.0).abs() < 1e-9);
@@ -620,7 +790,7 @@ mod tests {
     #[test]
     fn latency_is_appended_after_drain() {
         let (mut net, l) = two_node_net(100.0, 0.5);
-        net.inject(FlowSpec::new(vec![l], 100.0));
+        net.inject(FlowSpec::new(vec![l], 100.0)).unwrap();
         let done = net.run_to_completion();
         assert!((done[0].completed_at.as_secs() - 1.5).abs() < 1e-9);
     }
@@ -631,8 +801,10 @@ mod tests {
         // Phase 1: both at 50 B/s until f0 drains at t=2 (100 B each).
         // Phase 2: f1 alone at 100 B/s for its remaining 200 B -> t=4.
         let (mut net, l) = two_node_net(100.0, 0.0);
-        net.inject(FlowSpec::new(vec![l], 100.0).with_tag(0));
-        net.inject(FlowSpec::new(vec![l], 300.0).with_tag(1));
+        net.inject(FlowSpec::new(vec![l], 100.0).with_tag(0))
+            .unwrap();
+        net.inject(FlowSpec::new(vec![l], 300.0).with_tag(1))
+            .unwrap();
         let done = net.run_to_completion();
         assert_eq!(done[0].tag, 0);
         assert!((done[0].completed_at.as_secs() - 2.0).abs() < 1e-9);
@@ -649,12 +821,14 @@ mod tests {
             FlowSpec::new(vec![l], 100.0)
                 .with_priority(Priority::Dp)
                 .with_tag(3),
-        );
+        )
+        .unwrap();
         net.inject(
             FlowSpec::new(vec![l], 100.0)
                 .with_priority(Priority::Mp)
                 .with_tag(1),
-        );
+        )
+        .unwrap();
         let done = net.run_to_completion();
         assert_eq!(done[0].tag, 1);
         assert!((done[0].completed_at.as_secs() - 1.0).abs() < 1e-9);
@@ -666,9 +840,11 @@ mod tests {
     fn late_injection_reallocates() {
         // f0 alone for 1 s (100 B drained), then f1 joins; both at 50 B/s.
         let (mut net, l) = two_node_net(100.0, 0.0);
-        net.inject(FlowSpec::new(vec![l], 200.0).with_tag(0));
+        net.inject(FlowSpec::new(vec![l], 200.0).with_tag(0))
+            .unwrap();
         net.advance_to(Time::from_secs(1.0));
-        net.inject(FlowSpec::new(vec![l], 100.0).with_tag(1));
+        net.inject(FlowSpec::new(vec![l], 100.0).with_tag(1))
+            .unwrap();
         let done = net.run_to_completion();
         // f0 remaining 100 at t=1 -> drains at t=3; f1 100 B -> t=3 too.
         assert!((done[0].completed_at.as_secs() - 3.0).abs() < 1e-9);
@@ -678,7 +854,7 @@ mod tests {
     #[test]
     fn zero_byte_flow_completes_after_latency_only() {
         let (mut net, l) = two_node_net(100.0, 0.25);
-        net.inject(FlowSpec::new(vec![l], 0.0));
+        net.inject(FlowSpec::new(vec![l], 0.0)).unwrap();
         let done = net.run_to_completion();
         assert!((done[0].completed_at.as_secs() - 0.25).abs() < 1e-12);
     }
@@ -686,7 +862,7 @@ mod tests {
     #[test]
     fn node_local_flow_completes_immediately() {
         let (mut net, _) = two_node_net(100.0, 0.0);
-        net.inject(FlowSpec::new(vec![], 1e9));
+        net.inject(FlowSpec::new(vec![], 1e9)).unwrap();
         let done = net.run_to_completion();
         assert_eq!(done[0].completed_at, Time::ZERO);
     }
@@ -694,7 +870,7 @@ mod tests {
     #[test]
     fn utilization_accounts_busy_fraction() {
         let (mut net, l) = two_node_net(100.0, 0.0);
-        net.inject(FlowSpec::new(vec![l], 100.0));
+        net.inject(FlowSpec::new(vec![l], 100.0)).unwrap();
         net.advance_to(Time::from_secs(2.0));
         // Busy 1 s out of 2 s.
         assert!((net.link_utilization(l) - 0.5).abs() < 1e-9);
@@ -705,7 +881,7 @@ mod tests {
         let (mut net, l) = two_node_net(100.0, 0.0);
         // No time has elapsed and a flow is mid-injection: the elapsed
         // divisor is zero and the result must be 0.0, never NaN.
-        net.inject(FlowSpec::new(vec![l], 100.0));
+        net.inject(FlowSpec::new(vec![l], 100.0)).unwrap();
         let u = net.link_utilization(l);
         assert_eq!(u, 0.0);
         assert!(!u.is_nan());
@@ -717,7 +893,7 @@ mod tests {
         // way through a lone flow, the link has carried half the bytes
         // even though no rate change has settled them.
         let (mut net, l) = two_node_net(100.0, 0.0);
-        net.inject(FlowSpec::new(vec![l], 100.0));
+        net.inject(FlowSpec::new(vec![l], 100.0)).unwrap();
         net.advance_to(Time::from_secs(0.5));
         assert!((net.link_carried_bytes(l) - 50.0).abs() < 1e-9);
         assert!((net.link_utilization(l) - 1.0).abs() < 1e-9);
@@ -732,7 +908,7 @@ mod tests {
         let l0 = topo.add_link(a, b, 100.0, 0.0);
         let l1 = topo.add_link(b, c, 25.0, 0.0);
         let mut net = FlowNetwork::new(topo);
-        net.inject(FlowSpec::new(vec![l0, l1], 100.0));
+        net.inject(FlowSpec::new(vec![l0, l1], 100.0)).unwrap();
         let done = net.run_to_completion();
         assert!((done[0].completed_at.as_secs() - 4.0).abs() < 1e-9);
     }
@@ -745,12 +921,12 @@ mod tests {
             .map(|i| FlowSpec::new(vec![la], 100.0).with_tag(i))
             .collect();
         for s in specs_a {
-            a.inject(s);
+            a.inject(s).unwrap();
         }
         let specs_b: Vec<FlowSpec> = (0..5)
             .map(|i| FlowSpec::new(vec![lb], 100.0).with_tag(i))
             .collect();
-        b.inject_batch(specs_b);
+        b.inject_batch(specs_b).unwrap();
         let da = a.run_to_completion();
         let db = b.run_to_completion();
         assert_eq!(da.len(), db.len());
@@ -763,11 +939,13 @@ mod tests {
     #[test]
     fn inject_batch_handles_mixed_empty_and_real_flows() {
         let (mut net, l) = two_node_net(100.0, 0.0);
-        let ids = net.inject_batch(vec![
-            FlowSpec::new(vec![], 1e6).with_tag(0),
-            FlowSpec::new(vec![l], 100.0).with_tag(1),
-            FlowSpec::new(vec![l], 0.0).with_tag(2),
-        ]);
+        let ids = net
+            .inject_batch(vec![
+                FlowSpec::new(vec![], 1e6).with_tag(0),
+                FlowSpec::new(vec![l], 100.0).with_tag(1),
+                FlowSpec::new(vec![l], 0.0).with_tag(2),
+            ])
+            .unwrap();
         assert_eq!(ids.len(), 3);
         let done = net.run_to_completion();
         assert_eq!(done.len(), 3);
@@ -787,7 +965,7 @@ mod tests {
         let flows: Vec<FlowSpec> = (0..256)
             .map(|i| FlowSpec::new(vec![l], 1e9 + (i as f64) * 1e-3).with_tag(i))
             .collect();
-        net.inject_batch(flows);
+        net.inject_batch(flows).unwrap();
         let done = net.run_to_completion();
         assert_eq!(done.len(), 256);
     }
@@ -797,7 +975,8 @@ mod tests {
         // 10 separate injects at t=0 must cost one solver refill, not 10.
         let (mut net, l) = two_node_net(100.0, 0.0);
         for i in 0..10 {
-            net.inject(FlowSpec::new(vec![l], 100.0).with_tag(i));
+            net.inject(FlowSpec::new(vec![l], 100.0).with_tag(i))
+                .unwrap();
         }
         assert_eq!(net.solver_stats().solves, 0, "solve must be lazy");
         net.next_event();
@@ -810,8 +989,8 @@ mod tests {
     fn event_counters_track_lifecycle() {
         let before_global = global_events_processed();
         let (mut net, l) = two_node_net(100.0, 0.0);
-        net.inject(FlowSpec::new(vec![l], 100.0));
-        net.inject(FlowSpec::new(vec![], 1.0));
+        net.inject(FlowSpec::new(vec![l], 100.0)).unwrap();
+        net.inject(FlowSpec::new(vec![], 1.0)).unwrap();
         net.run_to_completion();
         // 2 injections + 2 drains (one implicit) + 2 completions.
         assert_eq!(net.events_processed(), 6);
@@ -826,7 +1005,8 @@ mod tests {
                 net.set_refill_fraction(f);
             }
             for i in 0..20 {
-                net.inject(FlowSpec::new(vec![l], 50.0 + i as f64).with_tag(i));
+                net.inject(FlowSpec::new(vec![l], 50.0 + i as f64).with_tag(i))
+                    .unwrap();
             }
             net.run_to_completion()
                 .iter()
@@ -857,13 +1037,16 @@ mod tests {
                 FlowSpec::new(vec![ab], 100.0)
                     .with_tag(0)
                     .with_priority(Priority::Mp),
-            );
-            net.inject(FlowSpec::new(vec![ab, bc], 300.0).with_tag(1));
+            )
+            .unwrap();
+            net.inject(FlowSpec::new(vec![ab, bc], 300.0).with_tag(1))
+                .unwrap();
             net.inject(
                 FlowSpec::new(vec![bc], 40.0)
                     .with_tag(2)
                     .with_priority(Priority::Dp),
-            );
+            )
+            .unwrap();
             let mut done = net.run_to_completion();
             done.sort_by_key(|c| c.tag);
             done.iter()
@@ -923,8 +1106,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid flow route")]
-    fn discontiguous_route_panics() {
+    fn discontiguous_route_is_a_clean_error() {
         let mut topo = Topology::new();
         let a = topo.add_node(NodeKind::Npu, "a");
         let b = topo.add_node(NodeKind::Npu, "b");
@@ -932,6 +1114,133 @@ mod tests {
         let ab = topo.add_link(a, b, 1.0, 0.0);
         let ca = topo.add_link(c, a, 1.0, 0.0);
         let mut net = FlowNetwork::new(topo);
-        net.inject(FlowSpec::new(vec![ab, ca], 1.0));
+        let err = net.inject(FlowSpec::new(vec![ab, ca], 1.0)).unwrap_err();
+        assert!(matches!(err, RouteError::Discontiguous { .. }));
+        // Nothing was injected.
+        assert_eq!(net.in_flight(), 0);
+    }
+
+    #[test]
+    fn inject_batch_is_all_or_nothing() {
+        let (mut net, l) = two_node_net(100.0, 0.0);
+        let err = net
+            .inject_batch(vec![
+                FlowSpec::new(vec![l], 100.0).with_tag(0),
+                FlowSpec::new(vec![LinkId(99)], 100.0).with_tag(1),
+            ])
+            .unwrap_err();
+        assert_eq!(err, RouteError::UnknownLink(LinkId(99)));
+        assert_eq!(net.in_flight(), 0, "no partial phase on error");
+    }
+
+    #[test]
+    fn fail_link_evicts_and_survivors_speed_up() {
+        // Two parallel a->b links; one flow on each. Killing link 0
+        // mid-drain evicts its flow with the unsent bytes settled, and
+        // the other flow is untouched.
+        let mut topo = Topology::new();
+        let a = topo.add_node(NodeKind::Npu, "a");
+        let b = topo.add_node(NodeKind::Npu, "b");
+        let l0 = topo.add_link(a, b, 100.0, 0.0);
+        let l1 = topo.add_link(a, b, 100.0, 0.0);
+        let mut net = FlowNetwork::new(topo);
+        net.inject(FlowSpec::new(vec![l0], 200.0).with_tag(7))
+            .unwrap();
+        net.inject(FlowSpec::new(vec![l1], 200.0).with_tag(8))
+            .unwrap();
+        net.advance_to(Time::from_secs(1.0));
+        let evicted = net.fail_link(l0);
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].tag, 7);
+        assert!((evicted[0].remaining_bytes - 100.0).abs() < 1e-9);
+        assert_eq!(evicted[0].route, vec![l0]);
+        assert!(net.is_link_failed(l0));
+        assert_eq!(net.failed_links(), vec![l0]);
+        assert!(net.any_link_failed());
+        assert_eq!(net.link_capacity(l0), 0.0);
+        // Re-failing is a no-op.
+        assert!(net.fail_link(l0).is_empty());
+        // New injections across the dead link are rejected…
+        let err = net.inject(FlowSpec::new(vec![l0], 1.0)).unwrap_err();
+        assert_eq!(err, RouteError::FailedLink(l0));
+        // …while the survivor finishes on schedule (200 B at 100 B/s).
+        let done = net.run_to_completion();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].tag, 8);
+        assert!((done[0].completed_at.as_secs() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fail_link_reallocates_shared_bottleneck() {
+        // Flows f0 (l0) and f1 (l1) both continue through shared l2.
+        // Killing l0 evicts f0 and f1 inherits the freed l2 share.
+        let mut topo = Topology::new();
+        let a = topo.add_node(NodeKind::Npu, "a");
+        let b = topo.add_node(NodeKind::Npu, "b");
+        let c = topo.add_node(NodeKind::SwitchL1, "s");
+        let d = topo.add_node(NodeKind::Npu, "d");
+        let l0 = topo.add_link(a, c, 100.0, 0.0);
+        let l1 = topo.add_link(b, c, 100.0, 0.0);
+        let l2 = topo.add_link(c, d, 100.0, 0.0);
+        let mut net = FlowNetwork::new(topo);
+        net.inject(FlowSpec::new(vec![l0, l2], 100.0).with_tag(0))
+            .unwrap();
+        net.inject(FlowSpec::new(vec![l1, l2], 150.0).with_tag(1))
+            .unwrap();
+        // Both run at 50 B/s on the l2 bottleneck for 1 s.
+        net.advance_to(Time::from_secs(1.0));
+        let evicted = net.fail_link(l0);
+        assert_eq!(evicted.len(), 1);
+        assert!((evicted[0].remaining_bytes - 50.0).abs() < 1e-9);
+        // f1 has 100 B left and now owns l2: done at t=2.
+        let done = net.run_to_completion();
+        assert_eq!(done.len(), 1);
+        assert!((done[0].completed_at.as_secs() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degrade_link_slows_without_evicting() {
+        let (mut net, l) = two_node_net(100.0, 0.0);
+        net.inject(FlowSpec::new(vec![l], 100.0)).unwrap();
+        net.advance_to(Time::from_secs(0.5));
+        // Half the bytes are out; the link drops to quarter width.
+        net.degrade_link(l, 0.25);
+        assert!(!net.is_link_failed(l));
+        assert_eq!(net.link_capacity(l), 25.0);
+        let done = net.run_to_completion();
+        // Remaining 50 B at 25 B/s -> t = 0.5 + 2.0.
+        assert_eq!(done.len(), 1);
+        assert!((done[0].completed_at.as_secs() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_events_reach_the_sink() {
+        use fred_telemetry::sink::RingRecorder;
+
+        let mut topo = Topology::new();
+        let a = topo.add_node(NodeKind::Npu, "a");
+        let b = topo.add_node(NodeKind::Npu, "b");
+        let l0 = topo.add_link(a, b, 100.0, 0.0);
+        let l1 = topo.add_link(a, b, 100.0, 0.0);
+        let rec = Rc::new(RingRecorder::new());
+        let mut net = FlowNetwork::with_sink(topo, rec.clone());
+        net.inject(FlowSpec::new(vec![l0], 100.0)).unwrap();
+        net.next_event();
+        net.fail_link(l0);
+        net.degrade_link(l1, 0.5);
+        let faults: Vec<(u32, f64, u32)> = rec
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Fault {
+                    link,
+                    capacity_fraction,
+                    evicted,
+                    ..
+                } => Some((*link, *capacity_fraction, *evicted)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(faults, vec![(l0.0 as u32, 0.0, 1), (l1.0 as u32, 0.5, 0)]);
     }
 }

@@ -266,6 +266,42 @@ impl FairShareSolver {
         self.link_alloc[link]
     }
 
+    /// Current capacity of a link (bytes/s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link index is out of range.
+    pub fn capacity(&self, link: usize) -> f64 {
+        self.capacities[link]
+    }
+
+    /// Changes a link's capacity (the fault-injection entry point:
+    /// `0.0` models a dead link, intermediate values a degraded one).
+    /// The link becomes a dirty seed, so the next
+    /// [`FairShareSolver::solve`] re-runs progressive filling over its
+    /// component and every flow crossing it picks up the new share.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link index is out of range or `capacity` is
+    /// negative/NaN.
+    pub fn set_capacity(&mut self, link: usize, capacity: f64) {
+        assert!(
+            link < self.capacities.len(),
+            "set_capacity on unknown link index {link}"
+        );
+        assert!(
+            capacity.is_finite() && capacity >= 0.0,
+            "link capacity must be finite and non-negative, got {capacity}"
+        );
+        if self.capacities[link] == capacity {
+            return;
+        }
+        self.capacities[link] = capacity;
+        self.seed_links.push(link);
+        self.dirty = true;
+    }
+
     /// Flushes pending deltas: recomputes the dirty component (or
     /// everything, past the refill threshold) and freezes the rest.
     /// Returns `true` when a solve actually ran; inspect
@@ -554,6 +590,29 @@ mod tests {
         assert_eq!(s.rate(b), 20.0);
         assert_eq!(s.link_allocated(0), 0.0);
         assert_eq!(s.link_allocated(1), 20.0);
+    }
+
+    #[test]
+    fn set_capacity_reallocates_component() {
+        let mut s = FairShareSolver::new(vec![100.0, 60.0]);
+        let a = s.add_flow(&[0], Priority::Bulk);
+        let b = s.add_flow(&[1], Priority::Bulk);
+        s.solve();
+        assert_eq!(s.rate(a), 100.0);
+        // Halving link 0 only disturbs link 0's component.
+        s.set_capacity(0, 50.0);
+        assert!(s.solve());
+        assert_eq!(s.rate(a), 50.0);
+        assert_eq!(s.rate(b), 60.0);
+        assert_eq!(s.changed_flows(), &[a]);
+        assert_eq!(s.capacity(0), 50.0);
+        // A dead link starves its flows entirely.
+        s.set_capacity(0, 0.0);
+        s.solve();
+        assert_eq!(s.rate(a), 0.0);
+        // No-op capacity writes stay clean.
+        s.set_capacity(1, 60.0);
+        assert!(!s.is_dirty());
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use crate::flow::FlowSpec;
 use crate::time::Duration;
 
 /// Identifier of a node within a [`Topology`].
@@ -294,6 +295,22 @@ impl Topology {
     /// on the FRED tree) lives in the respective crates; this generic BFS
     /// is a fallback and a test oracle.
     pub fn shortest_path(&self, src: NodeId, dst: NodeId) -> Option<Route> {
+        self.shortest_path_avoiding(src, dst, |_| false)
+    }
+
+    /// Shortest path (fewest hops, BFS) from `src` to `dst` that never
+    /// traverses a link for which `blocked` returns true.
+    ///
+    /// This is the generic re-route oracle of the fault layer: the
+    /// topology-specific routers (X-Y on the mesh, up-down on the FRED
+    /// tree) fall back to it when their deterministic route crosses a
+    /// failed link, passing the set of failed links as `blocked`.
+    pub fn shortest_path_avoiding(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        blocked: impl Fn(LinkId) -> bool,
+    ) -> Option<Route> {
         if src == dst {
             return Some(Vec::new());
         }
@@ -302,6 +319,9 @@ impl Topology {
         queue.push_back(src);
         while let Some(at) = queue.pop_front() {
             for &l in self.outgoing(at) {
+                if blocked(l) {
+                    continue;
+                }
                 let next = self.link(l).dst;
                 if next != src && !prev.contains_key(&next) {
                     prev.insert(next, l);
@@ -321,6 +341,40 @@ impl Topology {
             }
         }
         None
+    }
+
+    /// Repairs a compiled flow set against a set of blocked links: every
+    /// flow whose route crosses a blocked link is re-routed over the
+    /// shortest surviving path between the same endpoints (bytes,
+    /// priority and tag are preserved); flows on healthy routes pass
+    /// through untouched. Returns `None` if any affected flow has no
+    /// surviving path — the fabric is cut between its endpoints.
+    ///
+    /// This is the tree/collective analogue of the point-to-point
+    /// `*_route_avoiding` routers in the fabric crates: the in-network
+    /// collective compilers emit one flow per tree leg, so repairing
+    /// each leg independently re-hangs the tree around the failure.
+    pub fn reroute_flows_avoiding(
+        &self,
+        flows: Vec<FlowSpec>,
+        blocked: impl Fn(LinkId) -> bool,
+    ) -> Option<Vec<FlowSpec>> {
+        let mut out = Vec::with_capacity(flows.len());
+        for f in flows {
+            if !f.route.iter().any(|&l| blocked(l)) {
+                out.push(f);
+                continue;
+            }
+            let src = self.link(f.route[0]).src;
+            let dst = self.link(*f.route.last().expect("non-empty route")).dst;
+            let detour = self.shortest_path_avoiding(src, dst, &blocked)?;
+            out.push(
+                FlowSpec::new(detour, f.bytes)
+                    .with_priority(f.priority)
+                    .with_tag(f.tag),
+            );
+        }
+        Some(out)
     }
 
     /// Rebuilds the adjacency indexes. Required after deserialisation
@@ -346,6 +400,9 @@ impl Topology {
 pub enum RouteError {
     /// A link id in the route does not exist in the topology.
     UnknownLink(LinkId),
+    /// The route crosses a link that has been killed by fault
+    /// injection ([`crate::netsim::FlowNetwork::fail_link`]).
+    FailedLink(LinkId),
     /// Two consecutive links do not share an endpoint.
     Discontiguous {
         /// Node where the previous link ended.
@@ -361,6 +418,7 @@ impl fmt::Display for RouteError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RouteError::UnknownLink(l) => write!(f, "route references unknown link {l}"),
+            RouteError::FailedLink(l) => write!(f, "route crosses failed link {l}"),
             RouteError::Discontiguous {
                 expected,
                 found,
@@ -441,6 +499,65 @@ mod tests {
         assert_eq!(t.shortest_path(n[0], n[0]).unwrap(), Vec::<LinkId>::new());
         // No reverse links exist.
         assert!(t.shortest_path(n[2], n[0]).is_none());
+    }
+
+    #[test]
+    fn bfs_avoiding_detours_around_blocked_links() {
+        // Diamond: a -> b -> d and a -> c -> d. Blocking a->b forces
+        // the c detour; blocking both a-exits disconnects d.
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::Npu, "a");
+        let b = t.add_node(NodeKind::Npu, "b");
+        let c = t.add_node(NodeKind::Npu, "c");
+        let d = t.add_node(NodeKind::Npu, "d");
+        let ab = t.add_link(a, b, 100.0, 0.0);
+        let bd = t.add_link(b, d, 100.0, 0.0);
+        let ac = t.add_link(a, c, 100.0, 0.0);
+        let cd = t.add_link(c, d, 100.0, 0.0);
+        assert_eq!(
+            t.shortest_path_avoiding(a, d, |l| l == ab),
+            Some(vec![ac, cd])
+        );
+        assert_eq!(
+            t.shortest_path_avoiding(a, d, |_| false),
+            Some(vec![ab, bd])
+        );
+        assert_eq!(t.shortest_path_avoiding(a, d, |l| l == ab || l == ac), None);
+    }
+
+    #[test]
+    fn reroute_flows_repairs_only_affected_legs() {
+        use crate::flow::Priority;
+        // Diamond again: a -> b -> d and a -> c -> d.
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::Npu, "a");
+        let b = t.add_node(NodeKind::Npu, "b");
+        let c = t.add_node(NodeKind::Npu, "c");
+        let d = t.add_node(NodeKind::Npu, "d");
+        let ab = t.add_link(a, b, 100.0, 0.0);
+        let bd = t.add_link(b, d, 100.0, 0.0);
+        let ac = t.add_link(a, c, 100.0, 0.0);
+        let cd = t.add_link(c, d, 100.0, 0.0);
+        let flows = vec![
+            FlowSpec::new(vec![ab, bd], 10.0)
+                .with_priority(Priority::Mp)
+                .with_tag(7),
+            FlowSpec::new(vec![ac], 20.0),
+        ];
+        let fixed = t
+            .reroute_flows_avoiding(flows.clone(), |l| l == ab)
+            .unwrap();
+        // Leg 0 detoured a->c->d, metadata preserved; leg 1 untouched.
+        assert_eq!(fixed[0].route, vec![ac, cd]);
+        assert_eq!(
+            (fixed[0].bytes, fixed[0].priority, fixed[0].tag),
+            (10.0, Priority::Mp, 7)
+        );
+        assert_eq!(fixed[1], flows[1]);
+        // Cutting both exits of `a` leaves leg 0 unroutable.
+        assert!(t
+            .reroute_flows_avoiding(flows, |l| l == ab || l == ac)
+            .is_none());
     }
 
     #[test]

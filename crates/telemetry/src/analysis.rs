@@ -95,6 +95,10 @@ pub struct RunAnalysis {
     pub flows: usize,
     /// Spans observed in the segment.
     pub spans: usize,
+    /// Fault events (link failures/degradations) in the segment —
+    /// non-zero means part of the contention/exposed-comm attribution
+    /// is fault-induced (flows re-routed over detours).
+    pub faults: usize,
 }
 
 /// The full analysis of a recording: one [`RunAnalysis`] per segment
@@ -227,6 +231,13 @@ impl Analysis {
                 ));
             }
         }
+        let faults: usize = self.runs.iter().map(|r| r.faults).sum();
+        if faults > 0 {
+            out.push_str(&format!(
+                "\n  {faults} fault(s) injected — contention/exposed-comm \
+                 above includes fault-induced detours"
+            ));
+        }
         out
     }
 }
@@ -239,6 +250,8 @@ impl RunAnalysis {
         push_num(s, self.spans as f64);
         s.push_str(",\"flows\":");
         push_num(s, self.flows as f64);
+        s.push_str(",\"faults\":");
+        push_num(s, self.faults as f64);
         s.push_str(",\"attribution\":");
         self.attribution.push_json(s);
         s.push_str(",\"critical_path\":[");
@@ -361,6 +374,7 @@ fn analyze_segment(events: &[TraceEvent]) -> RunAnalysis {
     // tag -> currently open span claiming that tag.
     let mut open_tag: HashMap<u64, u64> = HashMap::new();
     let mut last_t = 0.0_f64;
+    let mut faults = 0usize;
 
     for e in events {
         last_t = last_t.max(e.time());
@@ -446,6 +460,7 @@ fn analyze_segment(events: &[TraceEvent]) -> RunAnalysis {
                     flows[i].completed = Some(*t);
                 }
             }
+            TraceEvent::Fault { .. } => faults += 1,
             TraceEvent::RateEpoch { .. }
             | TraceEvent::LinkUtil { .. }
             | TraceEvent::IterStage { .. } => {}
@@ -463,6 +478,7 @@ fn analyze_segment(events: &[TraceEvent]) -> RunAnalysis {
     let mut run = RunAnalysis {
         flows: flows.len(),
         spans: spans.len(),
+        faults,
         ..RunAnalysis::default()
     };
 

@@ -192,6 +192,21 @@ pub enum TraceEvent {
         /// Marker label.
         label: Box<str>,
     },
+    /// A fault fired: a link lost capacity (failure or degradation).
+    /// Lets traces and the attribution analyzer show which stalls and
+    /// re-routes are fault-induced.
+    Fault {
+        /// Simulation time.
+        t: f64,
+        /// Link index (`LinkId.0`).
+        link: u32,
+        /// Remaining capacity as a fraction of the link's design
+        /// bandwidth: `0.0` for a full failure, `(0, 1)` for a
+        /// degradation.
+        capacity_fraction: f64,
+        /// In-flight flows evicted for re-routing (0 for degradations).
+        evicted: u32,
+    },
 }
 
 impl TraceEvent {
@@ -207,7 +222,8 @@ impl TraceEvent {
             | TraceEvent::PhaseBegin { t, .. }
             | TraceEvent::PhaseEnd { t, .. }
             | TraceEvent::SpanDep { t, .. }
-            | TraceEvent::IterStage { t, .. } => t,
+            | TraceEvent::IterStage { t, .. }
+            | TraceEvent::Fault { t, .. } => t,
         }
     }
 }
@@ -286,6 +302,12 @@ mod tests {
                 t: 10.0,
                 span: 2,
                 pred: 1,
+            },
+            TraceEvent::Fault {
+                t: 11.0,
+                link: 3,
+                capacity_fraction: 0.0,
+                evicted: 2,
             },
         ];
         for (i, e) in evs.iter().enumerate() {

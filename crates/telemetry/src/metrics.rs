@@ -126,6 +126,10 @@ pub struct Metrics {
     pub rate_epochs: u64,
     /// Flows injected.
     pub flows_injected: u64,
+    /// Fault events observed (link failures + degradations).
+    pub faults: u64,
+    /// Flows evicted by link failures (re-routed by the caller).
+    pub flows_evicted: u64,
     /// Last event timestamp (the observation window end), seconds.
     pub end_time: f64,
     /// Events the ring recorder overwrote before aggregation (see
@@ -221,6 +225,10 @@ impl Metrics {
                         });
                     }
                 }
+                TraceEvent::Fault { evicted, .. } => {
+                    m.faults += 1;
+                    m.flows_evicted += *evicted as u64;
+                }
                 TraceEvent::IterStage { .. }
                 | TraceEvent::Topology { .. }
                 | TraceEvent::SpanDep { .. } => {}
@@ -284,6 +292,10 @@ impl Metrics {
         push_num(&mut s, self.flows_injected as f64);
         s.push_str(",\"rate_epochs\":");
         push_num(&mut s, self.rate_epochs as f64);
+        s.push_str(",\"faults\":");
+        push_num(&mut s, self.faults as f64);
+        s.push_str(",\"flows_evicted\":");
+        push_num(&mut s, self.flows_evicted as f64);
 
         s.push_str(",\"fct\":{\"count\":");
         push_num(&mut s, self.fct.count as f64);

@@ -192,6 +192,36 @@ pub fn export_chrome_trace(
                 ev.push_str("}}");
                 push_event(&mut body, &mut first, ev);
             }
+            TraceEvent::Fault {
+                t,
+                link,
+                capacity_fraction,
+                evicted,
+            } => {
+                // A fault is a process-scoped instant on the iteration
+                // track: visible as a pin at the moment the fabric
+                // degraded, with the details in args.
+                let mut ev = String::new();
+                ev.push_str("{\"ph\":\"i\",\"s\":\"p\",\"pid\":");
+                push_num(&mut ev, PID_PHASES as f64);
+                ev.push_str(",\"tid\":");
+                push_num(&mut ev, Track::Iteration.index() as f64);
+                ev.push_str(",\"name\":");
+                let verb = if *capacity_fraction == 0.0 {
+                    "FAULT: link failed"
+                } else {
+                    "FAULT: link degraded"
+                };
+                push_str_lit(&mut ev, &format!("{verb} {}", meta.link_name(*link)));
+                ev.push_str(",\"ts\":");
+                push_num(&mut ev, us(*t));
+                ev.push_str(",\"args\":{\"capacity_fraction\":");
+                push_num(&mut ev, *capacity_fraction);
+                ev.push_str(",\"evicted_flows\":");
+                push_num(&mut ev, *evicted as f64);
+                ev.push_str("}}");
+                push_event(&mut body, &mut first, ev);
+            }
             TraceEvent::IterStage { t, label } => {
                 let mut ev = String::new();
                 ev.push_str("{\"ph\":\"i\",\"s\":\"p\",\"pid\":");

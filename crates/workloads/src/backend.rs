@@ -24,7 +24,7 @@ use fred_core::params::{FabricConfig, PhysicalParams};
 use fred_mesh::topology::MeshFabric;
 use fred_mesh::{rings, streaming};
 use fred_sim::flow::{FlowSpec, Priority};
-use fred_sim::topology::{Route, Topology};
+use fred_sim::topology::{LinkId, NodeId, Route, Topology};
 
 /// Label offset for I/O-controller endpoints in [`Transfer`] records.
 pub const IO_LABEL_BASE: usize = 10_000;
@@ -104,6 +104,30 @@ impl FabricBackend {
         match self {
             FabricBackend::Mesh(m) => m.xy_route(src, dst),
             FabricBackend::Fred(f) => f.npu_route(src, dst),
+        }
+    }
+
+    /// The NPU index owning topology node `node`, if it is an NPU.
+    pub fn npu_index(&self, node: NodeId) -> Option<usize> {
+        match self {
+            FabricBackend::Mesh(m) => m.npu_index(node),
+            FabricBackend::Fred(f) => f.npu_index(node),
+        }
+    }
+
+    /// NPU-to-NPU route avoiding `blocked` links: the fabric's standard
+    /// route when it survives, otherwise its fault-detour policy (YX
+    /// then BFS on the mesh, neighbour-trunk BFS on the tree). `None`
+    /// if the failures disconnect the pair.
+    pub fn npu_route_avoiding(
+        &self,
+        src: usize,
+        dst: usize,
+        blocked: impl Fn(LinkId) -> bool,
+    ) -> Option<Route> {
+        match self {
+            FabricBackend::Mesh(m) => m.xy_route_avoiding(src, dst, blocked),
+            FabricBackend::Fred(f) => f.npu_route_avoiding(src, dst, blocked),
         }
     }
 
@@ -598,7 +622,7 @@ mod tests {
         let mut t = std::collections::HashMap::new();
         for b in backends() {
             let plan = b.all_reduce(&group, d);
-            let (dur, _) = execute_standalone(b.topology(), &plan, d);
+            let (dur, _) = execute_standalone(b.topology(), &plan, d).unwrap();
             t.insert(b.config(), dur.as_secs());
         }
         use FabricConfig::*;
@@ -640,7 +664,7 @@ mod tests {
                 .map(|g| b.all_reduce(&g, d))
                 .collect();
             let merged = fred_collectives::hierarchical::merge_concurrent("dp", plans);
-            let (dur, _) = execute_standalone(b.topology(), &merged, d);
+            let (dur, _) = execute_standalone(b.topology(), &merged, d).unwrap();
             dur.as_secs()
         };
         let baseline = time_for(FabricConfig::BaselineMesh);
@@ -667,8 +691,8 @@ mod tests {
         let bytes = 18.0 * 128e9; // 1 s at full line rate
         let mesh = FabricBackend::new(FabricConfig::BaselineMesh);
         let fred = FabricBackend::new(FabricConfig::FredD);
-        let (tm, _) = execute_standalone(mesh.topology(), &mesh.stream_in(bytes), bytes);
-        let (tf, _) = execute_standalone(fred.topology(), &fred.stream_in(bytes), bytes);
+        let (tm, _) = execute_standalone(mesh.topology(), &mesh.stream_in(bytes), bytes).unwrap();
+        let (tf, _) = execute_standalone(fred.topology(), &fred.stream_in(bytes), bytes).unwrap();
         assert!((tf.as_secs() - 1.0).abs() < 0.05, "fred stream {tf}");
         let ratio = tf.as_secs() / tm.as_secs();
         assert!((ratio - 0.65).abs() < 0.05, "line-rate fraction {ratio}");

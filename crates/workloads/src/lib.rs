@@ -15,10 +15,14 @@
 //!   sharding, weight-stationary vs weight-streaming execution (§3.1),
 //! * [`trainer`] — the discrete-event trainer overlapping compute and
 //!   communication and accounting exposed communication per type,
+//!   with deterministic fault injection and re-routing,
+//! * [`error`] — typed trainer failures ([`error::TrainError`]):
+//!   stalls, unroutable transfers, rejected flows,
 //! * [`report`] — the training-time breakdown records used by the
 //!   benchmark harness.
 
 pub mod backend;
+pub mod error;
 pub mod memory;
 pub mod model;
 pub mod report;

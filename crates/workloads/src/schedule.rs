@@ -712,12 +712,14 @@ mod tests {
         let with = crate::trainer::run_iteration(
             &build_schedule(&m, strategy, &placement, &backend, params),
             &backend,
-        );
+        )
+        .unwrap();
         params.stream_double_buffer = false;
         let without = crate::trainer::run_iteration(
             &build_schedule(&m, strategy, &placement, &backend, params),
             &backend,
-        );
+        )
+        .unwrap();
         assert!(
             without.makespan.as_secs() > with.makespan.as_secs() * 1.02,
             "no prefetch {} should be clearly slower than prefetch {}",

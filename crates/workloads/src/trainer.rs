@@ -15,13 +15,16 @@ use std::rc::Rc;
 
 use fred_core::placement::{Placement, PlacementPolicy, Strategy3D};
 use fred_sim::events::EventQueue;
+use fred_sim::fault::FaultPlan;
 use fred_sim::flow::FlowSpec;
 use fred_sim::netsim::FlowNetwork;
 use fred_sim::time::{Duration, Time};
+use fred_sim::topology::LinkId;
 use fred_telemetry::event::{next_span_id, TraceEvent, Track};
 use fred_telemetry::sink::{NullSink, TraceSink};
 
 use crate::backend::FabricBackend;
+use crate::error::{PendingTask, TrainError};
 use crate::model::DnnModel;
 use crate::report::{CommType, TrainingReport};
 use crate::schedule::{build_schedule, Schedule, ScheduleParams, TaskBody, TaskId};
@@ -53,13 +56,61 @@ struct CommState {
     outstanding: usize,
 }
 
+/// Maps a flow-completion tag back to the comm-task index. The trainer
+/// tags flows with `task index + 1`; tag 0 is reserved for untagged
+/// (foreign) flows and maps to no task.
+fn comm_task_of_tag(tag: u64) -> Option<usize> {
+    tag.checked_sub(1).map(|v| v as usize)
+}
+
+/// Re-routes any of `flows` whose route crosses a failed link onto a
+/// surviving path (fabric-aware when both endpoints are NPUs, generic
+/// BFS otherwise). A no-op returning the flows untouched when the
+/// network has no failed links — the zero-fault code path stays
+/// bit-identical.
+fn repair_flows(
+    net: &FlowNetwork,
+    backend: &FabricBackend,
+    flows: Vec<FlowSpec>,
+) -> Result<Vec<FlowSpec>, TrainError> {
+    if !net.any_link_failed() {
+        return Ok(flows);
+    }
+    let blocked = |l: LinkId| net.is_link_failed(l);
+    let topo = net.topology();
+    let mut out = Vec::with_capacity(flows.len());
+    for f in flows {
+        if !f.route.iter().any(|&l| blocked(l)) {
+            out.push(f);
+            continue;
+        }
+        let task = comm_task_of_tag(f.tag).map(TaskId);
+        let src = topo.link(f.route[0]).src;
+        let dst = topo.link(*f.route.last().expect("non-empty route")).dst;
+        let detour = match (backend.npu_index(src), backend.npu_index(dst)) {
+            (Some(a), Some(b)) => backend.npu_route_avoiding(a, b, blocked),
+            _ => topo.shortest_path_avoiding(src, dst, blocked),
+        }
+        .ok_or(TrainError::Unroutable { task })?;
+        out.push(
+            FlowSpec::new(detour, f.bytes)
+                .with_priority(f.priority)
+                .with_tag(f.tag),
+        );
+    }
+    Ok(out)
+}
+
 /// Executes `schedule` on a fresh simulator over `backend`'s topology.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the schedule's dependency graph is malformed (a cycle or a
-/// reference to a missing task) or a plan route is invalid.
-pub fn run_iteration(schedule: &Schedule, backend: &FabricBackend) -> IterationTiming {
+/// [`TrainError::Stalled`] if the dependency graph deadlocks,
+/// [`TrainError::Route`] if a plan route is invalid.
+pub fn run_iteration(
+    schedule: &Schedule,
+    backend: &FabricBackend,
+) -> Result<IterationTiming, TrainError> {
     run_iteration_traced(schedule, backend, Rc::new(NullSink))
 }
 
@@ -67,14 +118,37 @@ pub fn run_iteration(schedule: &Schedule, backend: &FabricBackend) -> IterationT
 /// phase and trainer task is recorded into `sink`. Timing results are
 /// bit-identical to an untraced run.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics under the same conditions as [`run_iteration`].
+/// Fails under the same conditions as [`run_iteration`].
 pub fn run_iteration_traced(
     schedule: &Schedule,
     backend: &FabricBackend,
     sink: Rc<dyn TraceSink>,
-) -> IterationTiming {
+) -> Result<IterationTiming, TrainError> {
+    run_iteration_faulted(schedule, backend, &FaultPlan::none(), sink)
+}
+
+/// [`run_iteration_traced`] under a deterministic [`FaultPlan`]: when a
+/// scheduled fault fires, the affected link loses capacity, in-flight
+/// flows crossing it are evicted and re-injected over surviving routes
+/// (with their already-moved bytes credited), and every later transfer
+/// is re-planned around the failure at injection time. With
+/// [`FaultPlan::none`] the fault machinery is never touched and the
+/// result is bit-identical to [`run_iteration_traced`].
+///
+/// # Errors
+///
+/// In addition to [`run_iteration`]'s errors:
+/// [`TrainError::Unroutable`] if failures cut some transfer's endpoints
+/// apart, [`TrainError::UnknownCommTag`] if a completion cannot be
+/// attributed to a comm task.
+pub fn run_iteration_faulted(
+    schedule: &Schedule,
+    backend: &FabricBackend,
+    faults: &FaultPlan,
+    sink: Rc<dyn TraceSink>,
+) -> Result<IterationTiming, TrainError> {
     let n = schedule.tasks.len();
     let mut net = FlowNetwork::with_sink(backend.topology(), sink.clone());
     let tracing = sink.enabled();
@@ -103,6 +177,8 @@ pub fn run_iteration_traced(
     let mut comm: BTreeMap<usize, CommState> = BTreeMap::new();
     let mut compute_queue: EventQueue<usize> = EventQueue::new();
     let mut completed = 0usize;
+    // Cursor into the (time-sorted) fault plan.
+    let mut fault_cursor = 0usize;
 
     // Stages the next non-empty phase of comm task `i` into the shared
     // per-timestep flow buffer; returns true if the task is finished
@@ -219,9 +295,11 @@ pub fn run_iteration_traced(
             }
         }
 
-        // Release every flow staged by the ready tasks as one batch.
+        // Release every flow staged by the ready tasks as one batch,
+        // re-planned around failed links first when faults are active.
         if !staged_flows.is_empty() {
-            net.inject_batch(std::mem::take(&mut staged_flows));
+            let flows = repair_flows(&net, backend, std::mem::take(&mut staged_flows))?;
+            net.inject_batch(flows)?;
         }
 
         // Settle zero-duration completions before advancing time.
@@ -257,32 +335,73 @@ pub fn run_iteration_traced(
             break;
         }
 
-        // Advance to the next event (compute finish or network event).
+        // Advance to the next event: compute finish, network event, or
+        // fault horizon — whichever comes first.
         let tc = compute_queue.peek_time();
         let tn = net.next_event();
-        let next = match (tc, tn) {
-            (Some(a), Some(b)) => a.min(b),
-            (Some(a), None) => a,
-            (None, Some(b)) => b,
-            (None, None) => panic!(
-                "trainer stalled: {completed}/{n} tasks done but no pending events \
-                 (dependency deadlock?)"
-            ),
+        let tf = faults.next_at(fault_cursor);
+        let Some(next) = [tc, tn, tf].into_iter().flatten().min() else {
+            let pending: Vec<PendingTask> = (0..n)
+                .filter(|&i| !done[i])
+                .map(|i| PendingTask {
+                    id: TaskId(i),
+                    blocked_on: schedule.tasks[i]
+                        .deps
+                        .iter()
+                        .copied()
+                        .filter(|d| !done[d.0])
+                        .collect(),
+                })
+                .collect();
+            return Err(TrainError::Stalled {
+                completed,
+                total: n,
+                pending,
+            });
         };
         net.advance_to(next);
 
+        // Fire every fault due by now: the link loses capacity, its
+        // in-flight flows are evicted and immediately re-injected over
+        // surviving routes with their remaining bytes (the moved bytes
+        // were already credited by the eviction).
+        if !faults.is_empty() {
+            let mut evicted_specs: Vec<FlowSpec> = Vec::new();
+            while let Some(ev) = faults.events().get(fault_cursor) {
+                if ev.at > next {
+                    break;
+                }
+                fault_cursor += 1;
+                evicted_specs.extend(ev.apply(&mut net).into_iter().map(|e| {
+                    FlowSpec::new(e.route, e.remaining_bytes)
+                        .with_priority(e.priority)
+                        .with_tag(e.tag)
+                }));
+            }
+            if !evicted_specs.is_empty() {
+                let flows = repair_flows(&net, backend, evicted_specs)?;
+                net.inject_batch(flows)?;
+            }
+        }
+
         // Network completions: progress comm tasks (the tag carries
-        // the task index shifted by one).
+        // the task index shifted by one; tag 0 marks foreign flows the
+        // trainer never staged and are skipped).
         for c in net.drain_completed() {
-            let i = (c.tag - 1) as usize;
-            let state = comm.get_mut(&i).expect("completion for unknown comm task");
+            let Some(i) = comm_task_of_tag(c.tag) else {
+                continue;
+            };
+            let Some(state) = comm.get_mut(&i) else {
+                return Err(TrainError::UnknownCommTag { tag: c.tag });
+            };
             state.outstanding -= 1;
             if state.outstanding == 0 && advance_comm(schedule, &mut staged_flows, &mut comm, i) {
                 finished_now.push(i);
             }
         }
         if !staged_flows.is_empty() {
-            net.inject_batch(std::mem::take(&mut staged_flows));
+            let flows = repair_flows(&net, backend, std::mem::take(&mut staged_flows))?;
+            net.inject_batch(flows)?;
         }
         // Compute completions at this instant.
         while compute_queue.peek_time() == Some(next) {
@@ -298,11 +417,11 @@ pub fn run_iteration_traced(
             label: "iteration-end".into(),
         });
     }
-    IterationTiming {
+    Ok(IterationTiming {
         start,
         finish,
         makespan,
-    }
+    })
 }
 
 /// Builds the exposed-communication breakdown from a timed iteration
@@ -361,19 +480,41 @@ pub fn simulate(
     strategy: Strategy3D,
     backend: &FabricBackend,
     params: ScheduleParams,
-) -> TrainingReport {
+) -> Result<TrainingReport, TrainError> {
     simulate_traced(model, strategy, backend, params, Rc::new(NullSink))
 }
 
 /// [`simulate`] with telemetry recorded into `sink` (see
 /// [`run_iteration_traced`]).
+///
+/// # Errors
+///
+/// Fails under the same conditions as [`run_iteration`].
 pub fn simulate_traced(
     model: &DnnModel,
     strategy: Strategy3D,
     backend: &FabricBackend,
     params: ScheduleParams,
     sink: Rc<dyn TraceSink>,
-) -> TrainingReport {
+) -> Result<TrainingReport, TrainError> {
+    simulate_faulted(model, strategy, backend, params, &FaultPlan::none(), sink)
+}
+
+/// [`simulate_traced`] under a deterministic [`FaultPlan`] (see
+/// [`run_iteration_faulted`]). With [`FaultPlan::none`] the result is
+/// bit-identical to [`simulate_traced`].
+///
+/// # Errors
+///
+/// Fails under the same conditions as [`run_iteration_faulted`].
+pub fn simulate_faulted(
+    model: &DnnModel,
+    strategy: Strategy3D,
+    backend: &FabricBackend,
+    params: ScheduleParams,
+    faults: &FaultPlan,
+    sink: Rc<dyn TraceSink>,
+) -> Result<TrainingReport, TrainError> {
     let policy = if backend.config().is_fred() {
         PlacementPolicy::MpPpDp
     } else {
@@ -381,8 +522,13 @@ pub fn simulate_traced(
     };
     let placement = Placement::new(strategy, policy);
     let schedule = build_schedule(model, strategy, &placement, backend, params);
-    let timing = run_iteration_traced(&schedule, backend, sink);
-    breakdown(&schedule, &timing, &model.name, backend.config().name())
+    let timing = run_iteration_faulted(&schedule, backend, faults, sink)?;
+    Ok(breakdown(
+        &schedule,
+        &timing,
+        &model.name,
+        backend.config().name(),
+    ))
 }
 
 #[cfg(test)]
@@ -404,7 +550,7 @@ mod tests {
     fn resnet_dp_iteration_runs_and_breaks_down() {
         let m = DnnModel::resnet152();
         let backend = FabricBackend::new(FabricConfig::BaselineMesh);
-        let r = simulate(&m, m.default_strategy, &backend, quick_params(320, 1));
+        let r = simulate(&m, m.default_strategy, &backend, quick_params(320, 1)).unwrap();
         assert!(r.total.as_secs() > 0.0);
         assert!(r.compute.as_secs() > 0.0);
         // Pure DP: DP must be the dominant exposed type; no MP/PP.
@@ -424,13 +570,15 @@ mod tests {
             m.default_strategy,
             &FabricBackend::new(FabricConfig::BaselineMesh),
             quick_params(320, 1),
-        );
+        )
+        .unwrap();
         let fred = simulate(
             &m,
             m.default_strategy,
             &FabricBackend::new(FabricConfig::FredD),
             quick_params(320, 1),
-        );
+        )
+        .unwrap();
         let speedup = fred.speedup_over(&base);
         assert!(speedup > 1.05, "Fred-D speedup {speedup:.2} <= 1.05");
         // And the DP exposed time specifically shrinks.
@@ -441,7 +589,7 @@ mod tests {
     fn transformer_pipeline_exposes_all_types() {
         let m = DnnModel::transformer_17b();
         let backend = FabricBackend::new(FabricConfig::BaselineMesh);
-        let r = simulate(&m, m.default_strategy, &backend, quick_params(48, 4));
+        let r = simulate(&m, m.default_strategy, &backend, quick_params(48, 4)).unwrap();
         assert!(r.exposed_for(CommType::Mp).as_secs() > 0.0);
         assert!(r.exposed_for(CommType::Dp).as_secs() > 0.0);
         assert!(r.total >= r.compute);
@@ -451,7 +599,7 @@ mod tests {
     fn streaming_workload_is_streaming_bound() {
         let m = DnnModel::transformer_1t();
         let backend = FabricBackend::new(FabricConfig::BaselineMesh);
-        let r = simulate(&m, m.default_strategy, &backend, quick_params(20, 1));
+        let r = simulate(&m, m.default_strategy, &backend, quick_params(20, 1)).unwrap();
         let streaming = r.exposed_for(CommType::Streaming).as_secs();
         assert!(streaming > 0.0, "no streaming exposure: {r}");
         // 2 TB x 3 passes over ~1.5 TBps effective: streaming dominates
@@ -468,7 +616,7 @@ mod tests {
         let params = quick_params(48, 4);
         let placement = Placement::new(m.default_strategy, PlacementPolicy::MpPpDp);
         let schedule = build_schedule(&m, m.default_strategy, &placement, &backend, params);
-        let timing = run_iteration(&schedule, &backend);
+        let timing = run_iteration(&schedule, &backend).unwrap();
         let w0_compute = schedule.worker_compute_secs(0);
         assert!(timing.makespan.as_secs() >= w0_compute);
         // Start/finish are consistent.
@@ -492,7 +640,98 @@ mod tests {
             fred_core::placement::Strategy3D::new(2, 5, 2),
             &backend,
             quick_params(80, 2),
-        );
+        )
+        .unwrap();
         assert!(r.total.as_secs() > 0.0);
+    }
+
+    #[test]
+    fn cyclic_schedule_stalls_with_diagnostics() {
+        use crate::schedule::Task;
+        use fred_sim::time::Duration as D;
+        // t0 is fine; t1 and t2 wait on each other — a dependency cycle
+        // the trainer must surface as a typed stall, not a panic.
+        let backend = FabricBackend::new(FabricConfig::BaselineMesh);
+        let mk = |deps: Vec<TaskId>| Task {
+            deps,
+            body: TaskBody::Compute {
+                worker: crate::schedule::WorkerId(0),
+                duration: D::from_secs(1.0),
+            },
+        };
+        let schedule = Schedule {
+            tasks: vec![mk(vec![]), mk(vec![TaskId(2)]), mk(vec![TaskId(1)])],
+            worker_chains: vec![vec![TaskId(0), TaskId(1), TaskId(2)]],
+            strategy: "cyclic-test".into(),
+            minibatch: 1,
+        };
+        let err = run_iteration(&schedule, &backend).unwrap_err();
+        let TrainError::Stalled {
+            completed,
+            total,
+            pending,
+        } = err
+        else {
+            panic!("expected Stalled, got {err:?}");
+        };
+        assert_eq!((completed, total), (1, 3));
+        assert_eq!(pending.len(), 2);
+        assert_eq!(pending[0].id, TaskId(1));
+        assert_eq!(pending[0].blocked_on, vec![TaskId(2)]);
+        assert_eq!(pending[1].blocked_on, vec![TaskId(1)]);
+    }
+
+    #[test]
+    fn tag_zero_maps_to_no_comm_task() {
+        // Tag 0 is the "foreign flow" sentinel: it must never be
+        // translated into a task index (the old `(tag - 1) as usize`
+        // underflowed to usize::MAX here).
+        assert_eq!(comm_task_of_tag(0), None);
+        assert_eq!(comm_task_of_tag(1), Some(0));
+        assert_eq!(comm_task_of_tag(42), Some(41));
+    }
+
+    #[test]
+    fn faulted_iteration_degrades_but_completes() {
+        use fred_sim::fault::FaultPlan;
+        use fred_sim::time::Time;
+        let m = DnnModel::transformer_17b();
+        let backend = FabricBackend::new(FabricConfig::FredD);
+        let base = simulate(&m, m.default_strategy, &backend, quick_params(48, 4)).unwrap();
+        let topo = backend.topology();
+        let faults = FaultPlan::seeded_link_failures(&topo, 0.02, Time::ZERO, 7);
+        assert!(!faults.is_empty());
+        let placement = Placement::new(m.default_strategy, PlacementPolicy::MpPpDp);
+        let schedule = build_schedule(
+            &m,
+            m.default_strategy,
+            &placement,
+            &backend,
+            quick_params(48, 4),
+        );
+        let timing =
+            run_iteration_faulted(&schedule, &backend, &faults, Rc::new(NullSink)).unwrap();
+        // Degradation can only slow the iteration down.
+        assert!(timing.makespan.as_secs() >= base.total.as_secs() * 0.999);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical() {
+        let m = DnnModel::resnet152();
+        let backend = FabricBackend::new(FabricConfig::FredD);
+        let placement = Placement::new(m.default_strategy, PlacementPolicy::MpPpDp);
+        let schedule = build_schedule(
+            &m,
+            m.default_strategy,
+            &placement,
+            &backend,
+            quick_params(320, 1),
+        );
+        let plain = run_iteration(&schedule, &backend).unwrap();
+        let faulted =
+            run_iteration_faulted(&schedule, &backend, &FaultPlan::none(), Rc::new(NullSink))
+                .unwrap();
+        assert_eq!(plain.makespan, faulted.makespan);
+        assert_eq!(plain.finish, faulted.finish);
     }
 }

@@ -20,7 +20,8 @@ fn main() {
         for inter_bw in [128e9, 512e9, 2e12] {
             let mw = MultiWafer::new(wafers, FabricConfig::FredD, 4, inter_bw);
             let mut net = FlowNetwork::new(mw.clone_topology());
-            net.inject_batch(mw.global_all_reduce(d, Priority::Dp, 0));
+            net.inject_batch(mw.global_all_reduce(d, Priority::Dp, 0))
+                .expect("multiwafer routes are valid on a healthy fabric");
             let done = net.run_to_completion();
             let t = done
                 .iter()

@@ -18,7 +18,10 @@ use fred::workloads::backend::FabricBackend;
 fn phase_time(backend: &FabricBackend, plans: Vec<fred::collectives::CommPlan>) -> f64 {
     let merged = merge_concurrent("phase", plans);
     let mut net = FlowNetwork::new(backend.topology());
-    merged.execute(&mut net, Priority::Bulk).as_secs()
+    merged
+        .execute(&mut net, Priority::Bulk)
+        .expect("placement sweep runs on a healthy fabric")
+        .as_secs()
 }
 
 fn main() {

@@ -26,7 +26,7 @@ fn main() {
     let mut reports = Vec::new();
     for config in [FabricConfig::BaselineMesh, FabricConfig::FredD] {
         let backend = FabricBackend::new(config);
-        let r = simulate(&model, strategy, &backend, params);
+        let r = simulate(&model, strategy, &backend, params).expect("fault-free run completes");
         println!("\n[{}] iteration time {}", r.config, r.total);
         println!("  compute (avg/NPU): {}", r.compute);
         for t in CommType::ALL {

@@ -18,7 +18,7 @@ fn analyze(config: FabricConfig, strategy: Strategy3D) -> (Analysis, f64) {
     let backend = FabricBackend::new(config);
     let params = ScheduleParams::sweep_default(&model, strategy);
     let rec = Rc::new(RingRecorder::new());
-    let report = simulate_traced(&model, strategy, &backend, params, rec.clone());
+    let report = simulate_traced(&model, strategy, &backend, params, rec.clone()).unwrap();
     assert_eq!(rec.overwritten(), 0, "trace must not overflow in this test");
     let analysis = Analysis::from_events(&rec.events());
     (analysis, report.total.as_secs())

@@ -1,0 +1,136 @@
+//! Fault-injection integration: seeded link failures on a full
+//! 3D-parallel training iteration must degrade the makespan, never
+//! crash the trainer, and an empty fault plan must be bit-identical to
+//! the committed fault-sweep baselines.
+
+use std::rc::Rc;
+
+use fred::core::params::FabricConfig;
+use fred::core::placement::Strategy3D;
+use fred::sim::fault::FaultPlan;
+use fred::sim::time::Time;
+use fred::telemetry::sink::NullSink;
+use fred::workloads::backend::FabricBackend;
+use fred::workloads::error::TrainError;
+use fred::workloads::model::DnnModel;
+use fred::workloads::schedule::ScheduleParams;
+use fred::workloads::trainer::{simulate, simulate_faulted};
+
+/// The fault-sweep binary's fixed seed (`crates/bench/src/bin/
+/// fault_sweep.rs`): same seed, same nested failed-link sets.
+const SEED: u64 = 0xF4ED;
+
+fn sweep_setup() -> (DnnModel, Strategy3D, ScheduleParams) {
+    let model = DnnModel::transformer_17b();
+    let strategy = Strategy3D::new(2, 5, 2);
+    let params = ScheduleParams::sweep_default(&model, strategy);
+    (model, strategy, params)
+}
+
+/// The acceptance criterion: up to 5% of links failed mid-iteration on
+/// both fabrics, every run completes (no panic, no error), and because
+/// the failed sets are nested the makespan never *improves* as more
+/// links die.
+#[test]
+fn seeded_failures_degrade_monotonically_without_crashing() {
+    let (model, strategy, params) = sweep_setup();
+    for config in [FabricConfig::BaselineMesh, FabricConfig::FredD] {
+        let backend = FabricBackend::new(config);
+        let topo = backend.topology();
+        let healthy = simulate(&model, strategy, &backend, params).unwrap();
+        let at = Time::from_secs(healthy.total.as_secs() * 0.25);
+        let mut prev = 0.0_f64;
+        for pct in 0..=5 {
+            let fraction = pct as f64 / 100.0;
+            let faults = FaultPlan::seeded_link_failures(&topo, fraction, at, SEED);
+            let r = simulate_faulted(
+                &model,
+                strategy,
+                &backend,
+                params,
+                &faults,
+                Rc::new(NullSink),
+            )
+            .unwrap_or_else(|e| panic!("{config:?} at {pct}%: {e}"));
+            let secs = r.total.as_secs();
+            assert!(
+                secs >= prev * (1.0 - 1e-9),
+                "{config:?}: makespan {secs} at {pct}% beats {prev} at {}%",
+                pct - 1
+            );
+            prev = secs;
+        }
+    }
+}
+
+/// Driving the trainer with an *empty* fault plan reproduces the
+/// committed fault-sweep baselines bit-for-bit: the fault layer is
+/// provably dormant when no faults are scheduled. (JSON floats
+/// round-trip exactly — `push_num` emits shortest-representation
+/// values — so `==` on the parsed f64 is the right comparison.)
+#[test]
+fn zero_fault_run_matches_committed_baseline_exactly() {
+    let baseline = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/results/baselines/BENCH_fault_sweep.json"
+    ))
+    .expect("committed fault-sweep baseline exists");
+    let report = fred_bench::report::parse(&baseline).expect("baseline parses");
+    let sim = report.get("sim").expect("baseline has sim metrics");
+
+    let (model, strategy, params) = sweep_setup();
+    for config in [FabricConfig::BaselineMesh, FabricConfig::FredD] {
+        let backend = FabricBackend::new(config);
+        let committed = sim
+            .get(&format!("{}/fail0pct/secs", config.name()))
+            .and_then(|v| v.as_f64())
+            .expect("baseline has the zero-fault makespan");
+        let faulted = simulate_faulted(
+            &model,
+            strategy,
+            &backend,
+            params,
+            &FaultPlan::none(),
+            Rc::new(NullSink),
+        )
+        .unwrap();
+        assert!(
+            faulted.total.as_secs() == committed,
+            "{config:?}: zero-fault makespan {} != committed baseline {committed}",
+            faulted.total.as_secs()
+        );
+        // And the plain (fault-layer-free) entry point agrees too.
+        let plain = simulate(&model, strategy, &backend, params).unwrap();
+        assert!(plain.total.as_secs() == committed);
+    }
+}
+
+/// A fabric cut past the survivable-plan guarantees (hand-built plan
+/// failing every route between two halves) surfaces as a typed
+/// [`TrainError`], not a panic. The seeded generator never produces
+/// such plans; a hand-written one can.
+#[test]
+fn unsurvivable_cut_is_a_typed_error() {
+    use fred::sim::fault::{FaultEvent, FaultKind};
+
+    let (model, strategy, params) = sweep_setup();
+    let backend = FabricBackend::new(FabricConfig::FredD);
+    let topo = backend.topology();
+    // Kill *every* link at t=0: nothing can route, so the first comm
+    // task must fail cleanly.
+    let events: Vec<FaultEvent> = topo
+        .links()
+        .map(|(id, _)| FaultEvent {
+            at: Time::ZERO,
+            link: id,
+            kind: FaultKind::LinkFail,
+        })
+        .collect();
+    let plan = FaultPlan::new(events);
+    let err = simulate_faulted(&model, strategy, &backend, params, &plan, Rc::new(NullSink))
+        .expect_err("a fully cut fabric cannot train");
+    match err {
+        TrainError::Unroutable { .. } | TrainError::Stalled { .. } | TrainError::Route(_) => {}
+        other => panic!("expected a routing/stall error, got {other:?}"),
+    }
+}

@@ -27,7 +27,7 @@ fn simulated_ring_matches_cost_model() {
         }
         FabricBackend::Mesh(_) => unreachable!(),
     };
-    let (dur, _) = execute_standalone(backend.topology(), &plan, d);
+    let (dur, _) = execute_standalone(backend.topology(), &plan, d).unwrap();
     let predicted = cost::ring_all_reduce_time(4, d, 3e12, 0.0);
     let err = (dur.as_secs() - predicted).abs() / predicted;
     assert!(err < 0.02, "sim {} vs model {predicted}", dur.as_secs());
@@ -43,7 +43,7 @@ fn wafer_allreduce_ordering_holds() {
     for config in FabricConfig::ALL {
         let b = FabricBackend::new(config);
         let plan = b.all_reduce(&group, d);
-        let (dur, _) = execute_standalone(b.topology(), &plan, d);
+        let (dur, _) = execute_standalone(b.topology(), &plan, d).unwrap();
         time.insert(config, dur.as_secs());
     }
     use FabricConfig::*;
@@ -74,7 +74,7 @@ fn streaming_linerate_fractions() {
     let mut net = FlowNetwork::new(mesh.clone_topology());
     for io in 0..mesh.io_count() {
         for f in streaming::streaming_in_flows(&mesh, io, 128e9, Priority::Bulk, io as u64) {
-            net.inject(f);
+            net.inject(f).unwrap();
         }
     }
     let done = net.run_to_completion();
@@ -93,7 +93,7 @@ fn streaming_linerate_fractions() {
     let fred = FabricBackend::new(FabricConfig::FredD);
     let bytes = 18.0 * 128e9;
     let plan = fred.stream_in(bytes);
-    let (dur, _) = execute_standalone(fred.topology(), &plan, bytes);
+    let (dur, _) = execute_standalone(fred.topology(), &plan, bytes).unwrap();
     assert!(
         (dur.as_secs() - 1.0).abs() < 0.05,
         "fred stream {}",
@@ -120,7 +120,7 @@ fn mp_preempts_dp_on_shared_fabric() {
                     .with_tag(1)
             })
             .collect();
-        net.inject_batch(flows);
+        net.inject_batch(flows).unwrap();
     }
     // MP op arrives; must complete in ~d / 3 TBps despite the DP load.
     for phase in &b.all_reduce(&[0, 1, 2, 3], d).phases {
@@ -133,7 +133,7 @@ fn mp_preempts_dp_on_shared_fabric() {
                     .with_tag(2)
             })
             .collect();
-        net.inject_batch(flows);
+        net.inject_batch(flows).unwrap();
     }
     let done = net.run_to_completion();
     let mp_done = done

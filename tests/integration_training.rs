@@ -17,8 +17,8 @@ fn fred_d_beats_baseline_on_all_table6_workloads() {
     for model in DnnModel::all_paper_workloads() {
         let strategy = model.default_strategy;
         let params = ScheduleParams::paper_default(&model, strategy);
-        let rb = simulate(&model, strategy, &baseline, params);
-        let rf = simulate(&model, strategy, &fred_d, params);
+        let rb = simulate(&model, strategy, &baseline, params).unwrap();
+        let rf = simulate(&model, strategy, &fred_d, params).unwrap();
         let speedup = rf.speedup_over(&rb);
         assert!(
             speedup > 1.2,
@@ -51,19 +51,22 @@ fn fred_c_is_between_baseline_and_fred_d() {
         strategy,
         &FabricBackend::new(FabricConfig::BaselineMesh),
         params,
-    );
+    )
+    .unwrap();
     let rc = simulate(
         &model,
         strategy,
         &FabricBackend::new(FabricConfig::FredC),
         params,
-    );
+    )
+    .unwrap();
     let rd = simulate(
         &model,
         strategy,
         &FabricBackend::new(FabricConfig::FredD),
         params,
-    );
+    )
+    .unwrap();
     assert!(
         rc.total < rb.total,
         "Fred-C {rc} not faster than baseline {rb}"
@@ -83,7 +86,7 @@ fn compute_time_is_fabric_invariant() {
     let params = ScheduleParams::paper_default(&model, strategy);
     let mut computes = Vec::new();
     for config in FabricConfig::ALL {
-        let r = simulate(&model, strategy, &FabricBackend::new(config), params);
+        let r = simulate(&model, strategy, &FabricBackend::new(config), params).unwrap();
         computes.push(r.compute.as_secs());
     }
     for w in computes.windows(2) {
@@ -105,8 +108,8 @@ fn per_sample_time_is_subadditive_in_minibatch() {
     let mut p2 = p1;
     p1.minibatch = 320;
     p2.minibatch = 640;
-    let r1 = simulate(&model, strategy, &backend, p1);
-    let r2 = simulate(&model, strategy, &backend, p2);
+    let r1 = simulate(&model, strategy, &backend, p1).unwrap();
+    let r2 = simulate(&model, strategy, &backend, p2).unwrap();
     // DP comm is minibatch-independent, so per-sample time drops.
     assert!(r2.time_per_sample() < r1.time_per_sample());
 }
@@ -124,13 +127,15 @@ fn streaming_exposure_shrinks_on_fred() {
         strategy,
         &FabricBackend::new(FabricConfig::BaselineMesh),
         params,
-    );
+    )
+    .unwrap();
     let rf = simulate(
         &model,
         strategy,
         &FabricBackend::new(FabricConfig::FredD),
         params,
-    );
+    )
+    .unwrap();
     let sb = rb.exposed_for(CommType::Streaming).as_secs();
     let sf = rf.exposed_for(CommType::Streaming).as_secs();
     assert!(sb > 0.0, "baseline shows no streaming exposure");
