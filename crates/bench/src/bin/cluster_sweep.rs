@@ -1,0 +1,146 @@
+//! Cluster sweep — multi-tenant SLOs vs offered load, mesh vs Fred-D.
+//!
+//! The paper benches one job at a time; this sweep shares the wafer.
+//! A seeded Poisson stream of weight-stationary jobs (2–10 NPUs wide,
+//! 20% High / 60% Normal / 20% Low) is offered to the baseline mesh
+//! and to Fred-D at increasing load, and the cluster scheduler places,
+//! isolates and (when needed) preempts them on one shared fabric. Both
+//! fabrics see the *identical* arrival trace at each load point, so
+//! every difference in the table is fabric, not luck.
+//!
+//! Offered load ρ is calibrated in NPU-seconds: the arrival rate is
+//! `ρ × slots / E[npus × solo_secs]`, with solo makespans measured on
+//! Fred-D (the faster fabric — at equal traces the mesh therefore runs
+//! *above* its own ρ, which is the point of the comparison).
+//!
+//! Reported per (fabric, load): fabric utilization (occupied
+//! NPU-seconds over offered), p99 queueing delay, p99 / mean makespan
+//! stretch vs solo, Jain fairness over per-job speed, and preemption
+//! count.
+//!
+//! The zero-churn self-check runs a cluster of exactly one High-class
+//! job on each fabric and asserts its service time is *bit-identical*
+//! to the standalone trainer — the scheduler adds no modeling error,
+//! only tenancy.
+
+use fred_bench::table::{fmt_secs, Table};
+use fred_bench::traceopt::TraceOpts;
+use fred_cluster::arrivals::{paper_mix, poisson_arrivals, DEFAULT_CLASS_MIX};
+use fred_cluster::{run_cluster_traced, ClusterConfig, JobClass, JobSpec};
+use fred_core::params::FabricConfig;
+use fred_core::placement::Strategy3D;
+use fred_workloads::backend::FabricBackend;
+use fred_workloads::model::DnnModel;
+use fred_workloads::schedule::ScheduleParams;
+use fred_workloads::trainer::simulate;
+
+/// Sweep seed: fixed so every arrival trace (and therefore every
+/// reported metric) is reproducible across runs and machines.
+const SEED: u64 = 0xC1_05;
+
+/// Offered loads swept (fraction of the fabric's NPU-seconds).
+const LOADS: [f64; 3] = [0.3, 0.6, 0.9];
+
+/// Jobs per load point.
+const JOBS: usize = 16;
+
+fn main() {
+    let mut opts = TraceOpts::from_args("cluster_sweep");
+    let templates = paper_mix();
+
+    // Calibrate the arrival rate against Fred-D solo makespans: the
+    // expected NPU-seconds one arrival brings.
+    let fredd = FabricBackend::new(FabricConfig::FredD);
+    let slots = fredd.npu_count() as f64;
+    let mean_work: f64 = templates
+        .iter()
+        .map(|t| {
+            let solo = simulate(&t.model, t.strategy, &fredd, t.params)
+                .expect("solo calibration run completes");
+            t.npus() as f64 * solo.total.as_secs()
+        })
+        .sum::<f64>()
+        / templates.len() as f64;
+
+    // Zero-churn self-check: a cluster of one High job reproduces the
+    // standalone trainer bit-for-bit on both fabrics.
+    for config in [FabricConfig::BaselineMesh, FabricConfig::FredD] {
+        let model = DnnModel::resnet152();
+        let strategy = Strategy3D::new(1, 4, 1);
+        let params = ScheduleParams::sweep_default(&model, strategy);
+        let backend = FabricBackend::new(config);
+        let solo = simulate(&model, strategy, &backend, params)
+            .expect("solo reference run completes")
+            .total
+            .as_secs();
+        let job = JobSpec::new("solo-check", model, strategy, params).with_class(JobClass::High);
+        let report = run_cluster_traced(&ClusterConfig::new(config), vec![job], opts.sink())
+            .expect("single-job cluster run completes");
+        let service = report.records[0].service_secs();
+        assert!(
+            service == solo,
+            "{}: cluster-of-one broke bit-identity: {service} vs {solo}",
+            config.name()
+        );
+        opts.metric(format!("{}/solo_check/secs", config.name()), service);
+    }
+
+    let mut table = Table::new(vec![
+        "config",
+        "load",
+        "jobs",
+        "util",
+        "p99 queue",
+        "p99 stretch",
+        "mean stretch",
+        "jain",
+        "preempts",
+    ]);
+    for config in [FabricConfig::BaselineMesh, FabricConfig::FredD] {
+        let backend = FabricBackend::new(config);
+        opts.name_links(&backend.topology());
+        for (li, load) in LOADS.iter().enumerate() {
+            let rate = load * slots / mean_work;
+            // Same per-load seed for both fabrics: identical traces.
+            let jobs =
+                poisson_arrivals(&templates, rate, JOBS, DEFAULT_CLASS_MIX, SEED + li as u64);
+            let report = run_cluster_traced(&ClusterConfig::new(config), jobs, opts.sink())
+                .unwrap_or_else(|e| {
+                    panic!("{} at load {load}: cluster run failed: {e}", config.name())
+                });
+            let util = report.utilization();
+            let p99_q = report.queueing_delay_secs(0.99);
+            let p99_s = report.stretch(0.99);
+            let mean_s = report.mean_stretch();
+            let jain = report.jain_fairness();
+            table.row(vec![
+                config.name().into(),
+                format!("{:.0}%", load * 100.0),
+                format!("{}", report.records.len()),
+                format!("{:.1}%", util * 100.0),
+                fmt_secs(p99_q),
+                format!("{p99_s:.2}x"),
+                format!("{mean_s:.2}x"),
+                format!("{jain:.3}"),
+                format!("{}", report.preemptions),
+            ]);
+            let pct = (load * 100.0) as u64;
+            opts.metric(format!("{}/load{pct}/utilization", config.name()), util);
+            opts.metric(format!("{}/load{pct}/p99_queue_secs", config.name()), p99_q);
+            opts.metric(format!("{}/load{pct}/p99_stretch", config.name()), p99_s);
+            opts.metric(format!("{}/load{pct}/mean_stretch", config.name()), mean_s);
+            opts.metric(format!("{}/load{pct}/jain", config.name()), jain);
+            opts.metric(
+                format!("{}/load{pct}/preemptions", config.name()),
+                report.preemptions as f64,
+            );
+        }
+    }
+    table.print("Cluster sweep — Poisson arrivals, identical traces per load, 20-NPU wafer");
+    println!(
+        "\nSelf-check passed: a cluster of one High-class job is bit-identical to the \
+         standalone trainer on both fabrics. Load is calibrated in NPU-seconds against \
+         Fred-D solo makespans; the mesh sees the same arrival stream."
+    );
+    opts.finish();
+}

@@ -1,0 +1,183 @@
+//! Seeded job-arrival generation.
+//!
+//! A Poisson process over [`Rng64`]: exponentially distributed
+//! inter-arrival gaps, templates and priority classes drawn from fixed
+//! mixes. The same seed always produces the same trace — cluster
+//! benches sweep offered load by scaling the arrival rate, never by
+//! re-rolling randomness. Trace-driven runs skip this module entirely:
+//! a hand-written `Vec<JobSpec>` is already a trace.
+
+use fred_core::placement::Strategy3D;
+use fred_sim::rng::Rng64;
+use fred_sim::time::Time;
+use fred_workloads::model::DnnModel;
+use fred_workloads::schedule::ScheduleParams;
+
+use crate::job::{JobClass, JobSpec};
+
+/// A job shape arrivals are drawn from: model + strategy (+ the
+/// paper-default schedule parameters for that pair).
+#[derive(Debug, Clone)]
+pub struct JobTemplate {
+    /// The model to train.
+    pub model: DnnModel,
+    /// 3D parallelism degrees.
+    pub strategy: Strategy3D,
+    /// Schedule parameters ([`ScheduleParams::sweep_default`]).
+    pub params: ScheduleParams,
+    /// Short name stem for generated jobs.
+    pub stem: &'static str,
+}
+
+impl JobTemplate {
+    /// A template with sweep-default schedule parameters.
+    pub fn new(model: DnnModel, strategy: Strategy3D, stem: &'static str) -> JobTemplate {
+        let params = ScheduleParams::sweep_default(&model, strategy);
+        JobTemplate {
+            model,
+            strategy,
+            params,
+            stem,
+        }
+    }
+
+    /// NPU slots one instance needs.
+    pub fn npus(&self) -> usize {
+        self.strategy.worker_count()
+    }
+}
+
+/// The default multi-tenant mix: weight-stationary zoo entries at
+/// widths from 2 to half the 20-NPU wafer, so several jobs co-run and
+/// fragmentation actually bites. (Weight-streaming models are
+/// excluded — they stream to every NPU and cannot share the fabric.)
+pub fn paper_mix() -> Vec<JobTemplate> {
+    vec![
+        JobTemplate::new(
+            DnnModel::transformer_17b(),
+            Strategy3D::new(2, 1, 1),
+            "t17b",
+        ),
+        JobTemplate::new(DnnModel::resnet152(), Strategy3D::new(1, 4, 1), "rn152"),
+        JobTemplate::new(
+            DnnModel::transformer_17b(),
+            Strategy3D::new(2, 2, 1),
+            "t17b",
+        ),
+        JobTemplate::new(DnnModel::resnet152(), Strategy3D::new(1, 5, 1), "rn152"),
+        JobTemplate::new(
+            DnnModel::transformer_17b(),
+            Strategy3D::new(2, 2, 2),
+            "t17b",
+        ),
+        JobTemplate::new(
+            DnnModel::transformer_17b(),
+            Strategy3D::new(2, 5, 1),
+            "t17b",
+        ),
+    ]
+}
+
+/// Class mix `[High, Normal, Low]` fractions: mostly Normal, with
+/// enough High traffic to exercise preemption and enough Low to give
+/// it victims.
+pub const DEFAULT_CLASS_MIX: [f64; 3] = [0.2, 0.6, 0.2];
+
+/// Draws `count` jobs from a seeded Poisson process at `rate` jobs per
+/// second: inter-arrival gaps are `Exp(rate)`, templates uniform over
+/// `templates`, classes from `class_mix` (fractions over
+/// [`JobClass::ALL`]). Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics on an empty template list, a non-positive rate, or a class
+/// mix that does not sum to ~1.
+pub fn poisson_arrivals(
+    templates: &[JobTemplate],
+    rate: f64,
+    count: usize,
+    class_mix: [f64; 3],
+    seed: u64,
+) -> Vec<JobSpec> {
+    assert!(!templates.is_empty(), "no job templates");
+    assert!(
+        rate > 0.0 && rate.is_finite(),
+        "arrival rate must be positive"
+    );
+    let mix_sum: f64 = class_mix.iter().sum();
+    assert!((mix_sum - 1.0).abs() < 1e-9, "class mix must sum to 1");
+
+    let mut rng = Rng64::seed_from_u64(seed);
+    let mut t = 0.0f64;
+    let mut jobs = Vec::with_capacity(count);
+    for k in 0..count {
+        t += rng.gen_exp(rate);
+        let tpl = &templates[rng.gen_range(0, templates.len())];
+        let u = rng.gen_f64();
+        let class = if u < class_mix[0] {
+            JobClass::High
+        } else if u < class_mix[0] + class_mix[1] {
+            JobClass::Normal
+        } else {
+            JobClass::Low
+        };
+        jobs.push(
+            JobSpec::new(
+                format!("{}-{k}", tpl.stem),
+                tpl.model.clone(),
+                tpl.strategy,
+                tpl.params,
+            )
+            .with_class(class)
+            .with_arrival(Time::from_secs(t)),
+        );
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_trace() {
+        let mix = paper_mix();
+        let a = poisson_arrivals(&mix, 10.0, 12, DEFAULT_CLASS_MIX, 0xC0FFEE);
+        let b = poisson_arrivals(&mix, 10.0, 12, DEFAULT_CLASS_MIX, 0xC0FFEE);
+        assert_eq!(a.len(), 12);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.arrival, y.arrival);
+            assert_eq!(x.class, y.class);
+            assert_eq!(x.strategy.worker_count(), y.strategy.worker_count());
+        }
+        let c = poisson_arrivals(&mix, 10.0, 12, DEFAULT_CLASS_MIX, 0xBEEF);
+        assert!(
+            a.iter().zip(&c).any(|(x, y)| x.arrival != y.arrival),
+            "different seeds should differ somewhere"
+        );
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_schedulable() {
+        let mix = paper_mix();
+        let jobs = poisson_arrivals(&mix, 5.0, 40, DEFAULT_CLASS_MIX, 7);
+        for w in jobs.windows(2) {
+            assert!(w[0].arrival <= w[1].arrival);
+        }
+        assert!(jobs.iter().all(JobSpec::is_schedulable));
+        // With 40 draws at a 20/60/20 mix, all three classes appear.
+        for class in JobClass::ALL {
+            assert!(jobs.iter().any(|j| j.class == class), "{class:?} missing");
+        }
+    }
+
+    #[test]
+    fn mean_gap_tracks_the_rate() {
+        let mix = paper_mix();
+        let jobs = poisson_arrivals(&mix, 2.0, 400, DEFAULT_CLASS_MIX, 99);
+        let span = jobs.last().unwrap().arrival.as_secs();
+        let mean_gap = span / 400.0;
+        assert!((mean_gap - 0.5).abs() < 0.1, "mean gap {mean_gap}");
+    }
+}

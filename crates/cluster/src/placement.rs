@@ -1,0 +1,224 @@
+//! Contiguous NPU-slot carving with fragmentation accounting.
+//!
+//! Jobs occupy *contiguous* runs of NPU slots: every collective a job
+//! issues then stays inside its carve-out (the mesh's snake mapping and
+//! FRED's switch both keep contiguous slots physically adjacent), so
+//! isolation is spatial as well as bandwidth-level. The cost of
+//! contiguity is external fragmentation — free slots split into runs
+//! too short for the next arrival — which [`SlotMap::fragmentation`]
+//! quantifies and the placement benches report.
+
+/// How a free run is chosen for a new job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FitPolicy {
+    /// Leftmost run long enough. Fast, tends to concentrate churn at
+    /// low slot indices.
+    FirstFit,
+    /// Shortest run long enough (leftmost on ties). Preserves large
+    /// runs for wide arrivals at the price of leaving small stranded
+    /// remainders.
+    BestFit,
+}
+
+impl FitPolicy {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FitPolicy::FirstFit => "first-fit",
+            FitPolicy::BestFit => "best-fit",
+        }
+    }
+}
+
+/// Ownership map over the fabric's NPU slots.
+#[derive(Debug, Clone)]
+pub struct SlotMap {
+    /// `owner[s]` is the job id occupying slot `s`, if any.
+    owner: Vec<Option<usize>>,
+}
+
+impl SlotMap {
+    /// An all-free map over `slots` NPU slots.
+    pub fn new(slots: usize) -> SlotMap {
+        SlotMap {
+            owner: vec![None; slots],
+        }
+    }
+
+    /// Total slots.
+    pub fn slots(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// Occupied slots.
+    pub fn used(&self) -> usize {
+        self.owner.iter().filter(|o| o.is_some()).count()
+    }
+
+    /// Free slots.
+    pub fn free(&self) -> usize {
+        self.slots() - self.used()
+    }
+
+    /// The job occupying `slot`, if any.
+    pub fn owner_of(&self, slot: usize) -> Option<usize> {
+        self.owner[slot]
+    }
+
+    /// Maximal free runs as `(base, len)`, left to right.
+    pub fn free_runs(&self) -> Vec<(usize, usize)> {
+        let mut runs = Vec::new();
+        let mut s = 0;
+        while s < self.owner.len() {
+            if self.owner[s].is_none() {
+                let base = s;
+                while s < self.owner.len() && self.owner[s].is_none() {
+                    s += 1;
+                }
+                runs.push((base, s - base));
+            } else {
+                s += 1;
+            }
+        }
+        runs
+    }
+
+    /// Finds a base for a contiguous `width`-slot carve-out under
+    /// `policy`, without occupying it. `None` when no free run is long
+    /// enough (the fragmentation-rejection case: [`SlotMap::free`] may
+    /// still exceed `width`).
+    pub fn find(&self, width: usize, policy: FitPolicy) -> Option<usize> {
+        assert!(width > 0, "zero-width placement");
+        let runs = self.free_runs();
+        match policy {
+            FitPolicy::FirstFit => runs.iter().find(|&&(_, len)| len >= width).map(|&(b, _)| b),
+            FitPolicy::BestFit => runs
+                .iter()
+                .filter(|&&(_, len)| len >= width)
+                .min_by_key(|&&(base, len)| (len, base))
+                .map(|&(b, _)| b),
+        }
+    }
+
+    /// Occupies `[base, base + width)` for `job`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slot in the range is already owned — the
+    /// scheduler only occupies windows [`SlotMap::find`] (or the
+    /// preemption search) returned.
+    pub fn occupy(&mut self, base: usize, width: usize, job: usize) {
+        for s in base..base + width {
+            assert!(
+                self.owner[s].is_none(),
+                "slot {s} already owned by job {:?}",
+                self.owner[s]
+            );
+            self.owner[s] = Some(job);
+        }
+    }
+
+    /// Frees every slot owned by `job`, returning how many were freed.
+    pub fn release(&mut self, job: usize) -> usize {
+        let mut freed = 0;
+        for o in &mut self.owner {
+            if *o == Some(job) {
+                *o = None;
+                freed += 1;
+            }
+        }
+        freed
+    }
+
+    /// External fragmentation in `[0, 1]`: `1 − largest_free_run /
+    /// total_free`. Zero when free space is one run (or none at all);
+    /// approaching one as free slots shatter into unusable slivers.
+    pub fn fragmentation(&self) -> f64 {
+        let free = self.free();
+        if free == 0 {
+            return 0.0;
+        }
+        let largest = self
+            .free_runs()
+            .iter()
+            .map(|&(_, len)| len)
+            .max()
+            .unwrap_or(0);
+        1.0 - largest as f64 / free as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_fit_takes_the_leftmost_adequate_run() {
+        let mut m = SlotMap::new(10);
+        // Occupy [2,4) and [7,9): free runs are [0,2), [4,7), [9,10).
+        m.occupy(2, 2, 0);
+        m.occupy(7, 2, 1);
+        assert_eq!(m.free_runs(), vec![(0, 2), (4, 3), (9, 1)]);
+        assert_eq!(m.find(2, FitPolicy::FirstFit), Some(0));
+        assert_eq!(m.find(3, FitPolicy::FirstFit), Some(4));
+    }
+
+    #[test]
+    fn best_fit_takes_the_tightest_run_leftmost_on_ties() {
+        let mut m = SlotMap::new(10);
+        m.occupy(2, 2, 0);
+        m.occupy(7, 2, 1);
+        // Width 2 fits [0,2) exactly (len 2) — tighter than [4,7).
+        assert_eq!(m.find(2, FitPolicy::BestFit), Some(0));
+        // Width 1 fits [9,10) exactly.
+        assert_eq!(m.find(1, FitPolicy::BestFit), Some(9));
+    }
+
+    #[test]
+    fn exact_fit_fills_the_map_completely() {
+        let mut m = SlotMap::new(8);
+        let b0 = m.find(8, FitPolicy::FirstFit).unwrap();
+        m.occupy(b0, 8, 0);
+        assert_eq!(m.free(), 0);
+        assert_eq!(m.find(1, FitPolicy::FirstFit), None);
+        assert_eq!(m.fragmentation(), 0.0);
+        assert_eq!(m.release(0), 8);
+        assert_eq!(m.free(), 8);
+    }
+
+    #[test]
+    fn fragmentation_rejects_despite_enough_total_free() {
+        let mut m = SlotMap::new(10);
+        // Leave free runs of 2+2+2 = 6 slots: a width-4 job is
+        // rejected even though 6 > 4.
+        m.occupy(2, 2, 0);
+        m.occupy(6, 2, 1);
+        assert_eq!(m.free(), 6);
+        assert_eq!(m.find(4, FitPolicy::FirstFit), None);
+        assert_eq!(m.find(4, FitPolicy::BestFit), None);
+        // Largest run is 2 of 6 free.
+        assert!((m.fragmentation() - (1.0 - 2.0 / 6.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn release_heals_fragmentation() {
+        let mut m = SlotMap::new(6);
+        m.occupy(0, 2, 0);
+        m.occupy(2, 2, 1);
+        m.occupy(4, 2, 2);
+        m.release(1);
+        assert!(m.fragmentation() > 0.0 || m.free_runs().len() == 1);
+        m.release(0);
+        // Free runs [0,4): one run, no fragmentation.
+        assert_eq!(m.free_runs(), vec![(0, 4)]);
+        assert_eq!(m.fragmentation(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already owned")]
+    fn double_occupy_panics() {
+        let mut m = SlotMap::new(4);
+        m.occupy(0, 2, 0);
+        m.occupy(1, 2, 1);
+    }
+}

@@ -1,0 +1,821 @@
+//! The cluster event loop: many jobs, one fabric, one clock.
+//!
+//! [`run_cluster`] interleaves per-job [`ScheduleExecutor`]s through a
+//! single shared [`FlowNetwork`]. Each placed job gets a disjoint
+//! correlation-tag range (completions route back by tag alone) and a
+//! tenant rank equal to its [`JobClass`], so the fair-share solver
+//! isolates classes in bandwidth: High traffic is served strictly
+//! before Normal, Normal before Low, on every contended link. Job
+//! starts and finishes are solver *deltas* (`inject_batch` /
+//! completion drains) — the world is never re-solved from scratch.
+//!
+//! ## Dispatch and preemption
+//!
+//! Queued jobs wait in per-class FIFO queues. Dispatch walks classes
+//! High→Low placing each queue's head until it no longer fits, then
+//! lets lower classes backfill — a narrow Low job may start ahead of a
+//! blocked wide High job (this favours utilization; the stranded
+//! head's delay is visible in the p99 queueing metric). When enabled,
+//! preemption evicts strictly-lower-class jobs from a slot window when
+//! the head cannot be placed any other way: victims lose their
+//! in-flight iteration, return to the *front* of their class queue,
+//! and restart from scratch on fresh tags (retired tags still in the
+//! completion pipeline are dropped on arrival).
+//!
+//! ## Determinism contract
+//!
+//! A cluster run is a pure function of its inputs: jobs are processed
+//! in arrival order (submission order on ties), running executors in
+//! placement order, and every random choice lives in the seeded
+//! arrival generator. A single High-class job arriving at time zero
+//! reproduces [`fred_workloads::trainer::simulate`] *bit-identically*:
+//! same placement base, same tag namespace, same tenant rank, same
+//! network-operation order.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::error::Error;
+use std::fmt;
+use std::rc::Rc;
+
+use fred_core::params::FabricConfig;
+use fred_core::placement::{Placement, PlacementPolicy};
+use fred_sim::flow::FlowSpec;
+use fred_sim::netsim::FlowNetwork;
+use fred_sim::time::Time;
+use fred_telemetry::event::TraceEvent;
+use fred_telemetry::sink::{NullSink, TraceSink};
+use fred_workloads::backend::FabricBackend;
+use fred_workloads::error::TrainError;
+use fred_workloads::exec::{repair_flows, ExecConfig, ScheduleExecutor};
+use fred_workloads::schedule::build_schedule;
+use fred_workloads::trainer::simulate;
+
+use crate::job::JobSpec;
+use crate::metrics::{ClusterReport, JobRecord};
+use crate::placement::{FitPolicy, SlotMap};
+
+/// Cluster-wide policy knobs.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// The fabric every job shares.
+    pub fabric: FabricConfig,
+    /// How contiguous slot windows are chosen.
+    pub fit: FitPolicy,
+    /// Whether higher classes may evict strictly-lower-class jobs.
+    pub preemption: bool,
+}
+
+impl ClusterConfig {
+    /// First-fit placement with preemption enabled.
+    pub fn new(fabric: FabricConfig) -> ClusterConfig {
+        ClusterConfig {
+            fabric,
+            fit: FitPolicy::FirstFit,
+            preemption: true,
+        }
+    }
+
+    /// Sets the fit policy.
+    pub fn with_fit(mut self, fit: FitPolicy) -> ClusterConfig {
+        self.fit = fit;
+        self
+    }
+
+    /// Enables or disables preemption.
+    pub fn with_preemption(mut self, preemption: bool) -> ClusterConfig {
+        self.preemption = preemption;
+        self
+    }
+}
+
+/// Why a cluster run could not complete.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// A job's model is weight-streaming: it streams layer windows to
+    /// every NPU and cannot share the fabric (see
+    /// [`JobSpec::is_schedulable`]).
+    UnsupportedExecution {
+        /// The offending job's name.
+        job: String,
+    },
+    /// A job needs more NPU slots than the fabric has, so it can never
+    /// be placed.
+    JobTooWide {
+        /// The offending job's name.
+        job: String,
+        /// Slots the job needs.
+        npus: usize,
+        /// Slots the fabric offers.
+        slots: usize,
+    },
+    /// A job's executor failed (stall, unroutable transfer, rejected
+    /// flow — see [`TrainError`]).
+    Train {
+        /// The failing job's name (or a scheduler-internal label for
+        /// fault re-injection failures that cross jobs).
+        job: String,
+        /// The underlying trainer error.
+        err: TrainError,
+    },
+    /// The cluster ran out of pending events with jobs unfinished — a
+    /// scheduling deadlock.
+    Stalled {
+        /// Jobs still queued.
+        queued: usize,
+        /// Jobs still running.
+        running: usize,
+        /// Jobs that did complete.
+        completed: usize,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::UnsupportedExecution { job } => write!(
+                f,
+                "job `{job}` is weight-streaming and cannot share the fabric"
+            ),
+            ClusterError::JobTooWide { job, npus, slots } => write!(
+                f,
+                "job `{job}` needs {npus} NPU slots but the fabric has {slots}"
+            ),
+            ClusterError::Train { job, err } => write!(f, "job `{job}` failed: {err}"),
+            ClusterError::Stalled {
+                queued,
+                running,
+                completed,
+            } => write!(
+                f,
+                "cluster stalled with no pending events: {queued} queued, {running} running, \
+                 {completed} completed"
+            ),
+        }
+    }
+}
+
+impl Error for ClusterError {}
+
+/// One placed job mid-flight (its slots are recorded in the
+/// [`SlotMap`], keyed by job id).
+struct Running {
+    /// Index into the submitted job list.
+    job: usize,
+    exec: ScheduleExecutor,
+}
+
+/// Runs `jobs` to completion on one shared fabric and reports per-job
+/// SLO metrics. Untraced (zero-overhead [`NullSink`]).
+///
+/// # Errors
+///
+/// See [`ClusterError`].
+pub fn run_cluster(cfg: &ClusterConfig, jobs: Vec<JobSpec>) -> Result<ClusterReport, ClusterError> {
+    run_cluster_traced(cfg, jobs, Rc::new(NullSink))
+}
+
+/// [`run_cluster`] with telemetry recorded into `sink`: per-job spans
+/// are label-prefixed with the job name, and job lifecycle marks
+/// (queued, started, preempted, finished) land on the iteration track.
+///
+/// # Errors
+///
+/// See [`ClusterError`].
+pub fn run_cluster_traced(
+    cfg: &ClusterConfig,
+    jobs: Vec<JobSpec>,
+    sink: Rc<dyn TraceSink>,
+) -> Result<ClusterReport, ClusterError> {
+    let backend = FabricBackend::new(cfg.fabric);
+    let slots = backend.npu_count();
+    for j in &jobs {
+        if !j.is_schedulable() {
+            return Err(ClusterError::UnsupportedExecution {
+                job: j.name.clone(),
+            });
+        }
+        if j.npus() > slots {
+            return Err(ClusterError::JobTooWide {
+                job: j.name.clone(),
+                npus: j.npus(),
+                slots,
+            });
+        }
+    }
+    // Arrival order; stable sort keeps submission order on ties.
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by(|&a, &b| {
+        jobs[a]
+            .arrival
+            .partial_cmp(&jobs[b].arrival)
+            .expect("finite arrival time")
+    });
+    let policy = if cfg.fabric.is_fred() {
+        PlacementPolicy::MpPpDp
+    } else {
+        PlacementPolicy::MpDpPp
+    };
+    let n = jobs.len();
+    let net = FlowNetwork::with_sink(backend.topology(), sink.clone());
+    let tracing = sink.enabled();
+    let sim = ClusterSim {
+        cfg,
+        jobs,
+        backend,
+        policy,
+        net,
+        sink,
+        tracing,
+        slotmap: SlotMap::new(slots),
+        queues: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+        running: Vec::new(),
+        order,
+        arrival_cursor: 0,
+        next_tag_base: 0,
+        first_start: vec![None; n],
+        completion: vec![Time::ZERO; n],
+        preempt_count: vec![0; n],
+        fault_cursor: vec![0; n],
+        done_count: 0,
+        busy_npu_secs: 0.0,
+    };
+    sim.run()
+}
+
+struct ClusterSim<'a> {
+    cfg: &'a ClusterConfig,
+    jobs: Vec<JobSpec>,
+    backend: FabricBackend,
+    policy: PlacementPolicy,
+    net: FlowNetwork,
+    sink: Rc<dyn TraceSink>,
+    tracing: bool,
+    slotmap: SlotMap,
+    /// Pending job indices, one FIFO per class rank.
+    queues: [VecDeque<usize>; 3],
+    running: Vec<Running>,
+    /// Job indices sorted by arrival.
+    order: Vec<usize>,
+    arrival_cursor: usize,
+    /// Monotonic: every (re)start gets a fresh disjoint tag range, so
+    /// retired ranges never collide and stale completions are dropped.
+    next_tag_base: u64,
+    first_start: Vec<Option<Time>>,
+    completion: Vec<Time>,
+    preempt_count: Vec<u32>,
+    /// Per-job cursor into its fault plan (survives preemption: fired
+    /// events are never re-fired on restart).
+    fault_cursor: Vec<usize>,
+    done_count: usize,
+    busy_npu_secs: f64,
+}
+
+impl ClusterSim<'_> {
+    fn run(mut self) -> Result<ClusterReport, ClusterError> {
+        self.admit_arrivals(Time::ZERO);
+        self.dispatch()?;
+        loop {
+            if self.done_count == self.jobs.len() {
+                break;
+            }
+            let now = self.net.now();
+            // Next event: arrival, compute finish, network event or
+            // fault horizon — whichever comes first.
+            let ta = self
+                .order
+                .get(self.arrival_cursor)
+                .map(|&j| self.jobs[j].arrival);
+            let tc = self
+                .running
+                .iter()
+                .filter_map(|r| r.exec.next_compute_time())
+                .min();
+            let tn = self.net.next_event();
+            let tf = self.next_fault_time(now);
+            let Some(next) = [ta, tc, tn, tf].into_iter().flatten().min() else {
+                return Err(ClusterError::Stalled {
+                    queued: self.queues.iter().map(VecDeque::len).sum(),
+                    running: self.running.len(),
+                    completed: self.done_count,
+                });
+            };
+            // Occupancy integrates between event instants (membership
+            // only changes at instants).
+            self.busy_npu_secs +=
+                self.slotmap.used() as f64 * (next.as_secs() - now.as_secs()).max(0.0);
+            self.net.advance_to(next);
+            self.fire_faults(next)?;
+            for c in self.net.drain_completed() {
+                self.route_completion(c.tag)?;
+            }
+            for k in 0..self.running.len() {
+                let job = self.running[k].job;
+                if let Err(e) = self.running[k]
+                    .exec
+                    .flush_staged(&mut self.net, &self.backend)
+                {
+                    return Err(self.train_err(job, e));
+                }
+                self.running[k].exec.release_computes_due(next);
+                if let Err(e) = self.running[k].exec.settle(&mut self.net, &self.backend) {
+                    return Err(self.train_err(job, e));
+                }
+            }
+            self.retire_finished();
+            self.admit_arrivals(next);
+            self.dispatch()?;
+        }
+        Ok(self.report())
+    }
+
+    fn train_err(&self, job: usize, err: TrainError) -> ClusterError {
+        ClusterError::Train {
+            job: self.jobs[job].name.clone(),
+            err,
+        }
+    }
+
+    /// Moves every job with `arrival <= now` from the arrival stream
+    /// into its class queue.
+    fn admit_arrivals(&mut self, now: Time) {
+        while let Some(&j) = self.order.get(self.arrival_cursor) {
+            if self.jobs[j].arrival > now {
+                break;
+            }
+            self.arrival_cursor += 1;
+            let rank = self.jobs[j].class.tenant_rank() as usize;
+            self.queues[rank].push_back(j);
+            if self.tracing {
+                self.sink.record(TraceEvent::IterStage {
+                    t: now.as_secs(),
+                    label: format!(
+                        "job {} queued ({})",
+                        self.jobs[j].name,
+                        self.jobs[j].class.name()
+                    )
+                    .into(),
+                });
+            }
+        }
+    }
+
+    /// Places queued jobs: classes High→Low, FIFO head-of-line within
+    /// a class, lower classes backfilling past a blocked head. Falls
+    /// back to preemption for the highest blocked head when enabled.
+    fn dispatch(&mut self) -> Result<(), ClusterError> {
+        loop {
+            let mut placed_any = false;
+            for rank in 0..self.queues.len() {
+                while let Some(&job) = self.queues[rank].front() {
+                    let width = self.jobs[job].npus();
+                    let Some(base) = self.slotmap.find(width, self.cfg.fit) else {
+                        break;
+                    };
+                    self.queues[rank].pop_front();
+                    self.start_job(job, base, width)?;
+                    placed_any = true;
+                }
+            }
+            if placed_any {
+                continue;
+            }
+            if self.cfg.preemption {
+                // The highest-class blocked head gets one preemption
+                // attempt per round.
+                let head =
+                    (0..self.queues.len()).find_map(|r| self.queues[r].front().map(|&j| (r, j)));
+                if let Some((rank, job)) = head {
+                    if self.try_preempt_for(rank, job)? {
+                        continue;
+                    }
+                }
+            }
+            return Ok(());
+        }
+    }
+
+    /// Searches for a `width`-slot window freeable by evicting only
+    /// strictly-lower-class jobs, minimizing (victim count, base).
+    fn preempt_window(&self, width: usize, rank: usize) -> Option<(usize, Vec<usize>)> {
+        let slots = self.slotmap.slots();
+        let mut best: Option<(usize, usize, Vec<usize>)> = None;
+        for base in 0..=slots.saturating_sub(width) {
+            let mut victims: BTreeSet<usize> = BTreeSet::new();
+            let mut ok = true;
+            for s in base..base + width {
+                match self.slotmap.owner_of(s) {
+                    None => {}
+                    Some(j) => {
+                        if (self.jobs[j].class.tenant_rank() as usize) > rank {
+                            victims.insert(j);
+                        } else {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            if !ok || victims.is_empty() {
+                continue;
+            }
+            let cand = (victims.len(), base, victims.into_iter().collect::<Vec<_>>());
+            if best.as_ref().is_none_or(|b| (cand.0, cand.1) < (b.0, b.1)) {
+                best = Some(cand);
+            }
+        }
+        best.map(|(_, base, victims)| (base, victims))
+    }
+
+    /// Preempts strictly-lower-class jobs to place the head `job` of
+    /// class-rank `rank`. Returns whether a placement happened.
+    fn try_preempt_for(&mut self, rank: usize, job: usize) -> Result<bool, ClusterError> {
+        let width = self.jobs[job].npus();
+        let Some((base, mut victims)) = self.preempt_window(width, rank) else {
+            return Ok(false);
+        };
+        // Requeue victims at the *front* of their class queues so they
+        // restart before anything that arrived after them; pushing in
+        // reverse arrival order keeps the earliest arrival frontmost.
+        victims.sort_by(|&a, &b| {
+            self.jobs[a]
+                .arrival
+                .partial_cmp(&self.jobs[b].arrival)
+                .expect("finite arrival time")
+                .then(a.cmp(&b))
+        });
+        for &v in victims.iter().rev() {
+            self.preempt(v);
+        }
+        let head = self.queues[rank].pop_front();
+        debug_assert_eq!(head, Some(job));
+        self.start_job(job, base, width)?;
+        Ok(true)
+    }
+
+    /// Evicts a running job: its in-flight flows are removed from the
+    /// network (bytes moved so far are lost — the iteration restarts
+    /// from scratch), its slots freed, and the job requeued at the
+    /// front of its class.
+    fn preempt(&mut self, job: usize) {
+        let pos = self
+            .running
+            .iter()
+            .position(|r| r.job == job)
+            .expect("victim is running");
+        let r = self.running.remove(pos);
+        // Drop the evictees: a preempted job does not resume mid-flow,
+        // and its retired tag range routes to no executor, so any
+        // completion notices already in the pipeline are dropped too.
+        let _ = self.net.evict_flows_matching(|tag| r.exec.owns_tag(tag));
+        self.slotmap.release(job);
+        self.preempt_count[job] += 1;
+        let rank = self.jobs[job].class.tenant_rank() as usize;
+        self.queues[rank].push_front(job);
+        if self.tracing {
+            self.sink.record(TraceEvent::IterStage {
+                t: self.net.now().as_secs(),
+                label: format!("job {} preempted", self.jobs[job].name).into(),
+            });
+        }
+    }
+
+    /// Builds, places and settles one job at `base`, on a fresh tag
+    /// range.
+    fn start_job(&mut self, job: usize, base: usize, width: usize) -> Result<(), ClusterError> {
+        let spec = &self.jobs[job];
+        let placement = Placement::with_base(spec.strategy, self.policy, base);
+        let schedule = build_schedule(
+            &spec.model,
+            spec.strategy,
+            &placement,
+            &self.backend,
+            spec.params,
+        );
+        let cfg = ExecConfig {
+            tag_base: self.next_tag_base,
+            tenant: spec.class.tenant_rank(),
+            label: Some(spec.name.clone()),
+        };
+        let mut exec = ScheduleExecutor::new(Rc::new(schedule), cfg, self.sink.clone());
+        self.next_tag_base = exec.tag_end();
+        self.slotmap.occupy(base, width, job);
+        if self.first_start[job].is_none() {
+            self.first_start[job] = Some(self.net.now());
+        }
+        if self.tracing {
+            self.sink.record(TraceEvent::IterStage {
+                t: self.net.now().as_secs(),
+                label: format!(
+                    "job {} start @ slots {}..{}",
+                    self.jobs[job].name,
+                    base,
+                    base + width
+                )
+                .into(),
+            });
+        }
+        if let Err(e) = exec.settle(&mut self.net, &self.backend) {
+            return Err(self.train_err(job, e));
+        }
+        self.running.push(Running { job, exec });
+        Ok(())
+    }
+
+    /// Earliest pending fault across running jobs. Due times are
+    /// job-relative offsets from *first* start; overdue events (a
+    /// restart catching up) clamp to `now`.
+    fn next_fault_time(&self, now: Time) -> Option<Time> {
+        self.running
+            .iter()
+            .filter_map(|r| {
+                let j = r.job;
+                let ev = self.jobs[j].faults.events().get(self.fault_cursor[j])?;
+                let start = self.first_start[j].expect("running job has started");
+                Some(Time::from_secs(start.as_secs() + ev.at.as_secs()).max(now))
+            })
+            .min()
+    }
+
+    /// Fires every fault due by `now` across running jobs; evicted
+    /// flows are re-routed over surviving links and re-injected with
+    /// their remaining bytes, tags and tenants intact (they may belong
+    /// to *any* job whose route crossed the failed link).
+    fn fire_faults(&mut self, now: Time) -> Result<(), ClusterError> {
+        let mut evicted: Vec<FlowSpec> = Vec::new();
+        for k in 0..self.running.len() {
+            let j = self.running[k].job;
+            if self.jobs[j].faults.is_empty() {
+                continue;
+            }
+            let start = self.first_start[j].expect("running job has started");
+            while let Some(ev) = self.jobs[j].faults.events().get(self.fault_cursor[j]) {
+                if Time::from_secs(start.as_secs() + ev.at.as_secs()) > now {
+                    break;
+                }
+                self.fault_cursor[j] += 1;
+                evicted.extend(ev.apply(&mut self.net).into_iter().map(|e| {
+                    FlowSpec::new(e.route, e.remaining_bytes)
+                        .with_priority(e.priority)
+                        .with_tag(e.tag)
+                        .with_tenant(e.tenant)
+                }));
+            }
+        }
+        if !evicted.is_empty() {
+            let flows = repair_flows(&self.net, &self.backend, evicted)
+                .map_err(|e| self.train_err_anon(e))?;
+            self.net
+                .inject_batch(flows)
+                .map_err(|e| self.train_err_anon(TrainError::Route(e)))?;
+        }
+        Ok(())
+    }
+
+    /// A train error not attributable to a single job (fault
+    /// re-injection can carry many jobs' flows).
+    fn train_err_anon(&self, err: TrainError) -> ClusterError {
+        ClusterError::Train {
+            job: "<fault re-injection>".into(),
+            err,
+        }
+    }
+
+    /// Routes a flow completion to the owning executor by tag range.
+    /// Unowned tags (foreign, or retired by preemption) are dropped.
+    fn route_completion(&mut self, tag: u64) -> Result<(), ClusterError> {
+        if tag == 0 {
+            return Ok(());
+        }
+        let Some(k) = self.running.iter().position(|r| r.exec.owns_tag(tag)) else {
+            return Ok(());
+        };
+        let job = self.running[k].job;
+        if let Err(e) = self.running[k].exec.handle_completion(tag) {
+            return Err(self.train_err(job, e));
+        }
+        Ok(())
+    }
+
+    /// Frees the slots of every executor that just finished and
+    /// records its completion.
+    fn retire_finished(&mut self) {
+        let mut k = 0;
+        while k < self.running.len() {
+            if !self.running[k].exec.is_done() {
+                k += 1;
+                continue;
+            }
+            let r = self.running.remove(k);
+            self.slotmap.release(r.job);
+            self.completion[r.job] = r.exec.completion_time();
+            self.done_count += 1;
+            if self.tracing {
+                self.sink.record(TraceEvent::IterStage {
+                    t: self.net.now().as_secs(),
+                    label: format!("job {} finished", self.jobs[r.job].name).into(),
+                });
+            }
+        }
+    }
+
+    /// Builds the report; solo makespans (the stretch denominator) run
+    /// each distinct (model, strategy, params) once on a private
+    /// network of the same fabric.
+    fn report(self) -> ClusterReport {
+        let mut solo_cache: BTreeMap<String, f64> = BTreeMap::new();
+        let mut records = Vec::with_capacity(self.jobs.len());
+        let mut makespan = Time::ZERO;
+        for (j, spec) in self.jobs.iter().enumerate() {
+            let key = format!(
+                "{}|{}|{}x{}",
+                spec.model.name, spec.strategy, spec.params.minibatch, spec.params.microbatches
+            );
+            let solo_secs = *solo_cache.entry(key).or_insert_with(|| {
+                simulate(&spec.model, spec.strategy, &self.backend, spec.params)
+                    .expect("solo reference run completes on a healthy fabric")
+                    .total
+                    .as_secs()
+            });
+            let completion = self.completion[j];
+            makespan = makespan.max(completion);
+            records.push(JobRecord {
+                name: spec.name.clone(),
+                class: spec.class,
+                npus: spec.npus(),
+                arrival: spec.arrival,
+                first_start: self.first_start[j].expect("every job completed"),
+                completion,
+                preemptions: self.preempt_count[j],
+                solo_secs,
+            });
+        }
+        ClusterReport {
+            fabric: self.cfg.fabric.name().into(),
+            fit: self.cfg.fit.name().into(),
+            preemption: self.cfg.preemption,
+            records,
+            makespan,
+            npu_slots: self.slotmap.slots(),
+            busy_npu_secs: self.busy_npu_secs,
+            preemptions: self.preempt_count.iter().sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobClass;
+    use fred_core::placement::Strategy3D;
+    use fred_workloads::model::DnnModel;
+    use fred_workloads::schedule::ScheduleParams;
+
+    fn resnet_job(name: &str, dp: usize) -> JobSpec {
+        let model = DnnModel::resnet152();
+        let strategy = Strategy3D::new(1, dp, 1);
+        let params = ScheduleParams::sweep_default(&model, strategy);
+        JobSpec::new(name, model, strategy, params)
+    }
+
+    #[test]
+    fn solo_high_job_matches_standalone_trainer_bit_for_bit() {
+        for fabric in [FabricConfig::BaselineMesh, FabricConfig::FredD] {
+            let job = resnet_job("solo", 4).with_class(JobClass::High);
+            let backend = FabricBackend::new(fabric);
+            let solo = simulate(&job.model, job.strategy, &backend, job.params).unwrap();
+            let report = run_cluster(&ClusterConfig::new(fabric), vec![job]).unwrap();
+            let rec = &report.records[0];
+            assert_eq!(
+                rec.service_secs(),
+                solo.total.as_secs(),
+                "{} cluster-of-one diverged from simulate()",
+                fabric.name()
+            );
+            assert_eq!(rec.queueing_delay_secs(), 0.0);
+            assert_eq!(rec.stretch(), 1.0);
+            assert_eq!(report.preemptions, 0);
+        }
+    }
+
+    #[test]
+    fn two_disjoint_jobs_run_concurrently() {
+        let jobs = vec![resnet_job("a", 4), resnet_job("b", 4)];
+        let report = run_cluster(&ClusterConfig::new(FabricConfig::FredD), jobs).unwrap();
+        // Both start at t=0 (20 slots, 4+4 fit side by side).
+        for rec in &report.records {
+            assert_eq!(rec.queueing_delay_secs(), 0.0);
+        }
+        assert!(report.utilization() > 0.0);
+    }
+
+    #[test]
+    fn queueing_delay_appears_when_the_fabric_is_full() {
+        // Three 8-wide jobs on 20 slots: two fit, the third queues.
+        let jobs = vec![resnet_job("a", 8), resnet_job("b", 8), resnet_job("c", 8)];
+        let report = run_cluster(&ClusterConfig::new(FabricConfig::FredD), jobs).unwrap();
+        let delayed: Vec<_> = report
+            .records
+            .iter()
+            .filter(|r| r.queueing_delay_secs() > 0.0)
+            .collect();
+        assert_eq!(delayed.len(), 1, "exactly one job should queue");
+        assert_eq!(delayed[0].name, "c");
+    }
+
+    #[test]
+    fn high_arrival_preempts_a_low_job() {
+        // Fill the fabric with Low jobs, then a High job arrives.
+        let low_a = resnet_job("low-a", 10).with_class(JobClass::Low);
+        let low_b = resnet_job("low-b", 10).with_class(JobClass::Low);
+        let backend = FabricBackend::new(FabricConfig::FredD);
+        let solo = simulate(&low_a.model, low_a.strategy, &backend, low_a.params).unwrap();
+        let high = resnet_job("high", 10)
+            .with_class(JobClass::High)
+            .with_arrival(Time::from_secs(solo.total.as_secs() * 0.25));
+        let report = run_cluster(
+            &ClusterConfig::new(FabricConfig::FredD),
+            vec![low_a, low_b, high],
+        )
+        .unwrap();
+        assert_eq!(report.preemptions, 1);
+        let high_rec = report.records.iter().find(|r| r.name == "high").unwrap();
+        assert_eq!(
+            high_rec.queueing_delay_secs(),
+            0.0,
+            "preemption should start the High job immediately"
+        );
+        let victim = report
+            .records
+            .iter()
+            .find(|r| r.preemptions == 1)
+            .expect("one victim");
+        assert_eq!(victim.class, JobClass::Low);
+        // The victim restarted and still finished.
+        assert!(victim.completion > high_rec.first_start);
+    }
+
+    #[test]
+    fn preemption_disabled_queues_the_high_job_instead() {
+        let low_a = resnet_job("low-a", 10).with_class(JobClass::Low);
+        let low_b = resnet_job("low-b", 10).with_class(JobClass::Low);
+        let backend = FabricBackend::new(FabricConfig::FredD);
+        let solo = simulate(&low_a.model, low_a.strategy, &backend, low_a.params).unwrap();
+        let high = resnet_job("high", 10)
+            .with_class(JobClass::High)
+            .with_arrival(Time::from_secs(solo.total.as_secs() * 0.25));
+        let report = run_cluster(
+            &ClusterConfig::new(FabricConfig::FredD).with_preemption(false),
+            vec![low_a, low_b, high],
+        )
+        .unwrap();
+        assert_eq!(report.preemptions, 0);
+        let high_rec = report.records.iter().find(|r| r.name == "high").unwrap();
+        assert!(high_rec.queueing_delay_secs() > 0.0);
+    }
+
+    #[test]
+    fn weight_streaming_jobs_are_rejected() {
+        let model = DnnModel::gpt3();
+        let strategy = Strategy3D::new(1, 1, 2);
+        let params = ScheduleParams::sweep_default(&model, strategy);
+        let err = run_cluster(
+            &ClusterConfig::new(FabricConfig::FredD),
+            vec![JobSpec::new("g", model, strategy, params)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, ClusterError::UnsupportedExecution { .. }));
+    }
+
+    #[test]
+    fn too_wide_jobs_are_rejected() {
+        let err = run_cluster(
+            &ClusterConfig::new(FabricConfig::FredD),
+            vec![resnet_job("wide", 21)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, ClusterError::JobTooWide { npus: 21, .. }));
+    }
+
+    #[test]
+    fn cluster_runs_are_deterministic() {
+        let mk = || {
+            vec![
+                resnet_job("a", 4).with_class(JobClass::Normal),
+                resnet_job("b", 8).with_class(JobClass::Low),
+                resnet_job("c", 10)
+                    .with_class(JobClass::High)
+                    .with_arrival(Time::from_secs(1e-4)),
+            ]
+        };
+        let cfg = ClusterConfig::new(FabricConfig::FredD).with_fit(FitPolicy::BestFit);
+        let r1 = run_cluster(&cfg, mk()).unwrap();
+        let r2 = run_cluster(&cfg, mk()).unwrap();
+        assert_eq!(r1.makespan, r2.makespan);
+        assert_eq!(r1.busy_npu_secs, r2.busy_npu_secs);
+        for (a, b) in r1.records.iter().zip(&r2.records) {
+            assert_eq!(a.first_start, b.first_start);
+            assert_eq!(a.completion, b.completion);
+            assert_eq!(a.preemptions, b.preemptions);
+        }
+    }
+}

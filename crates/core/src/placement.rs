@@ -159,6 +159,16 @@ impl Placement {
     /// Places `strategy`'s workers onto NPUs `0..worker_count` using
     /// `policy`.
     pub fn new(strategy: Strategy3D, policy: PlacementPolicy) -> Placement {
+        Placement::with_base(strategy, policy, 0)
+    }
+
+    /// Places `strategy`'s workers onto the contiguous NPU window
+    /// `base..base + worker_count` — the multi-tenant entry point: a
+    /// cluster scheduler carves a window out of the fabric and places
+    /// each job's workers inside it, preserving the policy's relative
+    /// layout (consecutive slots stay physically adjacent under both
+    /// the FRED tree's identity mapping and the mesh's snake walk).
+    pub fn with_base(strategy: Strategy3D, policy: PlacementPolicy, base: usize) -> Placement {
         let (m, d, p) = (strategy.mp, strategy.dp, strategy.pp);
         let mut npu_of_worker = vec![usize::MAX; strategy.worker_count()];
         let linear = |w: Worker| w.mp + m * (w.dp + d * w.pp);
@@ -186,13 +196,24 @@ impl Placement {
                 .collect(),
         };
         for (next, w) in order.into_iter().enumerate() {
-            npu_of_worker[linear(w)] = next;
+            npu_of_worker[linear(w)] = base + next;
         }
         Placement {
             strategy,
             policy,
             npu_of_worker,
         }
+    }
+
+    /// The highest NPU index this placement assigns (= `base +
+    /// worker_count - 1`); backends bound-check against this rather
+    /// than the worker count so based placements validate correctly.
+    pub fn max_slot(&self) -> usize {
+        self.npu_of_worker
+            .iter()
+            .copied()
+            .max()
+            .expect("a strategy always has at least one worker")
     }
 
     /// The strategy this placement was built for.
@@ -409,6 +430,26 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn based_placement_offsets_every_slot() {
+        let s = Strategy3D::new(2, 2, 2);
+        let zero = Placement::new(s, PlacementPolicy::MpPpDp);
+        let based = Placement::with_base(s, PlacementPolicy::MpPpDp, 7);
+        for w in s.workers() {
+            assert_eq!(based.npu_of(w), zero.npu_of(w) + 7);
+        }
+        assert_eq!(zero.max_slot(), 7);
+        assert_eq!(based.max_slot(), 14);
+        // Group structure is translation-invariant.
+        assert_eq!(
+            based.mp_group_npus(0, 0),
+            zero.mp_group_npus(0, 0)
+                .into_iter()
+                .map(|n| n + 7)
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

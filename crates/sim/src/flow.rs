@@ -97,6 +97,12 @@ pub struct FlowSpec {
     /// Opaque tag propagated to the completion record; higher layers use
     /// it to map completions back to collective phases.
     pub tag: u64,
+    /// Tenant rank for inter-job bandwidth isolation (0 = highest, the
+    /// default, and the only rank single-job simulations use). The
+    /// allocator fills classes in `(tenant, priority)` lexicographic
+    /// order, so a higher-ranked tenant's traffic strictly preempts a
+    /// lower one's on shared links.
+    pub tenant: u8,
 }
 
 impl FlowSpec {
@@ -116,6 +122,7 @@ impl FlowSpec {
             bytes,
             priority: Priority::default(),
             tag: 0,
+            tenant: 0,
         }
     }
 
@@ -128,6 +135,23 @@ impl FlowSpec {
     /// Sets the completion tag.
     pub fn with_tag(mut self, tag: u64) -> FlowSpec {
         self.tag = tag;
+        self
+    }
+
+    /// Sets the tenant rank (0 = highest precedence; see
+    /// [`FlowSpec::tenant`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the composed `(tenant, priority)` class would overflow
+    /// the allocator's `u8` class space.
+    pub fn with_tenant(mut self, tenant: u8) -> FlowSpec {
+        let classes = Priority::ALL.len();
+        assert!(
+            (tenant as usize + 1) * classes <= u8::MAX as usize + 1,
+            "tenant rank {tenant} overflows the class space"
+        );
+        self.tenant = tenant;
         self
     }
 }
@@ -145,6 +169,14 @@ mod tests {
         assert_eq!(f.route, vec![LinkId(3)]);
         assert_eq!(f.priority, Priority::Dp);
         assert_eq!(f.tag, 42);
+        assert_eq!(f.tenant, 0, "default tenant is rank 0");
+        assert_eq!(f.with_tenant(2).tenant, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn oversized_tenant_rank_panics() {
+        let _ = FlowSpec::new(vec![], 1.0).with_tenant(255);
     }
 
     #[test]

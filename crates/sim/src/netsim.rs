@@ -77,6 +77,7 @@ struct ActiveFlow {
     /// Route as raw link indices (allocator-friendly).
     links: Vec<usize>,
     priority: Priority,
+    tenant: u8,
     tag: u64,
     /// Bytes left as of `updated_at` (lazy accounting).
     remaining: f64,
@@ -102,6 +103,9 @@ pub struct EvictedFlow {
     pub tag: u64,
     /// The flow's priority class.
     pub priority: Priority,
+    /// The flow's tenant rank (preserve it when re-injecting, or the
+    /// flow loses its isolation class).
+    pub tenant: u8,
     /// Bytes still unsent when the link died (the payload to re-inject).
     pub remaining_bytes: f64,
     /// The route the flow was using (crosses the failed link).
@@ -303,6 +307,7 @@ impl FlowNetwork {
             id,
             links: spec.route.iter().map(|l| l.0).collect(),
             priority: spec.priority,
+            tenant: spec.tenant,
             tag: spec.tag,
             remaining: spec.bytes,
             rate: 0.0,
@@ -327,7 +332,11 @@ impl FlowNetwork {
             self.count_event(); // its drain is implicit
             self.push_pending(flow);
         } else {
-            let key = self.solver.add_flow(&flow.links, flow.priority);
+            // Fill class = (tenant, priority) lexicographic: tenant 0
+            // yields exactly the priority rank, so single-tenant runs
+            // hit the same solver arithmetic as before tenancy existed.
+            let class = flow.tenant * Priority::ALL.len() as u8 + flow.priority.rank() as u8;
+            let key = self.solver.add_flow_class(&flow.links, class);
             let slot = key.0 as usize;
             if slot == self.flows.len() {
                 self.flows.push(Some(flow));
@@ -451,40 +460,64 @@ impl FlowNetwork {
         if cap > 0.0 {
             return evicted;
         }
-        let now = self.now;
         for slot in 0..self.flows.len() {
             let crosses = self.flows[slot]
                 .as_ref()
                 .is_some_and(|f| f.links.contains(&link.0));
-            if !crosses {
-                continue;
+            if crosses {
+                evicted.push(self.evict_slot(slot));
             }
-            let mut f = self.flows[slot].take().expect("checked live");
-            self.active_count -= 1;
-            // Settle bytes moved at the pre-fault rate; the stale drain
-            // prediction is discarded on pop (empty slot).
-            let moved = {
-                let dt = (now - f.updated_at).as_secs();
-                if f.rate > 0.0 && dt > 0.0 {
-                    (f.rate * dt).min(f.remaining)
-                } else {
-                    0.0
-                }
-            };
-            f.remaining -= moved;
-            for &l in &f.links {
-                self.link_bytes[l] += moved;
+        }
+        evicted
+    }
+
+    /// Removes the flow in `slot` from the active set, settling the
+    /// bytes it moved at its pre-eviction rate up to now. The stale
+    /// drain prediction is discarded on pop (empty slot / bumped
+    /// generation).
+    fn evict_slot(&mut self, slot: usize) -> EvictedFlow {
+        let now = self.now;
+        let mut f = self.flows[slot].take().expect("evict_slot on a dead slot");
+        self.active_count -= 1;
+        let moved = {
+            let dt = (now - f.updated_at).as_secs();
+            if f.rate > 0.0 && dt > 0.0 {
+                (f.rate * dt).min(f.remaining)
+            } else {
+                0.0
             }
-            self.solver.remove_flow(FlowKey(slot as u32));
-            self.count_event();
-            evicted.push(EvictedFlow {
-                id: f.id,
-                tag: f.tag,
-                priority: f.priority,
-                remaining_bytes: f.remaining,
-                route: f.links.iter().map(|&l| LinkId(l)).collect(),
-                injected_at: f.injected_at,
-            });
+        };
+        f.remaining -= moved;
+        for &l in &f.links {
+            self.link_bytes[l] += moved;
+        }
+        self.solver.remove_flow(FlowKey(slot as u32));
+        self.count_event();
+        EvictedFlow {
+            id: f.id,
+            tag: f.tag,
+            priority: f.priority,
+            tenant: f.tenant,
+            remaining_bytes: f.remaining,
+            route: f.links.iter().map(|&l| LinkId(l)).collect(),
+            injected_at: f.injected_at,
+        }
+    }
+
+    /// Forcibly evicts every bandwidth-consuming flow whose tag
+    /// satisfies `pred`, settling moved bytes exactly like a link-fault
+    /// eviction but leaving link capacities untouched — the preemption
+    /// entry point for a scheduling layer that owns disjoint tag ranges
+    /// per job. Flows already drained and waiting out their tail latency
+    /// are *not* recalled; their completions still surface and the
+    /// caller is expected to drop retired tags.
+    pub fn evict_flows_matching(&mut self, mut pred: impl FnMut(u64) -> bool) -> Vec<EvictedFlow> {
+        let mut evicted = Vec::new();
+        for slot in 0..self.flows.len() {
+            let matches = self.flows[slot].as_ref().is_some_and(|f| pred(f.tag));
+            if matches {
+                evicted.push(self.evict_slot(slot));
+            }
         }
         evicted
     }
@@ -1196,6 +1229,53 @@ mod tests {
         let done = net.run_to_completion();
         assert_eq!(done.len(), 1);
         assert!((done[0].completed_at.as_secs() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evict_flows_matching_preempts_by_tag_and_keeps_tenant() {
+        // Two flows on one link, tags 10 and 20. Preempting tag 10 at
+        // t=1 settles its half of the shared link and leaves tag 20 to
+        // finish alone at full rate.
+        let (mut net, l) = two_node_net(100.0, 0.0);
+        net.inject(FlowSpec::new(vec![l], 200.0).with_tag(10).with_tenant(2))
+            .unwrap();
+        net.inject(FlowSpec::new(vec![l], 200.0).with_tag(20).with_tenant(2))
+            .unwrap();
+        net.advance_to(Time::from_secs(1.0));
+        let evicted = net.evict_flows_matching(|tag| tag == 10);
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].tag, 10);
+        assert_eq!(evicted[0].tenant, 2, "tenant survives eviction");
+        // 1 s at 50 B/s each: 150 B unsent.
+        assert!((evicted[0].remaining_bytes - 150.0).abs() < 1e-9);
+        // No link was failed — this is preemption, not a fault.
+        assert!(!net.any_link_failed());
+        let done = net.run_to_completion();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].tag, 20);
+        // Remaining 150 B at 100 B/s from t=1.
+        assert!((done[0].completed_at.as_secs() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tenant_ranks_isolate_bandwidth_strictly() {
+        // A tenant-1 MP flow yields entirely to a tenant-0 Bulk flow:
+        // inter-tenant precedence dominates intra-job priority.
+        let (mut net, l) = two_node_net(100.0, 0.0);
+        net.inject(FlowSpec::new(vec![l], 100.0).with_tag(1))
+            .unwrap();
+        net.inject(
+            FlowSpec::new(vec![l], 100.0)
+                .with_priority(Priority::Mp)
+                .with_tag(2)
+                .with_tenant(1),
+        )
+        .unwrap();
+        let done = net.run_to_completion();
+        assert_eq!(done[0].tag, 1);
+        assert!((done[0].completed_at.as_secs() - 1.0).abs() < 1e-9);
+        assert_eq!(done[1].tag, 2);
+        assert!((done[1].completed_at.as_secs() - 2.0).abs() < 1e-9);
     }
 
     #[test]

@@ -68,6 +68,47 @@ impl Rng64 {
             xs.swap(i, j);
         }
     }
+
+    /// An exponentially distributed sample with rate `rate` (mean
+    /// `1/rate`) by inverse-transform sampling — the inter-arrival time
+    /// of a Poisson process, which is what the cluster scheduler's
+    /// arrival generator draws. Consumes exactly one `next_u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not finite and positive.
+    pub fn gen_exp(&mut self, rate: f64) -> f64 {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "exponential rate must be finite and positive, got {rate}"
+        );
+        // gen_f64 is in [0, 1), so 1-u is in (0, 1] and ln is finite.
+        -(1.0 - self.gen_f64()).ln() / rate
+    }
+
+    /// A Poisson-distributed count with the given mean, via Knuth's
+    /// product-of-uniforms method — O(mean) draws, fine for the small
+    /// per-interval means simulation workloads use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not finite and non-negative.
+    pub fn gen_poisson(&mut self, mean: f64) -> u64 {
+        assert!(
+            mean.is_finite() && mean >= 0.0,
+            "poisson mean must be finite and non-negative, got {mean}"
+        );
+        let threshold = (-mean).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= self.gen_f64();
+            if p <= threshold {
+                return k;
+            }
+            k += 1;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -108,6 +149,43 @@ mod tests {
         for &c in &counts {
             assert!((700..1300).contains(&c), "skewed bucket: {counts:?}");
         }
+    }
+
+    #[test]
+    fn exponential_is_deterministic_and_has_the_right_mean() {
+        let draw = |seed: u64| {
+            let mut r = Rng64::seed_from_u64(seed);
+            (0..4000).map(|_| r.gen_exp(2.0)).collect::<Vec<f64>>()
+        };
+        // Bitwise deterministic across equal seeds…
+        assert_eq!(draw(11), draw(11));
+        // …and a different stream for a different seed.
+        assert_ne!(draw(11)[0], draw(12)[0]);
+        let xs = draw(11);
+        assert!(xs.iter().all(|&x| x >= 0.0 && x.is_finite()));
+        // Mean 1/rate = 0.5 within sampling tolerance.
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 0.5).abs() < 0.03, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_is_deterministic_and_has_the_right_mean() {
+        let draw = |seed: u64, mean: f64| {
+            let mut r = Rng64::seed_from_u64(seed);
+            (0..4000).map(|_| r.gen_poisson(mean)).collect::<Vec<u64>>()
+        };
+        assert_eq!(draw(5, 3.0), draw(5, 3.0));
+        let xs = draw(5, 3.0);
+        let mean = xs.iter().sum::<u64>() as f64 / xs.len() as f64;
+        assert!((mean - 3.0).abs() < 0.15, "mean {mean}");
+        // Mean zero degenerates to the constant 0.
+        assert!(draw(5, 0.0).iter().all(|&k| k == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_exponential_rate_panics() {
+        let _ = Rng64::seed_from_u64(0).gen_exp(0.0);
     }
 
     #[test]

@@ -45,7 +45,10 @@ pub struct FlowKey(pub u32);
 #[derive(Debug, Clone)]
 struct SolverFlow {
     links: Box<[usize]>,
-    priority: Priority,
+    /// Strict fill class, 0 filled first. Single-tenant callers pass
+    /// [`Priority::rank`]; the cluster layer composes tenant × priority
+    /// into one ordinal (see [`FairShareSolver::add_flow_class`]).
+    class: u8,
     rate: f64,
 }
 
@@ -173,6 +176,21 @@ impl FairShareSolver {
     ///
     /// Panics if a link index is out of range.
     pub fn add_flow(&mut self, links: &[usize], priority: Priority) -> FlowKey {
+        self.add_flow_class(links, priority.rank() as u8)
+    }
+
+    /// Registers a flow under an explicit numeric fill class (0 filled
+    /// first; classes are strict, exactly like [`Priority`] ranks).
+    /// [`FairShareSolver::add_flow`] delegates here with
+    /// `priority.rank()`, so single-tenant callers see identical
+    /// arithmetic; multi-tenant callers compose
+    /// `tenant_rank × Priority::ALL.len() + priority.rank()` to give
+    /// higher tenants strict precedence on shared links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a link index is out of range.
+    pub fn add_flow_class(&mut self, links: &[usize], class: u8) -> FlowKey {
         for &l in links {
             assert!(
                 l < self.capacities.len(),
@@ -181,7 +199,7 @@ impl FairShareSolver {
         }
         let flow = SolverFlow {
             links: links.into(),
-            priority,
+            class,
             rate: if links.is_empty() { f64::INFINITY } else { 0.0 },
         };
         let key = match self.free.pop() {
@@ -388,13 +406,29 @@ impl FairShareSolver {
             self.remaining[l] = self.capacities[l];
             debug_assert_eq!(self.counts[l], 0, "scratch counts not clean");
         }
+        // Strict classes fill highest (lowest ordinal) first. Only the
+        // classes present in the component are visited, in ascending
+        // order — the same subsequence the old fixed `Priority::ALL`
+        // walk produced (absent classes were skipped there too), so the
+        // filling arithmetic is unchanged for single-tenant flow sets.
+        let mut classes: Vec<u8> = flow_keys
+            .iter()
+            .map(|&fk| {
+                self.flows[fk as usize]
+                    .as_ref()
+                    .expect("live component")
+                    .class
+            })
+            .collect();
+        classes.sort_unstable();
+        classes.dedup();
         let mut unfrozen: Vec<u32> = Vec::new();
         let mut used_links: Vec<usize> = Vec::new();
-        for class in Priority::ALL {
+        for class in classes {
             unfrozen.clear();
             for &fk in flow_keys {
                 let f = self.flows[fk as usize].as_ref().expect("live component");
-                if f.priority != class {
+                if f.class != class {
                     continue;
                 }
                 if f.links.is_empty() {
@@ -533,6 +567,54 @@ mod tests {
         s.remove_flow(hi);
         s.solve();
         assert_eq!(s.rate(lo), 100.0);
+    }
+
+    #[test]
+    fn tenant_composed_classes_fill_strictly_across_tenants() {
+        // Tenant 0 Bulk (class 4) still outranks tenant 1 Mp (class
+        // 5·1+1 = 6): tenants are the outer key of the composite class.
+        let classes = Priority::ALL.len() as u8;
+        let mut s = FairShareSolver::new(vec![100.0]);
+        let t0_bulk = s.add_flow_class(&[0], Priority::Bulk.rank() as u8);
+        let t1_mp = s.add_flow_class(&[0], classes + Priority::Mp.rank() as u8);
+        let t1_dp = s.add_flow_class(&[0], classes + Priority::Dp.rank() as u8);
+        s.solve();
+        assert_eq!(s.rate(t0_bulk), 100.0);
+        assert_eq!(s.rate(t1_mp), 0.0);
+        assert_eq!(s.rate(t1_dp), 0.0);
+        // Within the starved tenant, its own priorities still order.
+        s.remove_flow(t0_bulk);
+        s.solve();
+        assert_eq!(s.rate(t1_mp), 100.0);
+        assert_eq!(s.rate(t1_dp), 0.0);
+    }
+
+    #[test]
+    fn rank_class_delegation_matches_explicit_class() {
+        // add_flow(links, p) and add_flow_class(links, p.rank()) are the
+        // same operation — the tenant-0 bit-identity contract.
+        let specs = [
+            (vec![0usize, 1], Priority::Dp),
+            (vec![1], Priority::Mp),
+            (vec![0], Priority::Bulk),
+        ];
+        let caps = vec![9.0, 6.0];
+        let via_priority = {
+            let mut s = FairShareSolver::new(caps.clone());
+            let keys: Vec<FlowKey> = specs.iter().map(|(l, p)| s.add_flow(l, *p)).collect();
+            s.solve();
+            keys.iter().map(|&k| s.rate(k)).collect::<Vec<f64>>()
+        };
+        let via_class = {
+            let mut s = FairShareSolver::new(caps);
+            let keys: Vec<FlowKey> = specs
+                .iter()
+                .map(|(l, p)| s.add_flow_class(l, p.rank() as u8))
+                .collect();
+            s.solve();
+            keys.iter().map(|&k| s.rate(k)).collect::<Vec<f64>>()
+        };
+        assert_eq!(via_priority, via_class);
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //! * [`schedule`] — the per-iteration task graph: forward/backward
 //!   passes, GPipe microbatching, MP/DP/PP collectives, ZeRO-2 DP
 //!   sharding, weight-stationary vs weight-streaming execution (§3.1),
+//! * [`exec`] — the resumable schedule executor: one job's task graph
+//!   advanced as a state machine over a (possibly shared) flow
+//!   network, namespaced by flow-tag base and tenant rank,
 //! * [`trainer`] — the discrete-event trainer overlapping compute and
 //!   communication and accounting exposed communication per type,
 //!   with deterministic fault injection and re-routing,
@@ -23,6 +26,7 @@
 
 pub mod backend;
 pub mod error;
+pub mod exec;
 pub mod memory;
 pub mod model;
 pub mod report;

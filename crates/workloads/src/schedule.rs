@@ -495,9 +495,9 @@ pub fn build_schedule(
     params: ScheduleParams,
 ) -> Schedule {
     assert!(
-        strategy.worker_count() <= backend.npu_count(),
-        "{strategy} needs {} NPUs, backend has {}",
-        strategy.worker_count(),
+        placement.max_slot() < backend.npu_count(),
+        "{strategy} needs NPU slots up to {}, backend has {}",
+        placement.max_slot(),
         backend.npu_count()
     );
     assert!(params.minibatch > 0 && params.microbatches > 0);

@@ -14,20 +14,21 @@ use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use fred_core::placement::{Placement, PlacementPolicy, Strategy3D};
-use fred_sim::events::EventQueue;
 use fred_sim::fault::FaultPlan;
 use fred_sim::flow::FlowSpec;
 use fred_sim::netsim::FlowNetwork;
 use fred_sim::time::{Duration, Time};
-use fred_sim::topology::LinkId;
-use fred_telemetry::event::{next_span_id, TraceEvent, Track};
+use fred_telemetry::event::{TraceEvent, Track};
 use fred_telemetry::sink::{NullSink, TraceSink};
 
 use crate::backend::FabricBackend;
-use crate::error::{PendingTask, TrainError};
+use crate::error::TrainError;
+use crate::exec::{ExecConfig, ScheduleExecutor};
 use crate::model::DnnModel;
 use crate::report::{CommType, TrainingReport};
-use crate::schedule::{build_schedule, Schedule, ScheduleParams, TaskBody, TaskId};
+use crate::schedule::{build_schedule, Schedule, ScheduleParams, TaskBody};
+
+pub use crate::exec::{comm_task_of_tag, repair_flows, IterationTiming};
 
 /// Maps an exposure type to its telemetry display track.
 pub fn track_of_comm(ctype: CommType) -> Track {
@@ -37,68 +38,6 @@ pub fn track_of_comm(ctype: CommType) -> Track {
         CommType::Dp => Track::Dp,
         CommType::InputLoad | CommType::Streaming => Track::Bulk,
     }
-}
-
-/// Per-task timing from one simulated iteration.
-#[derive(Debug, Clone)]
-pub struct IterationTiming {
-    /// Start time per task.
-    pub start: Vec<Time>,
-    /// Finish time per task.
-    pub finish: Vec<Time>,
-    /// End-to-end iteration time.
-    pub makespan: Time,
-}
-
-#[derive(Debug)]
-struct CommState {
-    phase: usize,
-    outstanding: usize,
-}
-
-/// Maps a flow-completion tag back to the comm-task index. The trainer
-/// tags flows with `task index + 1`; tag 0 is reserved for untagged
-/// (foreign) flows and maps to no task.
-fn comm_task_of_tag(tag: u64) -> Option<usize> {
-    tag.checked_sub(1).map(|v| v as usize)
-}
-
-/// Re-routes any of `flows` whose route crosses a failed link onto a
-/// surviving path (fabric-aware when both endpoints are NPUs, generic
-/// BFS otherwise). A no-op returning the flows untouched when the
-/// network has no failed links — the zero-fault code path stays
-/// bit-identical.
-fn repair_flows(
-    net: &FlowNetwork,
-    backend: &FabricBackend,
-    flows: Vec<FlowSpec>,
-) -> Result<Vec<FlowSpec>, TrainError> {
-    if !net.any_link_failed() {
-        return Ok(flows);
-    }
-    let blocked = |l: LinkId| net.is_link_failed(l);
-    let topo = net.topology();
-    let mut out = Vec::with_capacity(flows.len());
-    for f in flows {
-        if !f.route.iter().any(|&l| blocked(l)) {
-            out.push(f);
-            continue;
-        }
-        let task = comm_task_of_tag(f.tag).map(TaskId);
-        let src = topo.link(f.route[0]).src;
-        let dst = topo.link(*f.route.last().expect("non-empty route")).dst;
-        let detour = match (backend.npu_index(src), backend.npu_index(dst)) {
-            (Some(a), Some(b)) => backend.npu_route_avoiding(a, b, blocked),
-            _ => topo.shortest_path_avoiding(src, dst, blocked),
-        }
-        .ok_or(TrainError::Unroutable { task })?;
-        out.push(
-            FlowSpec::new(detour, f.bytes)
-                .with_priority(f.priority)
-                .with_tag(f.tag),
-        );
-    }
-    Ok(out)
 }
 
 /// Executes `schedule` on a fresh simulator over `backend`'s topology.
@@ -149,215 +88,39 @@ pub fn run_iteration_faulted(
     faults: &FaultPlan,
     sink: Rc<dyn TraceSink>,
 ) -> Result<IterationTiming, TrainError> {
-    let n = schedule.tasks.len();
     let mut net = FlowNetwork::with_sink(backend.topology(), sink.clone());
     let tracing = sink.enabled();
-    // Open span per running task (telemetry only).
-    let mut spans: Vec<Option<u64>> = vec![None; n];
-    // Persistent span id per task (survives PhaseEnd) so dependency
-    // edges can reference predecessors that already finished.
-    let mut span_ids: Vec<u64> = vec![0; n];
     if tracing {
         sink.record(TraceEvent::IterStage {
             t: 0.0,
             label: "iteration-start".into(),
         });
     }
-    let mut indegree: Vec<usize> = schedule.tasks.iter().map(|t| t.deps.len()).collect();
-    let mut dependents: Vec<Vec<TaskId>> = vec![Vec::new(); n];
-    for (i, t) in schedule.tasks.iter().enumerate() {
-        for d in &t.deps {
-            dependents[d.0].push(TaskId(i));
-        }
-    }
-
-    let mut start = vec![Time::ZERO; n];
-    let mut finish = vec![Time::ZERO; n];
-    let mut done = vec![false; n];
-    let mut comm: BTreeMap<usize, CommState> = BTreeMap::new();
-    let mut compute_queue: EventQueue<usize> = EventQueue::new();
-    let mut completed = 0usize;
+    // One executor with the default (zero) namespace: the classic
+    // single-job tags and tenant rank, driven to completion over a
+    // private network. The cluster scheduler drives many of these
+    // through one shared network instead.
+    let mut ex = ScheduleExecutor::new(
+        Rc::new(schedule.clone()),
+        ExecConfig::default(),
+        sink.clone(),
+    );
     // Cursor into the (time-sorted) fault plan.
     let mut fault_cursor = 0usize;
 
-    // Stages the next non-empty phase of comm task `i` into the shared
-    // per-timestep flow buffer; returns true if the task is finished
-    // instead (no phases left). All flows staged at one timestep are
-    // released with a single `inject_batch` (one solver delta).
-    fn advance_comm(
-        schedule: &Schedule,
-        staged: &mut Vec<FlowSpec>,
-        comm: &mut BTreeMap<usize, CommState>,
-        i: usize,
-    ) -> bool {
-        let TaskBody::Comm { plan, priority, .. } = &schedule.tasks[i].body else {
-            unreachable!("advance_comm on a compute task")
-        };
-        let state = comm.get_mut(&i).expect("comm state exists");
-        while state.phase < plan.phases.len() {
-            let transfers = &plan.phases[state.phase].transfers;
-            state.phase += 1;
-            if !transfers.is_empty() {
-                // The tag is the task index shifted by one: tag 0 is
-                // reserved for "no owner" in the telemetry layer.
-                staged.extend(transfers.iter().map(|t| {
-                    FlowSpec::new(t.route.clone(), t.bytes)
-                        .with_priority(*priority)
-                        .with_tag(i as u64 + 1)
-                }));
-                state.outstanding = transfers.len();
-                return false;
-            }
-        }
-        true
-    }
-
-    // Start a task at time `t`.
-    let mut ready_stack: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
-    let mut finished_now: Vec<usize> = Vec::new();
-    // Flows staged by comm tasks at the current timestep, injected as
-    // one batch before time advances.
-    let mut staged_flows: Vec<FlowSpec> = Vec::new();
-
+    ex.settle(&mut net, backend)?;
     loop {
-        // Start everything that became ready at the current time.
-        while let Some(i) = ready_stack.pop() {
-            let t = net.now();
-            start[i] = t;
-            if tracing {
-                let (track, label, bytes, npus) = match &schedule.tasks[i].body {
-                    TaskBody::Compute { worker, .. } => {
-                        (Track::Compute, format!("compute w{}", worker.0), 0.0, 0)
-                    }
-                    TaskBody::Comm { plan, ctype, .. } => {
-                        let mut srcs: Vec<usize> = plan
-                            .phases
-                            .iter()
-                            .flat_map(|p| p.transfers.iter().map(|tr| tr.src))
-                            .collect();
-                        srcs.sort_unstable();
-                        srcs.dedup();
-                        (
-                            track_of_comm(*ctype),
-                            plan.label.clone(),
-                            plan.total_bytes(),
-                            srcs.len() as u32,
-                        )
-                    }
-                };
-                let span = next_span_id();
-                spans[i] = Some(span);
-                span_ids[i] = span;
-                // Comm spans claim their flows through the task-index
-                // correlation tag (shifted by one; see advance_comm).
-                let tag = match &schedule.tasks[i].body {
-                    TaskBody::Comm { .. } => i as u64 + 1,
-                    TaskBody::Compute { .. } => 0,
-                };
-                sink.record(TraceEvent::PhaseBegin {
-                    t: t.as_secs(),
-                    track,
-                    span,
-                    label: label.into(),
-                    bytes,
-                    npus,
-                    tag,
-                });
-                // The schedule's dependency edges become the trace's
-                // happens-before DAG.
-                for d in &schedule.tasks[i].deps {
-                    let pred = span_ids[d.0];
-                    if pred != 0 {
-                        sink.record(TraceEvent::SpanDep {
-                            t: t.as_secs(),
-                            span,
-                            pred,
-                        });
-                    }
-                }
-            }
-            match &schedule.tasks[i].body {
-                TaskBody::Compute { duration, .. } => {
-                    compute_queue.schedule(t + *duration, i);
-                }
-                TaskBody::Comm { .. } => {
-                    comm.insert(
-                        i,
-                        CommState {
-                            phase: 0,
-                            outstanding: 0,
-                        },
-                    );
-                    if advance_comm(schedule, &mut staged_flows, &mut comm, i) {
-                        finished_now.push(i);
-                    }
-                }
-            }
-        }
-
-        // Release every flow staged by the ready tasks as one batch,
-        // re-planned around failed links first when faults are active.
-        if !staged_flows.is_empty() {
-            let flows = repair_flows(&net, backend, std::mem::take(&mut staged_flows))?;
-            net.inject_batch(flows)?;
-        }
-
-        // Settle zero-duration completions before advancing time.
-        if !finished_now.is_empty() {
-            for i in finished_now.drain(..) {
-                if !done[i] {
-                    done[i] = true;
-                    finish[i] = net.now();
-                    completed += 1;
-                    if let Some(span) = spans[i].take() {
-                        let track = match &schedule.tasks[i].body {
-                            TaskBody::Compute { .. } => Track::Compute,
-                            TaskBody::Comm { ctype, .. } => track_of_comm(*ctype),
-                        };
-                        sink.record(TraceEvent::PhaseEnd {
-                            t: net.now().as_secs(),
-                            track,
-                            span,
-                        });
-                    }
-                    for &dep in &dependents[i] {
-                        indegree[dep.0] -= 1;
-                        if indegree[dep.0] == 0 {
-                            ready_stack.push(dep.0);
-                        }
-                    }
-                }
-            }
-            continue;
-        }
-
-        if completed == n {
+        if ex.is_done() {
             break;
         }
 
         // Advance to the next event: compute finish, network event, or
         // fault horizon — whichever comes first.
-        let tc = compute_queue.peek_time();
+        let tc = ex.next_compute_time();
         let tn = net.next_event();
         let tf = faults.next_at(fault_cursor);
         let Some(next) = [tc, tn, tf].into_iter().flatten().min() else {
-            let pending: Vec<PendingTask> = (0..n)
-                .filter(|&i| !done[i])
-                .map(|i| PendingTask {
-                    id: TaskId(i),
-                    blocked_on: schedule.tasks[i]
-                        .deps
-                        .iter()
-                        .copied()
-                        .filter(|d| !done[d.0])
-                        .collect(),
-                })
-                .collect();
-            return Err(TrainError::Stalled {
-                completed,
-                total: n,
-                pending,
-            });
+            return Err(ex.stalled());
         };
         net.advance_to(next);
 
@@ -376,6 +139,7 @@ pub fn run_iteration_faulted(
                     FlowSpec::new(e.route, e.remaining_bytes)
                         .with_priority(e.priority)
                         .with_tag(e.tag)
+                        .with_tenant(e.tenant)
                 }));
             }
             if !evicted_specs.is_empty() {
@@ -384,44 +148,25 @@ pub fn run_iteration_faulted(
             }
         }
 
-        // Network completions: progress comm tasks (the tag carries
-        // the task index shifted by one; tag 0 marks foreign flows the
-        // trainer never staged and are skipped).
+        // Network completions progress comm tasks; freshly staged
+        // phases are injected before computes settle, exactly as the
+        // pre-executor trainer ordered its events.
         for c in net.drain_completed() {
-            let Some(i) = comm_task_of_tag(c.tag) else {
-                continue;
-            };
-            let Some(state) = comm.get_mut(&i) else {
-                return Err(TrainError::UnknownCommTag { tag: c.tag });
-            };
-            state.outstanding -= 1;
-            if state.outstanding == 0 && advance_comm(schedule, &mut staged_flows, &mut comm, i) {
-                finished_now.push(i);
-            }
+            ex.handle_completion(c.tag)?;
         }
-        if !staged_flows.is_empty() {
-            let flows = repair_flows(&net, backend, std::mem::take(&mut staged_flows))?;
-            net.inject_batch(flows)?;
-        }
-        // Compute completions at this instant.
-        while compute_queue.peek_time() == Some(next) {
-            let ev = compute_queue.pop().expect("peeked");
-            finished_now.push(ev.event);
-        }
+        ex.flush_staged(&mut net, backend)?;
+        ex.release_computes_due(next);
+        ex.settle(&mut net, backend)?;
     }
 
-    let makespan = finish.iter().copied().max().unwrap_or(Time::ZERO);
+    let timing = ex.timing();
     if tracing {
         sink.record(TraceEvent::IterStage {
-            t: makespan.as_secs(),
+            t: timing.makespan.as_secs(),
             label: "iteration-end".into(),
         });
     }
-    Ok(IterationTiming {
-        start,
-        finish,
-        makespan,
-    })
+    Ok(timing)
 }
 
 /// Builds the exposed-communication breakdown from a timed iteration
@@ -535,6 +280,7 @@ pub fn simulate_faulted(
 mod tests {
     use super::*;
     use crate::model::DnnModel;
+    use crate::schedule::TaskId;
     use fred_core::params::FabricConfig;
 
     fn quick_params(minibatch: usize, microbatches: usize) -> ScheduleParams {

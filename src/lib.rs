@@ -8,6 +8,8 @@
 //! * [`mesh`] — the baseline wafer-scale 2D mesh,
 //! * [`collectives`] — collective-communication plans and cost models,
 //! * [`workloads`] — DNN models, 3D parallelism and the trainer,
+//! * [`cluster`] — multi-tenant cluster scheduling: concurrent jobs,
+//!   placement, bandwidth isolation and job-level SLO metrics,
 //! * [`hwmodel`] — area/power/wafer-budget/I/O-hotspot analytics,
 //! * [`telemetry`] — trace events, ring-buffer recording, Perfetto
 //!   export and link-utilization metrics.
@@ -15,6 +17,7 @@
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory and
 //! `EXPERIMENTS.md` for the paper-vs-measured record.
 
+pub use fred_cluster as cluster;
 pub use fred_collectives as collectives;
 pub use fred_core as core;
 pub use fred_hwmodel as hwmodel;
