@@ -3,6 +3,7 @@
 //! ```text
 //! bench-diff <baseline.json> <candidate.json> [--threshold <rel>]
 //! bench-diff --self-check <report.json> [<report.json> ...]
+//! bench-diff --check-prom <exposition.txt> [<exposition.txt> ...]
 //! ```
 //!
 //! Diff mode compares every `sim.*` metric plus the attribution
@@ -10,7 +11,10 @@
 //! exceeds the threshold (default 5%) or a key is missing on either
 //! side. Self-check mode validates a report in isolation: schema
 //! version, required fields, and the attribution-sum invariant
-//! (Σ buckets == makespan within 1e-6 relative).
+//! (Σ buckets == makespan within 1e-6 relative). Check-prom mode
+//! validates a Prometheus text-exposition file: it must parse and
+//! contain at least one sample (the CI smoke assertion over `--prom`
+//! output).
 //!
 //! Exit codes: 0 = clean, 1 = regression or invalid report, 2 = usage.
 
@@ -26,6 +30,9 @@ fn main() {
 fn run(args: &[String]) -> i32 {
     if args.first().map(String::as_str) == Some("--self-check") {
         return self_check(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("--check-prom") {
+        return check_prom(&args[1..]);
     }
     let mut paths = Vec::new();
     let mut threshold = DEFAULT_THRESHOLD;
@@ -123,6 +130,37 @@ fn self_check(paths: &[String]) -> i32 {
     }
 }
 
+fn check_prom(paths: &[String]) -> i32 {
+    if paths.is_empty() {
+        return usage("--check-prom needs at least one exposition file");
+    }
+    let mut failed = 0usize;
+    for path in paths {
+        let outcome = std::fs::read_to_string(path)
+            .map_err(|e| format!("{path}: {e}"))
+            .and_then(|text| fred_telemetry::prom::parse(&text).map_err(|e| format!("{path}: {e}")))
+            .and_then(|samples| {
+                if samples.is_empty() {
+                    Err(format!("{path}: no samples — exposition is empty"))
+                } else {
+                    Ok(samples.len())
+                }
+            });
+        match outcome {
+            Ok(n) => println!("bench-diff: {path} OK ({n} samples)"),
+            Err(e) => {
+                eprintln!("bench-diff: FAIL {e}");
+                failed += 1;
+            }
+        }
+    }
+    if failed > 0 {
+        1
+    } else {
+        0
+    }
+}
+
 fn load(path: &str) -> Result<Value, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     report::parse(&text).map_err(|e| format!("{path}: {e}"))
@@ -132,5 +170,6 @@ fn usage(why: &str) -> i32 {
     eprintln!("bench-diff: {why}");
     eprintln!("usage: bench-diff <baseline.json> <candidate.json> [--threshold <rel>]");
     eprintln!("       bench-diff --self-check <report.json> [<report.json> ...]");
+    eprintln!("       bench-diff --check-prom <exposition.txt> [<exposition.txt> ...]");
     2
 }

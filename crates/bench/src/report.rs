@@ -40,6 +40,13 @@ pub struct BenchReport {
     pub sim: Vec<(String, f64)>,
     /// Critical-path attribution, when the run recorded a trace.
     pub analysis: Option<Analysis>,
+    /// Host-side profiler sites, pre-rendered with
+    /// [`fred_telemetry::prof::to_json`] (wall-clock — not diffed).
+    pub prof_json: Option<String>,
+    /// Flight-recorder snapshot, pre-rendered with
+    /// [`fred_telemetry::timeseries::FlightSnapshot::to_json`]
+    /// (time-series archive — not diffed leaf-by-leaf).
+    pub timeseries_json: Option<String>,
 }
 
 impl BenchReport {
@@ -82,6 +89,18 @@ impl BenchReport {
         if let Some(a) = &self.analysis {
             s.push_str(",\"analysis\":");
             s.push_str(&a.to_json());
+        }
+        // Additive sections under the same schema version: self_check
+        // tolerates unknown fields and collect_leaves only walks sim.*
+        // and analysis, so old bench-diff binaries still compare these
+        // reports.
+        if let Some(p) = &self.prof_json {
+            s.push_str(",\"prof\":");
+            s.push_str(p);
+        }
+        if let Some(t) = &self.timeseries_json {
+            s.push_str(",\"timeseries\":");
+            s.push_str(t);
         }
         s.push('}');
         s

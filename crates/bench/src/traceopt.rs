@@ -11,22 +11,38 @@
 //! * `--report <path>` — write a versioned machine-readable
 //!   [`BenchReport`](crate::report::BenchReport) JSON
 //!   (`BENCH_<name>.json` by convention) with the binary's headline
-//!   results, wall time, and critical-path attribution — the input to
-//!   `bench-diff`.
+//!   results, wall time, solver cost counters, and critical-path
+//!   attribution — the input to `bench-diff`;
+//! * `--dashboard <path>` — write a self-contained offline HTML
+//!   dashboard (inline SVG sparklines and a link-utilization heatmap,
+//!   no CDN) from the flight-recorder time series;
+//! * `--prom <path>` — write the final series values as Prometheus
+//!   text exposition;
+//! * `--prof` — enable the host-side self-profiler; its site table
+//!   lands in the report (`prof` section), the Prometheus output and
+//!   the dashboard.
 //!
 //! Any flag alone turns recording on; with none, the binary runs
 //! untraced through the zero-overhead `NullSink` and produces
-//! bit-identical simulation results.
+//! bit-identical simulation results. `--trace`/`--metrics` feed from
+//! the ring recorder (whole events, bounded by overwriting);
+//! `--dashboard`/`--prom` feed from the flight recorder (bounded by
+//! decimation, spans the whole run); `--report` uses both.
 
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::rc::Rc;
 use std::time::Instant;
 
+use fred_sim::solver::SolverStats;
 use fred_sim::topology::Topology;
 use fred_telemetry::analysis::Analysis;
 use fred_telemetry::metrics::Metrics;
 use fred_telemetry::perfetto::{export_chrome_trace, TraceMeta};
-use fred_telemetry::sink::{NullSink, RingRecorder, TraceSink};
+use fred_telemetry::prof;
+use fred_telemetry::sink::{NullSink, RingRecorder, TeeSink, TraceSink};
+use fred_telemetry::timeseries::FlightRecorder;
+use fred_telemetry::{dashboard, prom};
 
 use crate::report::BenchReport;
 
@@ -39,12 +55,19 @@ pub struct TraceOpts {
     pub metrics_path: Option<PathBuf>,
     /// Where to write the bench report JSON, if requested.
     pub report_path: Option<PathBuf>,
+    /// Where to write the offline HTML dashboard, if requested.
+    pub dashboard_path: Option<PathBuf>,
+    /// Where to write Prometheus text exposition, if requested.
+    pub prom_path: Option<PathBuf>,
     recorder: Option<Rc<RingRecorder>>,
+    flight: Option<Rc<FlightRecorder>>,
+    prof_enabled: bool,
     link_names: Vec<String>,
     process_name: String,
     metrics: Vec<(String, f64)>,
     started: Instant,
     events_at_start: u64,
+    solver_at_start: SolverStats,
 }
 
 impl TraceOpts {
@@ -61,6 +84,9 @@ impl TraceOpts {
         let mut trace_path = None;
         let mut metrics_path = None;
         let mut report_path = None;
+        let mut dashboard_path = None;
+        let mut prom_path = None;
+        let mut prof_enabled = false;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -82,14 +108,34 @@ impl TraceOpts {
                         .unwrap_or_else(|| usage(process_name, "--report"));
                     report_path = Some(PathBuf::from(v));
                 }
+                "--dashboard" => {
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage(process_name, "--dashboard"));
+                    dashboard_path = Some(PathBuf::from(v));
+                }
+                "--prom" => {
+                    let v = args.next().unwrap_or_else(|| usage(process_name, "--prom"));
+                    prom_path = Some(PathBuf::from(v));
+                }
+                "--prof" => prof_enabled = true,
                 other => {
                     eprintln!("{process_name}: unknown argument `{other}`");
                     usage(process_name, other);
                 }
             }
         }
+        if prof_enabled {
+            prof::set_enabled(true);
+            prof::reset();
+        }
         let recorder = if trace_path.is_some() || metrics_path.is_some() || report_path.is_some() {
             Some(Rc::new(RingRecorder::new()))
+        } else {
+            None
+        };
+        let flight = if dashboard_path.is_some() || prom_path.is_some() || report_path.is_some() {
+            Some(Rc::new(FlightRecorder::new()))
         } else {
             None
         };
@@ -97,12 +143,17 @@ impl TraceOpts {
             trace_path,
             metrics_path,
             report_path,
+            dashboard_path,
+            prom_path,
             recorder,
+            flight,
+            prof_enabled,
             link_names: Vec::new(),
             process_name: process_name.to_string(),
             metrics: Vec::new(),
             started: Instant::now(),
             events_at_start: fred_sim::netsim::global_events_processed(),
+            solver_at_start: fred_sim::solver::global_solver_stats(),
         }
     }
 
@@ -122,19 +173,21 @@ impl TraceOpts {
         }
     }
 
-    /// The sink to pass into simulations: the shared ring recorder
-    /// when tracing was requested, the zero-overhead [`NullSink`]
-    /// otherwise.
+    /// The sink to pass into simulations: the ring recorder and/or
+    /// flight recorder when any output was requested, the
+    /// zero-overhead [`NullSink`] otherwise.
     pub fn sink(&self) -> Rc<dyn TraceSink> {
-        match &self.recorder {
-            Some(r) => r.clone(),
-            None => Rc::new(NullSink),
+        match (&self.recorder, &self.flight) {
+            (Some(r), Some(f)) => Rc::new(TeeSink(r.clone(), f.clone())),
+            (Some(r), None) => r.clone(),
+            (None, Some(f)) => f.clone(),
+            (None, None) => Rc::new(NullSink),
         }
     }
 
     /// Whether recording is on.
     pub fn enabled(&self) -> bool {
-        self.recorder.is_some()
+        self.recorder.is_some() || self.flight.is_some()
     }
 
     /// Names the trace's link-counter tracks after `topo`'s endpoints
@@ -159,79 +212,151 @@ impl TraceOpts {
     ///
     /// Panics if an output file cannot be written.
     pub fn finish(&self) {
-        let Some(rec) = &self.recorder else { return };
-        let events = rec.events();
-        if rec.overwritten() > 0 {
-            eprintln!(
-                "{}: WARNING: trace ring overflowed; oldest {} events dropped — \
-                 metrics, attribution, and reports below are incomplete",
-                self.process_name,
-                rec.overwritten()
-            );
+        if !self.enabled() {
+            return;
         }
-        if let Some(path) = &self.trace_path {
-            let meta = TraceMeta {
-                link_names: self.link_names.clone(),
-                process_name: Some(self.process_name.clone()),
-            };
-            let mut out = std::fs::File::create(path)
-                .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
-            export_chrome_trace(&events, &meta, &mut out)
-                .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
-            eprintln!(
-                "{}: wrote {} trace events to {} (open at https://ui.perfetto.dev)",
-                self.process_name,
-                events.len(),
-                path.display()
-            );
+        let prof_sites = if self.prof_enabled {
+            prof::snapshot()
+        } else {
+            BTreeMap::new()
+        };
+        let snapshot = self.flight.as_ref().map(|f| f.snapshot());
+        if let Some(rec) = &self.recorder {
+            let events = rec.events();
+            if rec.overwritten() > 0 {
+                eprintln!(
+                    "{}: WARNING: trace ring overflowed; oldest {} events dropped — \
+                     metrics, attribution, and reports below are incomplete",
+                    self.process_name,
+                    rec.overwritten()
+                );
+            }
+            if let Some(path) = &self.trace_path {
+                let meta = TraceMeta {
+                    link_names: self.link_names.clone(),
+                    process_name: Some(self.process_name.clone()),
+                };
+                let mut out = std::fs::File::create(path)
+                    .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+                export_chrome_trace(&events, &meta, &mut out)
+                    .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+                eprintln!(
+                    "{}: wrote {} trace events to {} (open at https://ui.perfetto.dev)",
+                    self.process_name,
+                    events.len(),
+                    path.display()
+                );
+            }
+            if let Some(path) = &self.metrics_path {
+                let metrics = Metrics::from_events(&events).with_dropped(rec.overwritten());
+                std::fs::write(path, metrics.to_json())
+                    .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+                eprintln!(
+                    "{}: wrote metrics ({} links, {} phases) to {}",
+                    self.process_name,
+                    metrics.links.len(),
+                    metrics.phases.len(),
+                    path.display()
+                );
+            }
+            if let Some(path) = &self.report_path {
+                let mut report = BenchReport::new(self.process_name.clone());
+                report.wall_secs = self.started.elapsed().as_secs_f64();
+                report.sim = self.metrics.clone();
+                // Simulator throughput headline, present in every report:
+                // flow lifecycle events processed per wall-clock second
+                // over this binary's whole run. Excluded keys (wall_secs
+                // and this one) are perf measurements, not simulation
+                // results — bench-diff treats them with its threshold.
+                let lifecycle_events =
+                    fred_sim::netsim::global_events_processed() - self.events_at_start;
+                report.sim.push((
+                    "events_per_sec".to_string(),
+                    lifecycle_events as f64 / report.wall_secs.max(f64::MIN_POSITIVE),
+                ));
+                // Solver cost over this run (process-wide deltas):
+                // deterministic simulation quantities, so they are part
+                // of the regression surface like any other sim key.
+                let sv = fred_sim::solver::global_solver_stats();
+                let s0 = self.solver_at_start;
+                report
+                    .sim
+                    .push(("solver/solves".into(), (sv.solves - s0.solves) as f64));
+                report.sim.push((
+                    "solver/global_solves".into(),
+                    (sv.global_solves - s0.global_solves) as f64,
+                ));
+                report.sim.push((
+                    "solver/refilled_flows".into(),
+                    (sv.refilled_flows - s0.refilled_flows) as f64,
+                ));
+                report
+                    .sim
+                    .push(("solver/max_component".into(), sv.max_component as f64));
+                let analysis = Analysis::from_events(&events).with_dropped(rec.overwritten());
+                eprint!("{}", analysis.summary());
+                report.analysis = Some(analysis);
+                if !prof_sites.is_empty() {
+                    report.prof_json = Some(prof::to_json(&prof_sites));
+                }
+                if let Some(snap) = &snapshot {
+                    report.timeseries_json = Some(snap.to_json());
+                }
+                report
+                    .write(path)
+                    .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+                eprintln!(
+                    "{}: wrote bench report ({} sim metrics) to {} — compare with `bench-diff`",
+                    self.process_name,
+                    report.sim.len(),
+                    path.display()
+                );
+            }
         }
-        if let Some(path) = &self.metrics_path {
-            let metrics = Metrics::from_events(&events).with_dropped(rec.overwritten());
-            std::fs::write(path, metrics.to_json())
+        if let Some(snap) = &snapshot {
+            if let Some(path) = &self.prom_path {
+                std::fs::write(path, prom::render(snap, &prof_sites))
+                    .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+                eprintln!(
+                    "{}: wrote Prometheus exposition to {}",
+                    self.process_name,
+                    path.display()
+                );
+            }
+            if let Some(path) = &self.dashboard_path {
+                std::fs::write(
+                    path,
+                    dashboard::render(&self.process_name, snap, &prof_sites),
+                )
                 .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
-            eprintln!(
-                "{}: wrote metrics ({} links, {} phases) to {}",
-                self.process_name,
-                metrics.links.len(),
-                metrics.phases.len(),
-                path.display()
-            );
+                eprintln!(
+                    "{}: wrote dashboard to {} (self-contained; open in any browser)",
+                    self.process_name,
+                    path.display()
+                );
+            }
         }
-        if let Some(path) = &self.report_path {
-            let mut report = BenchReport::new(self.process_name.clone());
-            report.wall_secs = self.started.elapsed().as_secs_f64();
-            report.sim = self.metrics.clone();
-            // Simulator throughput headline, present in every report:
-            // flow lifecycle events processed per wall-clock second
-            // over this binary's whole run. Excluded keys (wall_secs
-            // and this one) are perf measurements, not simulation
-            // results — bench-diff treats them with its threshold.
-            let lifecycle_events =
-                fred_sim::netsim::global_events_processed() - self.events_at_start;
-            report.sim.push((
-                "events_per_sec".to_string(),
-                lifecycle_events as f64 / report.wall_secs.max(f64::MIN_POSITIVE),
-            ));
-            let analysis = Analysis::from_events(&events).with_dropped(rec.overwritten());
-            eprint!("{}", analysis.summary());
-            report.analysis = Some(analysis);
-            report
-                .write(path)
-                .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
-            eprintln!(
-                "{}: wrote bench report ({} sim metrics) to {} — compare with `bench-diff`",
-                self.process_name,
-                report.sim.len(),
-                path.display()
-            );
+        if self.prof_enabled && !prof_sites.is_empty() && self.report_path.is_none() {
+            // No report to carry the table — summarize on stderr so
+            // `--prof` alone is still useful.
+            eprintln!("{}: profiler sites:", self.process_name);
+            for (site, st) in &prof_sites {
+                eprintln!(
+                    "  {site}: n={} total={:.6} mean={:.9} max={:.9}",
+                    st.count,
+                    st.total,
+                    st.mean(),
+                    st.max
+                );
+            }
         }
     }
 }
 
 fn usage(process_name: &str, flag: &str) -> ! {
     eprintln!(
-        "usage: {process_name} [--trace <path>] [--metrics <path>] [--report <path>]  \
-         (failed at `{flag}`)"
+        "usage: {process_name} [--trace <path>] [--metrics <path>] [--report <path>] \
+         [--dashboard <path>] [--prom <path>] [--prof]  (failed at `{flag}`)"
     );
     std::process::exit(2);
 }

@@ -73,6 +73,10 @@ pub struct ClusterReport {
     pub busy_npu_secs: f64,
     /// Total preemption events.
     pub preemptions: u32,
+    /// Trace events the sink lost during this run (ring overflow).
+    /// Zero for untraced runs; when non-zero the recorded series and
+    /// traces are truncated and the run warned on stderr.
+    pub dropped_events: u64,
 }
 
 impl ClusterReport {

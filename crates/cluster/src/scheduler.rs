@@ -50,7 +50,7 @@ use fred_workloads::exec::{repair_flows, ExecConfig, ScheduleExecutor};
 use fred_workloads::schedule::build_schedule;
 use fred_workloads::trainer::simulate;
 
-use crate::job::JobSpec;
+use crate::job::{JobClass, JobSpec};
 use crate::metrics::{ClusterReport, JobRecord};
 use crate::placement::{FitPolicy, SlotMap};
 
@@ -218,6 +218,10 @@ pub fn run_cluster_traced(
     let n = jobs.len();
     let net = FlowNetwork::with_sink(backend.topology(), sink.clone());
     let tracing = sink.enabled();
+    // Baseline, not zero: the caller may hand us a sink that already
+    // dropped events in an earlier run; the report carries this run's
+    // losses only.
+    let dropped_baseline = sink.dropped();
     let sim = ClusterSim {
         cfg,
         jobs,
@@ -226,6 +230,7 @@ pub fn run_cluster_traced(
         net,
         sink,
         tracing,
+        dropped_baseline,
         slotmap: SlotMap::new(slots),
         queues: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
         running: Vec::new(),
@@ -250,6 +255,8 @@ struct ClusterSim<'a> {
     net: FlowNetwork,
     sink: Rc<dyn TraceSink>,
     tracing: bool,
+    /// [`TraceSink::dropped`] reading when this run began.
+    dropped_baseline: u64,
     slotmap: SlotMap,
     /// Pending job indices, one FIFO per class rank.
     queues: [VecDeque<usize>; 3],
@@ -274,6 +281,7 @@ impl ClusterSim<'_> {
     fn run(mut self) -> Result<ClusterReport, ClusterError> {
         self.admit_arrivals(Time::ZERO);
         self.dispatch()?;
+        self.emit_sched_samples(Time::ZERO);
         loop {
             if self.done_count == self.jobs.len() {
                 break;
@@ -324,8 +332,44 @@ impl ClusterSim<'_> {
             self.retire_finished();
             self.admit_arrivals(next);
             self.dispatch()?;
+            self.emit_sched_samples(next);
         }
         Ok(self.report())
+    }
+
+    /// Scheduler-state gauges for the flight recorder: per-class queue
+    /// depth, running jobs, occupied slots and the cumulative
+    /// preemption count. One sample per event instant — the recorder
+    /// coalesces same-window updates, so this stays cheap even on
+    /// event-dense runs.
+    fn emit_sched_samples(&self, now: Time) {
+        if !self.tracing {
+            return;
+        }
+        let t = now.as_secs();
+        for (rank, q) in self.queues.iter().enumerate() {
+            let class = JobClass::ALL[rank].name();
+            self.sink.record(TraceEvent::Sample {
+                t,
+                key: format!("queue_depth/{class}").into(),
+                value: q.len() as f64,
+            });
+        }
+        self.sink.record(TraceEvent::Sample {
+            t,
+            key: "running_jobs".into(),
+            value: self.running.len() as f64,
+        });
+        self.sink.record(TraceEvent::Sample {
+            t,
+            key: "slots_used".into(),
+            value: self.slotmap.used() as f64,
+        });
+        self.sink.record(TraceEvent::Sample {
+            t,
+            key: "preemptions_total".into(),
+            value: self.preempt_count.iter().map(|&c| c as u64).sum::<u64>() as f64,
+        });
     }
 
     fn train_err(&self, job: usize, err: TrainError) -> ClusterError {
@@ -363,6 +407,7 @@ impl ClusterSim<'_> {
     /// a class, lower classes backfilling past a blocked head. Falls
     /// back to preemption for the highest blocked head when enabled.
     fn dispatch(&mut self) -> Result<(), ClusterError> {
+        let _prof = fred_telemetry::prof::scope("cluster.dispatch");
         loop {
             let mut placed_any = false;
             for rank in 0..self.queues.len() {
@@ -397,6 +442,7 @@ impl ClusterSim<'_> {
     /// Searches for a `width`-slot window freeable by evicting only
     /// strictly-lower-class jobs, minimizing (victim count, base).
     fn preempt_window(&self, width: usize, rank: usize) -> Option<(usize, Vec<usize>)> {
+        let _prof = fred_telemetry::prof::scope("cluster.preempt_window");
         let slots = self.slotmap.slots();
         let mut best: Option<(usize, usize, Vec<usize>)> = None;
         for base in 0..=slots.saturating_sub(width) {
@@ -649,6 +695,32 @@ impl ClusterSim<'_> {
                 solo_secs,
             });
         }
+        if self.tracing {
+            // Per-tenant stretch is only knowable here (the solo
+            // denominator was just computed); emit one sample per job
+            // completion, time-ordered so series stay monotone.
+            let mut by_completion: Vec<&JobRecord> = records.iter().collect();
+            by_completion.sort_by(|a, b| {
+                a.completion
+                    .as_secs()
+                    .partial_cmp(&b.completion.as_secs())
+                    .expect("finite completion")
+            });
+            for r in by_completion {
+                self.sink.record(TraceEvent::Sample {
+                    t: r.completion.as_secs(),
+                    key: format!("stretch/{}", r.class.name()).into(),
+                    value: r.stretch(),
+                });
+            }
+        }
+        let dropped_events = self.sink.dropped().saturating_sub(self.dropped_baseline);
+        if dropped_events > 0 {
+            eprintln!(
+                "warning: cluster trace dropped {dropped_events} events (ring full); \
+                 stretch/queue series and traces are truncated"
+            );
+        }
         ClusterReport {
             fabric: self.cfg.fabric.name().into(),
             fit: self.cfg.fit.name().into(),
@@ -658,6 +730,7 @@ impl ClusterSim<'_> {
             npu_slots: self.slotmap.slots(),
             busy_npu_secs: self.busy_npu_secs,
             preemptions: self.preempt_count.iter().sum(),
+            dropped_events,
         }
     }
 }

@@ -360,6 +360,8 @@ impl FlowNetwork {
     /// validated up front, so on error *no* flow has been injected —
     /// a phase either starts whole or not at all.
     pub fn inject_batch(&mut self, specs: Vec<FlowSpec>) -> Result<Vec<FlowId>, RouteError> {
+        let _prof = fred_telemetry::prof::scope("netsim.inject_batch");
+        fred_telemetry::prof::record_value("netsim.inject_batch_flows", specs.len() as f64);
         for spec in &specs {
             self.topo.validate_route(&spec.route)?;
             if let Some(&dead) = spec.route.iter().find(|l| self.failed[l.0]) {
@@ -584,6 +586,10 @@ impl FlowNetwork {
         if self.sink.enabled() && !changed.is_empty() {
             self.emit_rate_epoch(changed.len() as u32);
         }
+        // Heap depth after re-prediction: stale (lazy-deleted) entries
+        // included, which is exactly the churn the sharding work needs
+        // to see.
+        fred_telemetry::prof::record_value("netsim.drain_heap_depth", self.drains.len() as f64);
         self.changed_scratch = changed;
     }
 

@@ -63,6 +63,30 @@ pub struct SolverStats {
     /// work actually done; compare against `solves × live flows` for
     /// the from-scratch cost).
     pub refilled_flows: u64,
+    /// Largest single dirty component refilled (flows) — how close the
+    /// incremental solver comes to its global-fallback threshold.
+    pub max_component: u64,
+}
+
+// Process-wide mirrors of the per-solver counters, so bench harnesses
+// can report solver cost without a handle on every network built
+// inside a run (same pattern as `netsim::global_events_processed`).
+static TOTAL_SOLVES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static TOTAL_GLOBAL_SOLVES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static TOTAL_REFILLED: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static MAX_COMPONENT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Solver cost counters accumulated across every [`FairShareSolver`]
+/// in the process since start (monotone; diff two readings to scope a
+/// run).
+pub fn global_solver_stats() -> SolverStats {
+    use std::sync::atomic::Ordering::Relaxed;
+    SolverStats {
+        solves: TOTAL_SOLVES.load(Relaxed),
+        global_solves: TOTAL_GLOBAL_SOLVES.load(Relaxed),
+        refilled_flows: TOTAL_REFILLED.load(Relaxed),
+        max_component: MAX_COMPONENT.load(Relaxed),
+    }
 }
 
 /// Persistent max-min fair allocator over a fixed set of links.
@@ -329,6 +353,7 @@ impl FairShareSolver {
         if !self.dirty {
             return false;
         }
+        let _prof = fred_telemetry::prof::scope("solver.solve");
         self.dirty = false;
         self.stats.solves += 1;
         self.epoch += 1;
@@ -393,7 +418,26 @@ impl FairShareSolver {
             comp_links.sort_unstable();
             comp_flows.sort_unstable();
         }
-        self.stats.refilled_flows += comp_flows.len() as u64;
+        let comp = comp_flows.len() as u64;
+        self.stats.refilled_flows += comp;
+        if comp > self.stats.max_component {
+            self.stats.max_component = comp;
+        }
+        {
+            use std::sync::atomic::Ordering::Relaxed;
+            TOTAL_SOLVES.fetch_add(1, Relaxed);
+            TOTAL_REFILLED.fetch_add(comp, Relaxed);
+            MAX_COMPONENT.fetch_max(comp, Relaxed);
+            if global {
+                TOTAL_GLOBAL_SOLVES.fetch_add(1, Relaxed);
+            }
+        }
+        if fred_telemetry::prof::enabled() {
+            fred_telemetry::prof::record_value("solver.component_flows", comp as f64);
+            if global {
+                fred_telemetry::prof::record_value("solver.global_fallback", 1.0);
+            }
+        }
         self.refill(&comp_links, &comp_flows);
         true
     }

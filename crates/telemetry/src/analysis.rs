@@ -463,7 +463,8 @@ fn analyze_segment(events: &[TraceEvent]) -> RunAnalysis {
             TraceEvent::Fault { .. } => faults += 1,
             TraceEvent::RateEpoch { .. }
             | TraceEvent::LinkUtil { .. }
-            | TraceEvent::IterStage { .. } => {}
+            | TraceEvent::IterStage { .. }
+            | TraceEvent::Sample { .. } => {}
         }
     }
 

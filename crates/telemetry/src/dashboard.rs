@@ -1,0 +1,356 @@
+//! Self-contained offline HTML dashboard.
+//!
+//! [`render`] turns a [`FlightSnapshot`] (plus optional profiler
+//! sites) into a single HTML file with inline CSS and inline SVG —
+//! no JavaScript, no CDN, no fetches; the acceptance criterion is
+//! that the file renders per-tenant and per-link time series with
+//! zero external dependencies, so it can be archived as a CI artifact
+//! and opened years later.
+//!
+//! Layout per simulation segment:
+//! - a sparkline card per non-link series (active flows, queue depth
+//!   and stretch per tenant class, phase mix, counters), showing the
+//!   polyline, min/max/last values, and the series kind;
+//! - a link-utilization heatmap: one row per link series, time on the
+//!   x-axis, utilization mapped to a blue→red ramp — transient
+//!   congestion shows up as red streaks;
+//! - the flow-completion-time histogram as log-bucket bars with
+//!   p50/p99 annotations.
+
+use std::collections::BTreeMap;
+
+use crate::prof::SiteStats;
+use crate::timeseries::{FlightSnapshot, LogHistogram, SegmentSnapshot, Series};
+
+const SPARK_W: f64 = 280.0;
+const SPARK_H: f64 = 48.0;
+const HEAT_W: f64 = 600.0;
+const HEAT_COLS: usize = 120;
+const HEAT_ROW_H: f64 = 8.0;
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1e6 || v.abs() < 1e-3 {
+        format!("{v:.3e}")
+    } else if v == v.trunc() {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+fn sparkline_svg(s: &Series) -> String {
+    if s.samples.is_empty() {
+        return String::new();
+    }
+    let (t0, t1) = (s.samples[0].0, s.samples.last().unwrap().0);
+    let (lo, hi) = s.value_range().unwrap();
+    let tspan = (t1 - t0).max(1e-30);
+    let vspan = (hi - lo).max(1e-30);
+    let mut points = String::new();
+    for (i, &(t, v)) in s.samples.iter().enumerate() {
+        if i > 0 {
+            points.push(' ');
+        }
+        let x = (t - t0) / tspan * (SPARK_W - 4.0) + 2.0;
+        let y = SPARK_H - 4.0 - (v - lo) / vspan * (SPARK_H - 8.0);
+        points.push_str(&format!("{x:.1},{y:.1}"));
+    }
+    format!(
+        "<svg width=\"{SPARK_W}\" height=\"{SPARK_H}\" viewBox=\"0 0 {SPARK_W} {SPARK_H}\">\
+         <polyline points=\"{points}\" fill=\"none\" stroke=\"#2b6cb0\" stroke-width=\"1.5\"/>\
+         </svg>"
+    )
+}
+
+fn heat_color(frac: f64) -> String {
+    // Blue (idle) → yellow → red (saturated).
+    let f = frac.clamp(0.0, 1.0);
+    let (r, g, b) = if f < 0.5 {
+        let k = f * 2.0;
+        (
+            (40.0 + k * 200.0) as u8,
+            (80.0 + k * 140.0) as u8,
+            (200.0 - k * 150.0) as u8,
+        )
+    } else {
+        let k = (f - 0.5) * 2.0;
+        (240, (220.0 - k * 170.0) as u8, (50.0 - k * 40.0) as u8)
+    };
+    format!("#{r:02x}{g:02x}{b:02x}")
+}
+
+/// Resamples a series into `cols` cells over `[t0, t1]` by
+/// last-value-carried-forward, the natural read for gauges.
+fn resample(s: &Series, t0: f64, t1: f64, cols: usize) -> Vec<f64> {
+    let mut out = vec![0.0; cols];
+    if s.samples.is_empty() {
+        return out;
+    }
+    let span = (t1 - t0).max(1e-30);
+    let mut si = 0;
+    let mut current = s.samples[0].1;
+    for (c, cell) in out.iter_mut().enumerate() {
+        let cell_t = t0 + (c as f64 + 1.0) / cols as f64 * span;
+        while si < s.samples.len() && s.samples[si].0 <= cell_t {
+            current = s.samples[si].1;
+            si += 1;
+        }
+        *cell = current;
+    }
+    out
+}
+
+fn heatmap_svg(links: &[&Series]) -> String {
+    if links.is_empty() {
+        return String::new();
+    }
+    let t0 = links
+        .iter()
+        .filter_map(|s| s.samples.first().map(|p| p.0))
+        .fold(f64::INFINITY, f64::min);
+    let t1 = links
+        .iter()
+        .filter_map(|s| s.samples.last().map(|p| p.0))
+        .fold(f64::NEG_INFINITY, f64::max);
+    if !t0.is_finite() || !t1.is_finite() {
+        return String::new();
+    }
+    let label_w = 70.0;
+    let h = links.len() as f64 * HEAT_ROW_H + 16.0;
+    let cell_w = (HEAT_W - label_w) / HEAT_COLS as f64;
+    let mut svg = format!(
+        "<svg width=\"{}\" height=\"{h}\" viewBox=\"0 0 {} {h}\" \
+         font-family=\"monospace\" font-size=\"7\">",
+        HEAT_W, HEAT_W
+    );
+    for (row, s) in links.iter().enumerate() {
+        let y = row as f64 * HEAT_ROW_H;
+        svg.push_str(&format!(
+            "<text x=\"0\" y=\"{:.1}\" fill=\"#555\">{}</text>",
+            y + HEAT_ROW_H - 1.0,
+            esc(&s.name)
+        ));
+        for (c, v) in resample(s, t0, t1, HEAT_COLS).iter().enumerate() {
+            let x = label_w + c as f64 * cell_w;
+            svg.push_str(&format!(
+                "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{:.2}\" height=\"{:.1}\" \
+                 fill=\"{}\"/>",
+                cell_w + 0.05,
+                HEAT_ROW_H - 0.5,
+                heat_color(*v)
+            ));
+        }
+    }
+    let legend_y = links.len() as f64 * HEAT_ROW_H + 12.0;
+    svg.push_str(&format!(
+        "<text x=\"{label_w}\" y=\"{legend_y:.1}\" fill=\"#555\">\
+         t = {} .. {} s, color = utilization 0 (blue) .. 1 (red)</text>",
+        fmt(t0),
+        fmt(t1)
+    ));
+    svg.push_str("</svg>");
+    svg
+}
+
+fn histogram_svg(h: &LogHistogram) -> String {
+    let buckets = h.buckets();
+    if buckets.is_empty() {
+        return String::new();
+    }
+    let w = 280.0;
+    let hh = 64.0;
+    let max_c = buckets.iter().map(|&(_, c)| c).max().unwrap().max(1) as f64;
+    let bar_w = w / buckets.len() as f64;
+    let mut svg = format!("<svg width=\"{w}\" height=\"{hh}\" viewBox=\"0 0 {w} {hh}\">");
+    for (i, &(_, c)) in buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let bh = (c as f64 / max_c) * (hh - 14.0);
+        svg.push_str(&format!(
+            "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"{:.1}\" height=\"{bh:.1}\" \
+             fill=\"#6b46c1\"/>",
+            i as f64 * bar_w,
+            hh - 12.0 - bh,
+            (bar_w - 1.0).max(0.5)
+        ));
+    }
+    svg.push_str(&format!(
+        "<text x=\"0\" y=\"{:.1}\" font-family=\"monospace\" font-size=\"8\" \
+         fill=\"#555\">p50 {} s, p99 {} s, n={}</text>",
+        hh - 2.0,
+        fmt(h.quantile(0.5)),
+        fmt(h.quantile(0.99)),
+        h.count()
+    ));
+    svg.push_str("</svg>");
+    svg
+}
+
+fn series_card(s: &Series) -> String {
+    let (lo, hi) = s.value_range().unwrap_or((0.0, 0.0));
+    format!(
+        "<div class=\"card\"><div class=\"name\">{}</div>{}\
+         <div class=\"meta\">{} &middot; min {} &middot; max {} &middot; last {}</div></div>",
+        esc(&s.name),
+        sparkline_svg(s),
+        s.kind.prom_type(),
+        fmt(lo),
+        fmt(hi),
+        fmt(s.last_value().unwrap_or(0.0)),
+    )
+}
+
+fn segment_section(seg: &SegmentSnapshot) -> String {
+    let mut html = format!("<h2>Segment {}</h2>", seg.segment);
+    let (links, others): (Vec<&Series>, Vec<&Series>) = seg
+        .series
+        .iter()
+        .partition(|s| s.name.starts_with("link_util/"));
+    if !others.is_empty() {
+        html.push_str("<div class=\"cards\">");
+        for s in &others {
+            html.push_str(&series_card(s));
+        }
+        html.push_str("</div>");
+    }
+    if !seg.fct.is_empty() {
+        html.push_str(
+            "<div class=\"cards\"><div class=\"card\">\
+             <div class=\"name\">flow completion time</div>",
+        );
+        html.push_str(&histogram_svg(&seg.fct));
+        html.push_str("</div></div>");
+    }
+    if !links.is_empty() {
+        html.push_str("<h3>Link utilization</h3>");
+        html.push_str(&heatmap_svg(&links));
+    }
+    html
+}
+
+/// Renders the dashboard. `title` names the run (typically the bench
+/// name); the output is a complete standalone HTML document.
+pub fn render(
+    title: &str,
+    snap: &FlightSnapshot,
+    prof: &BTreeMap<&'static str, SiteStats>,
+) -> String {
+    let mut html = String::with_capacity(64 * 1024);
+    html.push_str("<!DOCTYPE html><html><head><meta charset=\"utf-8\">");
+    html.push_str(&format!(
+        "<title>{} — fred flight recorder</title>",
+        esc(title)
+    ));
+    html.push_str(
+        "<style>\
+         body{font-family:system-ui,sans-serif;margin:24px;color:#1a202c;background:#fafafa}\
+         h1{font-size:20px}h2{font-size:16px;margin-top:28px}h3{font-size:13px;color:#555}\
+         .cards{display:flex;flex-wrap:wrap;gap:12px}\
+         .card{background:#fff;border:1px solid #e2e8f0;border-radius:6px;padding:8px 10px}\
+         .name{font-family:monospace;font-size:12px;margin-bottom:4px}\
+         .meta{font-size:10px;color:#718096;margin-top:2px}\
+         table{border-collapse:collapse;font-size:12px}\
+         td,th{border:1px solid #e2e8f0;padding:3px 8px;text-align:right}\
+         th{background:#edf2f7}td.site{font-family:monospace;text-align:left}\
+         </style></head><body>",
+    );
+    html.push_str(&format!("<h1>{} — fred flight recorder</h1>", esc(title)));
+    if snap.is_empty() {
+        html.push_str("<p>No time-series data was recorded for this run.</p>");
+    }
+    for seg in &snap.segments {
+        html.push_str(&segment_section(seg));
+    }
+    if snap.link_series_dropped > 0 {
+        html.push_str(&format!(
+            "<p class=\"meta\">{} link series beyond the {}-series cap were not recorded.</p>",
+            snap.link_series_dropped,
+            crate::timeseries::FlightRecorder::MAX_LINK_SERIES
+        ));
+    }
+    if !prof.is_empty() {
+        html.push_str(
+            "<h2>Host-side profiler</h2><table><tr><th>site</th><th>count</th>\
+                       <th>total</th><th>mean</th><th>max</th></tr>",
+        );
+        for (site, st) in prof {
+            html.push_str(&format!(
+                "<tr><td class=\"site\">{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+                esc(site),
+                st.count,
+                fmt(st.total),
+                fmt(st.mean()),
+                fmt(st.max)
+            ));
+        }
+        html.push_str("</table>");
+    }
+    html.push_str("</body></html>");
+    html
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+    use crate::sink::TraceSink;
+    use crate::timeseries::FlightRecorder;
+
+    #[test]
+    fn dashboard_is_self_contained() {
+        let r = FlightRecorder::new();
+        r.record(TraceEvent::Topology {
+            t: 0.0,
+            capacities: Box::new([1.0, 1.0]),
+        });
+        for i in 0..20 {
+            let t = i as f64 * 0.1;
+            r.record(TraceEvent::LinkUtil {
+                t,
+                link: 0,
+                utilization: (i % 10) as f64 / 10.0,
+            });
+            r.record(TraceEvent::Sample {
+                t,
+                key: "queue_depth/high".into(),
+                value: (i % 4) as f64,
+            });
+        }
+        let html = render("test", &r.snapshot(), &BTreeMap::new());
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("<svg"));
+        assert!(html.contains("queue_depth/high"));
+        assert!(html.contains("link_util/0"));
+        // Self-contained: no external fetches of any kind.
+        for needle in ["http://", "https://", "<script", "<link", "@import", "url("] {
+            assert!(!html.contains(needle), "external reference: {needle}");
+        }
+    }
+
+    #[test]
+    fn heat_color_ramp_endpoints() {
+        assert_eq!(heat_color(0.0), "#2850c8");
+        assert!(heat_color(1.0).starts_with("#f0"));
+        // Monotone-ish: red channel grows with utilization.
+        let r_at = |f: f64| u8::from_str_radix(&heat_color(f)[1..3], 16).unwrap();
+        assert!(r_at(0.0) < r_at(0.5));
+        assert!(r_at(0.5) <= r_at(1.0));
+    }
+}

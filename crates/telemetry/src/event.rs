@@ -54,6 +54,19 @@ impl Track {
         }
     }
 
+    /// Short lowercase slug for series names and label values
+    /// (`open_phases/mp`, `queue_depth/dp`).
+    pub fn short(self) -> &'static str {
+        match self {
+            Track::Mp => "mp",
+            Track::Pp => "pp",
+            Track::Dp => "dp",
+            Track::Bulk => "bulk",
+            Track::Compute => "compute",
+            Track::Iteration => "iter",
+        }
+    }
+
     /// Human-readable track name.
     pub fn name(self) -> &'static str {
         match self {
@@ -207,6 +220,20 @@ pub enum TraceEvent {
         /// In-flight flows evicted for re-routing (0 for degradations).
         evicted: u32,
     },
+    /// A generic named measurement for quantities the core event
+    /// vocabulary doesn't model — the cluster scheduler's per-class
+    /// queue depth, running-job counts and per-job stretch flow
+    /// through here. The flight recorder folds samples into a gauge
+    /// series per `key`; other consumers may ignore them.
+    Sample {
+        /// Simulation time.
+        t: f64,
+        /// Series name, `base/detail` by convention
+        /// (`queue_depth/high`, `stretch/job3`).
+        key: Box<str>,
+        /// Sampled value.
+        value: f64,
+    },
 }
 
 impl TraceEvent {
@@ -223,7 +250,8 @@ impl TraceEvent {
             | TraceEvent::PhaseEnd { t, .. }
             | TraceEvent::SpanDep { t, .. }
             | TraceEvent::IterStage { t, .. }
-            | TraceEvent::Fault { t, .. } => t,
+            | TraceEvent::Fault { t, .. }
+            | TraceEvent::Sample { t, .. } => t,
         }
     }
 }
@@ -308,6 +336,11 @@ mod tests {
                 link: 3,
                 capacity_fraction: 0.0,
                 evicted: 2,
+            },
+            TraceEvent::Sample {
+                t: 12.0,
+                key: "queue_depth/high".into(),
+                value: 4.0,
             },
         ];
         for (i, e) in evs.iter().enumerate() {

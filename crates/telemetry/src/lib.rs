@@ -31,7 +31,19 @@
 //!   {compute, exposed MP/PP/DP/bulk communication, contention,
 //!   unattributed} via ideal-rate re-costing, plus the per-link
 //!   contention matrix (which phase pairs shared a link and how much
-//!   slowdown each inflicted).
+//!   slowdown each inflicted);
+//! * [`timeseries`] — the continuous flight recorder: a streaming
+//!   [`sink::TraceSink`] that folds the event stream into bounded,
+//!   decimating time series (per-link utilization, per-tenant queue
+//!   depth and stretch, phase mix) and log-bucketed completion-time
+//!   histograms;
+//! * [`prof`] — the scoped host-side self-profiler for the
+//!   simulator's own hot paths (solver solves, batch injection,
+//!   placement search), one relaxed atomic load when disabled;
+//! * [`prom`] / [`dashboard`] — exporters over a flight-recorder
+//!   snapshot: Prometheus text exposition (with a validating parser)
+//!   and a self-contained offline HTML dashboard of inline-SVG
+//!   sparklines and a link-utilization heatmap.
 //!
 //! The crate is dependency-free and knows nothing about the simulator:
 //! events carry raw ids (`u64` flows, `u32` links) and seconds as
@@ -61,14 +73,19 @@
 
 pub mod analysis;
 pub mod attribution;
+pub mod dashboard;
 pub mod event;
 pub mod json;
 pub mod metrics;
 pub mod perfetto;
+pub mod prof;
+pub mod prom;
 pub mod sink;
+pub mod timeseries;
 
 pub use analysis::Analysis;
 pub use attribution::{Attribution, Bucket};
 pub use event::{TraceEvent, Track};
 pub use metrics::Metrics;
 pub use sink::{NullSink, RingRecorder, TeeSink, TraceSink};
+pub use timeseries::{FlightRecorder, FlightSnapshot, LogHistogram, Series, SeriesKind};

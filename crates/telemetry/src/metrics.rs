@@ -231,7 +231,8 @@ impl Metrics {
                 }
                 TraceEvent::IterStage { .. }
                 | TraceEvent::Topology { .. }
-                | TraceEvent::SpanDep { .. } => {}
+                | TraceEvent::SpanDep { .. }
+                | TraceEvent::Sample { .. } => {}
             }
         }
 

@@ -238,6 +238,21 @@ pub fn export_chrome_trace(
             // Individual flow lifecycle events are aggregated by the
             // metrics layer rather than drawn (hundreds of thousands
             // of instants would drown the phase view); topology
+            TraceEvent::Sample { t, key, value } => {
+                // Generic samples render as counter tracks, like
+                // link utilization.
+                let mut ev = String::new();
+                ev.push_str("{\"ph\":\"C\",\"pid\":");
+                push_num(&mut ev, PID_COUNTERS as f64);
+                ev.push_str(",\"name\":");
+                push_str_lit(&mut ev, key);
+                ev.push_str(",\"ts\":");
+                push_num(&mut ev, us(*t));
+                ev.push_str(",\"args\":{\"value\":");
+                push_num(&mut ev, *value);
+                ev.push_str("}}");
+                push_event(&mut body, &mut first, ev);
+            }
             // markers and span dependencies belong to the analysis
             // layer.
             TraceEvent::FlowInjected { .. }

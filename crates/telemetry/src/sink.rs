@@ -24,6 +24,28 @@ pub trait TraceSink: Debug {
 
     /// Records one event. May drop it (ring overflow).
     fn record(&self, ev: TraceEvent);
+
+    /// How many events this sink has lost so far (ring overwrites,
+    /// caps). Consumers surface this so a truncated recording is
+    /// never mistaken for a complete one. Defaults to 0 for sinks
+    /// that never drop.
+    fn dropped(&self) -> u64 {
+        0
+    }
+}
+
+impl<T: TraceSink + ?Sized> TraceSink for std::rc::Rc<T> {
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    fn record(&self, ev: TraceEvent) {
+        (**self).record(ev)
+    }
+
+    fn dropped(&self) -> u64 {
+        (**self).dropped()
+    }
 }
 
 /// The zero-overhead default: reports disabled, drops everything.
@@ -136,6 +158,10 @@ impl TraceSink for RingRecorder {
             self.overwritten.set(self.overwritten.get() + 1);
         }
     }
+
+    fn dropped(&self) -> u64 {
+        self.overwritten()
+    }
 }
 
 /// Fans every event out to two sinks (e.g. a ring recorder and a
@@ -155,6 +181,10 @@ impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<A, B> {
         if self.1.enabled() {
             self.1.record(ev);
         }
+    }
+
+    fn dropped(&self) -> u64 {
+        self.0.dropped() + self.1.dropped()
     }
 }
 
@@ -237,5 +267,20 @@ mod tests {
         t.record(marker(1.0));
         assert_eq!(t.0.len(), 1);
         assert_eq!(t.1.len(), 1);
+    }
+
+    #[test]
+    fn dropped_propagates_through_tee_and_rc() {
+        let t = TeeSink(
+            std::rc::Rc::new(RingRecorder::with_capacity(2)),
+            RingRecorder::with_capacity(4),
+        );
+        for i in 0..6 {
+            t.record(marker(i as f64));
+        }
+        assert_eq!(t.0.dropped(), 4);
+        assert_eq!(t.1.dropped(), 2);
+        assert_eq!(t.dropped(), 6);
+        assert_eq!(NullSink.dropped(), 0);
     }
 }

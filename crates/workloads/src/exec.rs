@@ -317,6 +317,7 @@ impl ScheduleExecutor {
         backend: &FabricBackend,
     ) -> Result<(), TrainError> {
         if !self.staged.is_empty() {
+            let _prof = fred_telemetry::prof::scope("exec.flush_staged");
             let flows = repair_flows(net, backend, std::mem::take(&mut self.staged))?;
             net.inject_batch(flows)?;
         }
