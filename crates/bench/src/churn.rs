@@ -15,12 +15,15 @@
 //! completion-time checksum are exact regression surfaces, while the
 //! wall clock and events/s measure simulator throughput.
 
+use std::rc::Rc;
 use std::time::Instant;
 
 use fred_mesh::topology::MeshFabric;
 use fred_sim::flow::{FlowSpec, Priority};
-use fred_sim::netsim::FlowNetwork;
+use fred_sim::netsim::{CompletedFlow, FlowNetwork};
 use fred_sim::rng::Rng64;
+use fred_sim::shard::{ShardDriver, ShardedNetwork};
+use fred_telemetry::sink::TraceSink;
 
 /// One churn configuration.
 #[derive(Debug, Clone, Copy)]
@@ -192,6 +195,282 @@ pub const SCALING_SWEEP: [ChurnConfig; 3] = [
     },
 ];
 
+/// Tile-local churn for the sharded simulator: every tile of a
+/// `tiles × tiles` grid runs its own independent churn (endpoints
+/// drawn inside the tile, XY routes never leave it), so the workload
+/// exercises [`ShardedNetwork`]'s parallel path without ever fusing.
+/// This is the traffic shape the paper's placement produces — MP/PP
+/// groups are contiguous tiles — and the headline configuration for
+/// `shard_bench`.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardChurnConfig {
+    /// Mesh side (NPUs = side × side).
+    pub side: usize,
+    /// Tile grid side (shards = tiles × tiles). Must divide `side`.
+    pub tiles: usize,
+    /// Flows pushed through each tile.
+    pub flows_per_tile: usize,
+    /// Target concurrently-active flows per tile.
+    pub concurrency_per_tile: usize,
+    /// Maximum Chebyshev distance between a flow's endpoints (clamped
+    /// to the tile).
+    pub locality: usize,
+    /// Master seed; per-tile streams are split from it in tile order.
+    pub seed: u64,
+}
+
+impl ShardChurnConfig {
+    /// NPUs in the mesh.
+    pub fn npus(&self) -> usize {
+        self.side * self.side
+    }
+
+    /// Shards in the partition.
+    pub fn shards(&self) -> usize {
+        self.tiles * self.tiles
+    }
+
+    /// Total flows across all tiles.
+    pub fn total_flows(&self) -> usize {
+        self.shards() * self.flows_per_tile
+    }
+
+    fn tile_side(&self) -> usize {
+        assert_eq!(
+            self.side % self.tiles,
+            0,
+            "tile grid {t} must divide mesh side {s}",
+            t = self.tiles,
+            s = self.side
+        );
+        self.side / self.tiles
+    }
+}
+
+/// Per-tile churn driver. Each instance owns an independent RNG stream
+/// split deterministically from the master seed, so its draw sequence
+/// depends only on its own completion count — never on other tiles or
+/// on the thread count.
+struct TileDriver<'a> {
+    mesh: &'a MeshFabric,
+    cfg: ShardChurnConfig,
+    /// Tile origin in NPU coordinates.
+    x0: usize,
+    y0: usize,
+    rng: Rng64,
+    drawn: usize,
+}
+
+impl TileDriver<'_> {
+    fn draw(&mut self, shard: usize) -> FlowSpec {
+        let ts = self.cfg.tile_side();
+        let src_x = self.x0 + self.rng.gen_range(0, ts);
+        let src_y = self.y0 + self.rng.gen_range(0, ts);
+        let src = self.mesh.npu_at(src_x, src_y);
+        let reach = self.cfg.locality.max(1);
+        let (lo_x, hi_x) = (self.x0, self.x0 + ts - 1);
+        let (lo_y, hi_y) = (self.y0, self.y0 + ts - 1);
+        let dst = loop {
+            let dx = self.rng.gen_range_inclusive(0, 2 * reach) as isize - reach as isize;
+            let dy = self.rng.gen_range_inclusive(0, 2 * reach) as isize - reach as isize;
+            let x = (src_x as isize + dx).clamp(lo_x as isize, hi_x as isize) as usize;
+            let y = (src_y as isize + dy).clamp(lo_y as isize, hi_y as isize) as usize;
+            let d = self.mesh.npu_at(x, y);
+            if d != src {
+                break d;
+            }
+        };
+        let bytes = 1e6 + self.rng.gen_f64() * 16e6;
+        let priority = match self.drawn % 3 {
+            0 => Priority::Mp,
+            1 => Priority::Dp,
+            _ => Priority::Bulk,
+        };
+        let tag = ((shard as u64) << 32) | self.drawn as u64;
+        self.drawn += 1;
+        FlowSpec::new(self.mesh.xy_route(src, dst), bytes)
+            .with_priority(priority)
+            .with_tag(tag)
+    }
+
+    fn refill(&mut self, shard: usize, want: usize, out: &mut Vec<FlowSpec>) {
+        let left = self.cfg.flows_per_tile - self.drawn;
+        for _ in 0..want.min(left) {
+            out.push(self.draw(shard));
+        }
+    }
+}
+
+impl ShardDriver for TileDriver<'_> {
+    fn begin(&mut self, shard: usize, out: &mut Vec<FlowSpec>) {
+        self.refill(
+            shard,
+            self.cfg.concurrency_per_tile.min(self.cfg.flows_per_tile),
+            out,
+        );
+    }
+
+    fn on_completions(&mut self, shard: usize, done: &[CompletedFlow], out: &mut Vec<FlowSpec>) {
+        self.refill(shard, done.len(), out);
+    }
+}
+
+/// Builds the per-tile drivers for `cfg`, splitting the master RNG in
+/// tile order (the determinism anchor shared by the sharded run and
+/// the single-core reference).
+fn tile_drivers<'a>(mesh: &'a MeshFabric, cfg: &ShardChurnConfig) -> Vec<TileDriver<'a>> {
+    let ts = cfg.tile_side();
+    let mut master = Rng64::seed_from_u64(cfg.seed);
+    (0..cfg.shards())
+        .map(|s| TileDriver {
+            mesh,
+            cfg: *cfg,
+            x0: (s % cfg.tiles) * ts,
+            y0: (s / cfg.tiles) * ts,
+            rng: master.split(),
+            drawn: 0,
+        })
+        .collect()
+}
+
+/// Completion-time checksum summed in tag order — identical bits no
+/// matter which engine (or thread count) produced the completions.
+fn tag_ordered_checksum(done: &[CompletedFlow]) -> f64 {
+    let mut by_tag: Vec<(u64, f64)> = done
+        .iter()
+        .map(|c| (c.tag, c.completed_at.as_secs()))
+        .collect();
+    by_tag.sort_by_key(|&(tag, _)| tag);
+    by_tag.iter().map(|&(_, t)| t).sum()
+}
+
+/// The mesh every sharded-churn run simulates (also what callers need
+/// for `TraceOpts::name_links`).
+pub fn shard_churn_mesh(cfg: &ShardChurnConfig) -> MeshFabric {
+    MeshFabric::new(cfg.side, cfg.side, 750e9, 128e9, 20e-9)
+}
+
+/// Runs the tile-local churn on a [`ShardedNetwork`] with `threads`
+/// workers. Deterministic contract: `makespan_secs` and
+/// `completion_checksum` are bit-identical for every thread count and
+/// to [`run_churn_sharded_reference`].
+pub fn run_churn_sharded(cfg: &ShardChurnConfig, threads: usize) -> ChurnResult {
+    let mesh = shard_churn_mesh(cfg);
+    let part = mesh.tile_partition(cfg.tiles, cfg.tiles);
+    let net = ShardedNetwork::new(mesh.clone_topology(), part, threads);
+    run_churn_sharded_on(net, &mesh, cfg)
+}
+
+/// [`run_churn_sharded`] with telemetry recorded to `sink`. Kept
+/// separate so the benchmark's timed rows stay on the zero-overhead
+/// untraced path; tracing is observation only, so results remain
+/// bit-identical to the untraced run.
+pub fn run_churn_sharded_traced(
+    cfg: &ShardChurnConfig,
+    threads: usize,
+    sink: Rc<dyn TraceSink>,
+) -> ChurnResult {
+    let mesh = shard_churn_mesh(cfg);
+    let part = mesh.tile_partition(cfg.tiles, cfg.tiles);
+    let net = ShardedNetwork::with_sink(mesh.clone_topology(), part, threads, sink);
+    run_churn_sharded_on(net, &mesh, cfg)
+}
+
+fn run_churn_sharded_on(
+    mut net: ShardedNetwork,
+    mesh: &MeshFabric,
+    cfg: &ShardChurnConfig,
+) -> ChurnResult {
+    let mut drivers = tile_drivers(mesh, cfg);
+    let started = Instant::now();
+    let done = net.run_sharded(&mut drivers);
+    let wall = started.elapsed().as_secs_f64();
+    assert_eq!(done.len(), cfg.total_flows(), "sharded churn lost flows");
+    ChurnResult {
+        makespan_secs: net.now().as_secs(),
+        completion_checksum: tag_ordered_checksum(&done),
+        events: 3 * cfg.total_flows() as u64,
+        wall_secs: wall,
+    }
+}
+
+/// Single-core reference for [`run_churn_sharded`]: the identical
+/// per-tile driver interactions replayed against one [`FlowNetwork`]
+/// (global event order, drivers serviced in ascending tile order).
+/// Differential tests pin the sharded engine to this, bit for bit.
+pub fn run_churn_sharded_reference(cfg: &ShardChurnConfig) -> ChurnResult {
+    let mesh = shard_churn_mesh(cfg);
+    let mut net = FlowNetwork::new(mesh.clone_topology());
+    let mut drivers = tile_drivers(&mesh, cfg);
+    let started = Instant::now();
+    let mut specs = Vec::new();
+    let mut batch = Vec::new();
+    for (s, d) in drivers.iter_mut().enumerate() {
+        d.begin(s, &mut specs);
+        batch.append(&mut specs);
+    }
+    net.inject_batch(batch)
+        .expect("tile churn draws XY routes on a healthy mesh");
+    let total = cfg.total_flows();
+    let mut all: Vec<CompletedFlow> = Vec::with_capacity(total);
+    while all.len() < total {
+        let te = net
+            .next_event()
+            .expect("sharded-reference churn stalled: flows outstanding but no pending event");
+        net.advance_to(te);
+        let done = net.drain_completed();
+        if done.is_empty() {
+            continue;
+        }
+        let mut batch = Vec::new();
+        for (s, d) in drivers.iter_mut().enumerate() {
+            let mine: Vec<CompletedFlow> = done
+                .iter()
+                .filter(|c| (c.tag >> 32) as usize == s)
+                .cloned()
+                .collect();
+            if mine.is_empty() {
+                continue;
+            }
+            d.on_completions(s, &mine, &mut specs);
+            batch.append(&mut specs);
+        }
+        if !batch.is_empty() {
+            net.inject_batch(batch)
+                .expect("tile churn draws XY routes on a healthy mesh");
+        }
+        all.extend(done);
+    }
+    ChurnResult {
+        makespan_secs: net.now().as_secs(),
+        completion_checksum: tag_ordered_checksum(&all),
+        events: 3 * total as u64,
+        wall_secs: started.elapsed().as_secs_f64(),
+    }
+}
+
+/// The `shard_bench` sweep: tile-local churn at 1 024 and 4 096 NPUs
+/// over a 4×4 tile grid (16 shards), the 4 096-NPU row being the
+/// headline scaling number.
+pub const SHARD_SWEEP: [ShardChurnConfig; 2] = [
+    ShardChurnConfig {
+        side: 32,
+        tiles: 4,
+        flows_per_tile: 384,
+        concurrency_per_tile: 16,
+        locality: 4,
+        seed: 0x5AAD_0001,
+    },
+    ShardChurnConfig {
+        side: 64,
+        tiles: 4,
+        flows_per_tile: 768,
+        concurrency_per_tile: 16,
+        locality: 4,
+        seed: 0x5AAD_0002,
+    },
+];
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,6 +484,49 @@ mod tests {
             seed: 7,
             refill_fraction: None,
         }
+    }
+
+    fn tiny_sharded() -> ShardChurnConfig {
+        ShardChurnConfig {
+            side: 8,
+            tiles: 2,
+            flows_per_tile: 48,
+            concurrency_per_tile: 8,
+            locality: 2,
+            seed: 0xD1FF_0001,
+        }
+    }
+
+    #[test]
+    fn sharded_churn_matches_reference_bitwise() {
+        let cfg = tiny_sharded();
+        let reference = run_churn_sharded_reference(&cfg);
+        for threads in [1, 2, 4] {
+            let sharded = run_churn_sharded(&cfg, threads);
+            assert_eq!(
+                sharded.makespan_secs.to_bits(),
+                reference.makespan_secs.to_bits(),
+                "makespan diverged at threads={threads}"
+            );
+            assert_eq!(
+                sharded.completion_checksum.to_bits(),
+                reference.completion_checksum.to_bits(),
+                "checksum diverged at threads={threads}"
+            );
+            assert_eq!(sharded.events, reference.events);
+        }
+    }
+
+    #[test]
+    fn sharded_churn_is_repeatable() {
+        let cfg = tiny_sharded();
+        let a = run_churn_sharded(&cfg, 2);
+        let b = run_churn_sharded(&cfg, 2);
+        assert_eq!(a.makespan_secs.to_bits(), b.makespan_secs.to_bits());
+        assert_eq!(
+            a.completion_checksum.to_bits(),
+            b.completion_checksum.to_bits()
+        );
     }
 
     #[test]

@@ -20,7 +20,12 @@
 //!   text exposition;
 //! * `--prof` — enable the host-side self-profiler; its site table
 //!   lands in the report (`prof` section), the Prometheus output and
-//!   the dashboard.
+//!   the dashboard;
+//! * `--threads <n>` — worker threads for binaries that run the
+//!   sharded simulator ([`ShardedNetwork`](fred_sim::shard::ShardedNetwork));
+//!   `0`/absent defers to the `FRED_THREADS` environment variable.
+//!   Results are bit-identical at every thread count — this is purely
+//!   a wall-clock knob.
 //!
 //! Any flag alone turns recording on; with none, the binary runs
 //! untraced through the zero-overhead `NullSink` and produces
@@ -68,6 +73,8 @@ pub struct TraceOpts {
     started: Instant,
     events_at_start: u64,
     solver_at_start: SolverStats,
+    compactions_at_start: u64,
+    threads: usize,
 }
 
 impl TraceOpts {
@@ -87,6 +94,7 @@ impl TraceOpts {
         let mut dashboard_path = None;
         let mut prom_path = None;
         let mut prof_enabled = false;
+        let mut threads = 0usize;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -119,6 +127,15 @@ impl TraceOpts {
                     prom_path = Some(PathBuf::from(v));
                 }
                 "--prof" => prof_enabled = true,
+                "--threads" => {
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage(process_name, "--threads"));
+                    threads = v.parse().unwrap_or_else(|_| {
+                        eprintln!("{process_name}: --threads expects an integer, got `{v}`");
+                        usage(process_name, "--threads");
+                    });
+                }
                 other => {
                     eprintln!("{process_name}: unknown argument `{other}`");
                     usage(process_name, other);
@@ -154,7 +171,18 @@ impl TraceOpts {
             started: Instant::now(),
             events_at_start: fred_sim::netsim::global_events_processed(),
             solver_at_start: fred_sim::solver::global_solver_stats(),
+            compactions_at_start: fred_sim::netsim::global_heap_compactions(),
+            threads,
         }
+    }
+
+    /// Worker-thread count for sharded simulations: the `--threads N`
+    /// argument, or `0` when absent — which tells
+    /// [`ShardedNetwork`](fred_sim::shard::ShardedNetwork) to consult
+    /// the `FRED_THREADS` environment variable and fall back to
+    /// single-threaded. Pass this value straight through.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Records one headline simulation result for the bench report
@@ -293,6 +321,11 @@ impl TraceOpts {
                 report
                     .sim
                     .push(("solver/max_component".into(), sv.max_component as f64));
+                report.sim.push((
+                    "solver/heap_compactions".into(),
+                    (fred_sim::netsim::global_heap_compactions() - self.compactions_at_start)
+                        as f64,
+                ));
                 let analysis = Analysis::from_events(&events).with_dropped(rec.overwritten());
                 eprint!("{}", analysis.summary());
                 report.analysis = Some(analysis);
@@ -356,7 +389,7 @@ impl TraceOpts {
 fn usage(process_name: &str, flag: &str) -> ! {
     eprintln!(
         "usage: {process_name} [--trace <path>] [--metrics <path>] [--report <path>] \
-         [--dashboard <path>] [--prom <path>] [--prof]  (failed at `{flag}`)"
+         [--dashboard <path>] [--prom <path>] [--prof] [--threads <n>]  (failed at `{flag}`)"
     );
     std::process::exit(2);
 }

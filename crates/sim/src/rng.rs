@@ -29,6 +29,16 @@ impl Rng64 {
         z ^ (z >> 31)
     }
 
+    /// Splits off an independent child generator, advancing this one
+    /// by a single draw. Splitting is deterministic — the same parent
+    /// seed and split order always yield the same child streams — which
+    /// is how the sharded runtime derives per-shard streams from one
+    /// experiment seed (split once per shard, in shard-index order)
+    /// without any cross-shard draw-order coupling.
+    pub fn split(&mut self) -> Rng64 {
+        Rng64::seed_from_u64(self.next_u64())
+    }
+
     /// A uniform `usize` in `[lo, hi]` (inclusive).
     ///
     /// # Panics

@@ -1,0 +1,1244 @@
+//! Parallel sharded simulation core.
+//!
+//! [`ShardedNetwork`] partitions a fabric's links into shards (one per
+//! mesh tile / wafer region, see `MeshFabric::tile_partition` in
+//! `fred-mesh`) and gives each shard its own simulator [`Core`]: its
+//! own drain heap, per-flow byte accounting, and
+//! [`crate::solver::FairShareSolver`] incidence. A flow whose route
+//! stays inside one shard lives entirely in that shard's core, and —
+//! because max-min progressive filling decomposes exactly over
+//! link-disjoint components — its rates, drain times, and byte
+//! accounting are bit-for-bit what the single-core [`FlowNetwork`]
+//! would compute. Shard cores therefore advance *independently*:
+//! [`ShardedNetwork::advance_to`] and [`ShardedNetwork::run_sharded`]
+//! fan the per-core work out over `std::thread` workers and join at a
+//! barrier, merging results in fixed shard order.
+//!
+//! Cross-shard traffic is handled by *fusion*, the conservative limit
+//! of the lookahead argument (see `DESIGN.md` §11): the first boundary
+//! flow migrates every live flow into a single fused core that is the
+//! exact single-threaded simulator, and the network defuses back to
+//! per-shard cores once no boundary flow remains. Migration moves each
+//! flow's `(remaining, rate, updated_at)` lazy-accounting state
+//! verbatim — no settlement, no rate change, no event — so fuse and
+//! defuse are observationally silent and the determinism contract
+//! holds through them.
+//!
+//! # Determinism contract
+//!
+//! For a fixed seed and fixed driver behaviour, the following are
+//! bit-identical across `--threads 1/2/4/8` *and* against a
+//! single-core [`FlowNetwork`] run of the same workload: makespan,
+//! per-flow (keyed by tag) completion times, per-flow settled bytes,
+//! and the canonicalized `RateEpoch` sequence. Not bit-stable, by
+//! design: raw [`FlowId`] values (each core allocates from its own
+//! namespace), solver cost counters (per-core aggregates), and the
+//! last-bit association of per-link byte sums across migrations.
+//! `tests/property_fairshare_incremental.rs` enforces the contract.
+
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+use std::sync::Arc;
+
+use fred_telemetry::event::TraceEvent;
+use fred_telemetry::sink::{NullSink, TraceSink};
+
+use crate::flow::{FlowId, FlowSpec};
+use crate::netsim::{CompletedFlow, Core, EvictedFlow};
+use crate::solver::SolverStats;
+use crate::time::Time;
+use crate::topology::{LinkId, RouteError, Topology};
+
+/// Assignment of every link in a topology to one shard.
+///
+/// Construct via [`PartitionMap::new`] (or a topology-aware helper
+/// like `MeshFabric::tile_partition`). The map is pure data: the
+/// quality of the partition only affects *performance* (how much
+/// traffic is boundary traffic and forces fusion), never correctness.
+#[derive(Debug, Clone)]
+pub struct PartitionMap {
+    shard_of_link: Vec<u32>,
+    shards: usize,
+}
+
+impl PartitionMap {
+    /// Builds a map from a per-link shard index table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or any entry is out of range.
+    pub fn new(shard_of_link: Vec<u32>, shards: usize) -> PartitionMap {
+        assert!(shards > 0, "a partition needs at least one shard");
+        assert!(
+            shard_of_link.iter().all(|&s| (s as usize) < shards),
+            "link assigned to out-of-range shard"
+        );
+        PartitionMap {
+            shard_of_link,
+            shards,
+        }
+    }
+
+    /// Puts every link in one shard (sharding disabled; useful as a
+    /// baseline and for topologies with no natural partition).
+    pub fn single(links: usize) -> PartitionMap {
+        PartitionMap::new(vec![0; links], 1)
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Number of links covered.
+    pub fn links(&self) -> usize {
+        self.shard_of_link.len()
+    }
+
+    /// The shard owning `link`.
+    pub fn shard_of_link(&self, link: LinkId) -> usize {
+        self.shard_of_link[link.0] as usize
+    }
+
+    /// The shard owning an entire route, or `None` if the route
+    /// crosses shards (boundary traffic). Empty (node-local) routes
+    /// belong to shard 0 by convention.
+    pub fn shard_of_route(&self, route: &[LinkId]) -> Option<usize> {
+        let mut links = route.iter().map(|l| self.shard_of_link[l.0]);
+        let Some(first) = links.next() else {
+            return Some(0);
+        };
+        links.all(|s| s == first).then_some(first as usize)
+    }
+
+    fn shard_of_indices(&self, links: &[usize]) -> Option<usize> {
+        let mut it = links.iter().map(|&l| self.shard_of_link[l]);
+        let Some(first) = it.next() else {
+            return Some(0);
+        };
+        it.all(|s| s == first).then_some(first as usize)
+    }
+}
+
+/// Per-shard workload driver for [`ShardedNetwork::run_sharded`].
+///
+/// A driver owns one shard's traffic: it injects only flows whose
+/// route lies entirely in that shard (enforced; a cross-shard spec
+/// panics) and is called back with that shard's completions. Drivers
+/// run *on worker threads* while shards are independent, so the trait
+/// is `Send`; determinism follows because each driver sees exactly its
+/// own shard's event sequence regardless of thread count.
+pub trait ShardDriver: Send {
+    /// Called once at the start of the run; push initial flows into
+    /// `out`.
+    fn begin(&mut self, shard: usize, out: &mut Vec<FlowSpec>);
+
+    /// Called after each batch of completions in this shard; push
+    /// replacement flows into `out`. The run ends for a shard when it
+    /// has no in-flight flows and `out` stays empty.
+    fn on_completions(&mut self, shard: usize, done: &[CompletedFlow], out: &mut Vec<FlowSpec>);
+}
+
+/// Multi-threaded sharded variant of [`FlowNetwork`].
+///
+/// Same public surface (`inject`, `inject_batch`, `fail_link`,
+/// `degrade_link`, `evict_flows_matching`, `next_event`, `advance_to`,
+/// `drain_completed`, `run_to_completion`, link statistics) plus
+/// [`ShardedNetwork::run_sharded`], the parallel driver loop the churn
+/// benchmarks use. See the [module docs](self) for the sharding model
+/// and determinism contract.
+///
+/// [`FlowNetwork`]: crate::netsim::FlowNetwork
+pub struct ShardedNetwork {
+    /// `cores[0..shards]` are the shard cores; `cores[shards]` is the
+    /// fused spill core. Every core sees the full link table (capacity
+    /// changes are broadcast), but owns a disjoint flow set.
+    cores: Vec<Core>,
+    part: PartitionMap,
+    threads: usize,
+    /// Whether all live flows currently sit in the fused core.
+    fused: bool,
+    /// Ids of live boundary (cross-shard) flows; fusion persists until
+    /// this drains empty.
+    boundary: HashSet<u64>,
+    sink: Rc<dyn TraceSink>,
+    tracing: bool,
+    /// Per-core last merged active count (baseline for epoch merging).
+    last_active: Vec<u32>,
+}
+
+impl std::fmt::Debug for ShardedNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedNetwork")
+            .field("shards", &self.part.shards())
+            .field("threads", &self.threads)
+            .field("fused", &self.fused)
+            .field("boundary", &self.boundary.len())
+            .finish()
+    }
+}
+
+impl ShardedNetwork {
+    /// Creates a sharded simulator over `topo` partitioned by `part`,
+    /// with tracing disabled. `threads == 0` reads the `FRED_THREADS`
+    /// environment variable (defaulting to 1); the effective thread
+    /// count is clamped to the shard count.
+    pub fn new(topo: Topology, part: PartitionMap, threads: usize) -> ShardedNetwork {
+        ShardedNetwork::with_sink(topo, part, threads, Rc::new(NullSink))
+    }
+
+    /// Creates a sharded simulator that records structured events into
+    /// `sink`. Events from all cores are merged in deterministic order
+    /// (time, then kind, then id), independent of the thread count.
+    pub fn with_sink(
+        topo: Topology,
+        part: PartitionMap,
+        threads: usize,
+        sink: Rc<dyn TraceSink>,
+    ) -> ShardedNetwork {
+        assert_eq!(
+            part.links(),
+            topo.link_count(),
+            "partition map covers {} links but the topology has {}",
+            part.links(),
+            topo.link_count()
+        );
+        let threads = if threads == 0 {
+            std::env::var("FRED_THREADS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&t| t > 0)
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        let threads = threads.min(part.shards()).max(1);
+        let tracing = sink.enabled();
+        let topo = Arc::new(topo);
+        let n = part.shards() + 1;
+        // Core `i` allocates flow ids `i, i+n, i+2n, …` — disjoint
+        // namespaces, so merged completion streams never collide and
+        // the allocation is deterministic per core regardless of how
+        // cores interleave in wall-clock time.
+        let cores: Vec<Core> = (0..n)
+            .map(|i| Core::new(topo.clone(), i as u64, n as u64, tracing, tracing))
+            .collect();
+        if tracing {
+            sink.record(TraceEvent::Topology {
+                t: 0.0,
+                capacities: topo.links().map(|(_, l)| l.bandwidth).collect(),
+            });
+        }
+        ShardedNetwork {
+            last_active: vec![0; cores.len()],
+            cores,
+            part,
+            threads,
+            fused: false,
+            boundary: HashSet::new(),
+            sink,
+            tracing,
+        }
+    }
+
+    /// The effective worker thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Number of shards in the partition.
+    pub fn shards(&self) -> usize {
+        self.part.shards()
+    }
+
+    /// Whether all live flows currently sit in the fused core (i.e. a
+    /// boundary flow forced the conservative serial mode).
+    pub fn is_fused(&self) -> bool {
+        self.fused
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        self.cores[0].topology()
+    }
+
+    /// The telemetry sink events are merged into.
+    pub fn sink(&self) -> &Rc<dyn TraceSink> {
+        &self.sink
+    }
+
+    /// Current simulation time. Cores are mutually synchronized at the
+    /// end of every public call, so the facade clock is any core's.
+    pub fn now(&self) -> Time {
+        debug_assert!(
+            self.cores.iter().all(|c| c.now() == self.cores[0].now()),
+            "cores desynchronized outside a run"
+        );
+        self.cores[0].now()
+    }
+
+    /// Flows in flight across all cores.
+    pub fn in_flight(&self) -> usize {
+        self.cores.iter().map(|c| c.in_flight()).sum()
+    }
+
+    /// Lifecycle events processed across all cores.
+    pub fn events_processed(&self) -> u64 {
+        self.cores.iter().map(|c| c.events_processed()).sum()
+    }
+
+    /// Drain-heap compactions across all cores.
+    pub fn heap_compactions(&self) -> u64 {
+        self.cores.iter().map(|c| c.heap_compactions()).sum()
+    }
+
+    /// Sets the incremental solver's global-refill threshold on every
+    /// core.
+    pub fn set_refill_fraction(&mut self, fraction: f64) {
+        for c in &mut self.cores {
+            c.set_refill_fraction(fraction);
+        }
+    }
+
+    /// Test hook mirroring [`FlowNetwork::set_heap_compaction_min`] on
+    /// every core.
+    ///
+    /// [`FlowNetwork::set_heap_compaction_min`]: crate::netsim::FlowNetwork::set_heap_compaction_min
+    pub fn set_heap_compaction_min(&mut self, min: usize) {
+        for c in &mut self.cores {
+            c.set_compaction_min(min);
+        }
+    }
+
+    /// Summed solver cost counters across all cores (`max_component`
+    /// is the max). Thread-count-stable, but *not* comparable to a
+    /// single-core run's counters: per-shard solves count once per
+    /// core, so `solves` is higher while `refilled_flows` per solve is
+    /// smaller.
+    pub fn solver_stats(&self) -> SolverStats {
+        let mut total = SolverStats::default();
+        for c in &self.cores {
+            let s = c.solver_stats();
+            total.solves += s.solves;
+            total.global_solves += s.global_solves;
+            total.refilled_flows += s.refilled_flows;
+            total.max_component = total.max_component.max(s.max_component);
+        }
+        total
+    }
+
+    /// Current capacity of a link (identical in every core).
+    pub fn link_capacity(&self, link: LinkId) -> f64 {
+        self.cores[0].link_capacity(link)
+    }
+
+    /// Whether `link` has been killed by [`ShardedNetwork::fail_link`].
+    pub fn is_link_failed(&self, link: LinkId) -> bool {
+        self.cores[0].is_link_failed(link)
+    }
+
+    /// All links killed so far, in id order.
+    pub fn failed_links(&self) -> Vec<LinkId> {
+        self.cores[0].failed_links()
+    }
+
+    /// Whether any link has been killed.
+    pub fn any_link_failed(&self) -> bool {
+        self.cores[0].any_link_failed()
+    }
+
+    /// Cumulative bytes carried by a link, summed over every core that
+    /// ever owned one of its flows (core-ascending summation order —
+    /// deterministic, though the f64 association may differ from a
+    /// single-core run in the last bit).
+    pub fn link_carried_bytes(&self, link: LinkId) -> f64 {
+        self.cores.iter().map(|c| c.link_carried_bytes(link)).sum()
+    }
+
+    /// Link utilisation over `[Time::ZERO, now]`; see
+    /// [`ShardedNetwork::link_carried_bytes`].
+    pub fn link_utilization(&self, link: LinkId) -> f64 {
+        let elapsed = self.now().as_secs();
+        let denom = self.link_capacity(link) * elapsed;
+        if denom <= 0.0 {
+            0.0
+        } else {
+            self.link_carried_bytes(link) / denom
+        }
+    }
+
+    /// Index of the fused spill core.
+    fn fused_idx(&self) -> usize {
+        self.part.shards()
+    }
+
+    /// Migrates every live flow into the fused core. Observationally
+    /// silent (see [`Core::extract_live`] / [`Core::adopt`]); shard
+    /// cores keep their drained-pending flows and telemetry history.
+    fn fuse(&mut self) {
+        if self.fused {
+            return;
+        }
+        let fused = self.fused_idx();
+        for s in 0..fused {
+            let (head, tail) = self.cores.split_at_mut(fused);
+            for m in head[s].extract_live() {
+                tail[0].adopt(m);
+            }
+        }
+        self.fused = true;
+    }
+
+    /// Migrates flows back to their owning shard cores once no
+    /// boundary flow remains. Called at the prologue of every
+    /// time-advancing entry point.
+    fn maybe_defuse(&mut self) {
+        if !self.fused || !self.boundary.is_empty() {
+            return;
+        }
+        let fused = self.fused_idx();
+        let (head, tail) = self.cores.split_at_mut(fused);
+        for m in tail[0].extract_live() {
+            let shard = self
+                .part
+                .shard_of_indices(m.link_indices())
+                .expect("boundary set empty but a cross-shard flow is live");
+            head[shard].adopt(m);
+        }
+        self.fused = false;
+    }
+
+    /// Injects a flow at the current time. Routes entirely inside one
+    /// shard go to that shard's core; a cross-shard route fuses the
+    /// network (every live flow migrates to the single fused core,
+    /// which then behaves exactly like a single-threaded
+    /// [`FlowNetwork`]) until all boundary flows finish.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`FlowNetwork::inject`]; the network is
+    /// unchanged on error (in particular, an invalid route never
+    /// triggers fusion).
+    ///
+    /// [`FlowNetwork`]: crate::netsim::FlowNetwork
+    /// [`FlowNetwork::inject`]: crate::netsim::FlowNetwork::inject
+    pub fn inject(&mut self, spec: FlowSpec) -> Result<FlowId, RouteError> {
+        self.topology().validate_route(&spec.route)?;
+        if let Some(&dead) = spec
+            .route
+            .iter()
+            .find(|&&l| self.cores[0].is_link_failed(l))
+        {
+            return Err(RouteError::FailedLink(dead));
+        }
+        let owner = self.part.shard_of_route(&spec.route);
+        let boundary = owner.is_none();
+        let core = if self.fused || boundary {
+            self.fuse();
+            self.fused_idx()
+        } else {
+            owner.expect("non-boundary route has an owner")
+        };
+        let id = self.cores[core].inject(spec)?;
+        if boundary {
+            self.boundary.insert(id.0);
+        }
+        self.merge_events();
+        Ok(id)
+    }
+
+    /// Injects several flows at the current time, all-or-nothing, same
+    /// contract as [`FlowNetwork::inject_batch`].
+    ///
+    /// [`FlowNetwork::inject_batch`]: crate::netsim::FlowNetwork::inject_batch
+    pub fn inject_batch(&mut self, specs: Vec<FlowSpec>) -> Result<Vec<FlowId>, RouteError> {
+        let _prof = fred_telemetry::prof::scope("netsim.inject_batch");
+        fred_telemetry::prof::record_value("netsim.inject_batch_flows", specs.len() as f64);
+        for spec in &specs {
+            self.topology().validate_route(&spec.route)?;
+            if let Some(&dead) = spec
+                .route
+                .iter()
+                .find(|&&l| self.cores[0].is_link_failed(l))
+            {
+                return Err(RouteError::FailedLink(dead));
+            }
+        }
+        specs.into_iter().map(|spec| self.inject(spec)).collect()
+    }
+
+    /// Kills `link` in every core (capacities are replicated);
+    /// evictions are concatenated in core order. One merged
+    /// [`TraceEvent::Fault`] is emitted.
+    pub fn fail_link(&mut self, link: LinkId) -> Vec<EvictedFlow> {
+        let already_dead = self.cores[0].is_link_failed(link);
+        let mut evicted = Vec::new();
+        for c in &mut self.cores {
+            evicted.extend(c.fail_link(link));
+        }
+        for e in &evicted {
+            self.boundary.remove(&e.id.0);
+        }
+        if !already_dead && self.tracing {
+            self.sink.record(TraceEvent::Fault {
+                t: self.now().as_secs(),
+                link: link.0 as u32,
+                capacity_fraction: 0.0,
+                evicted: evicted.len() as u32,
+            });
+        }
+        self.merge_events();
+        evicted
+    }
+
+    /// Degrades `link` to `fraction` of its topology bandwidth in
+    /// every core; same contract as [`FlowNetwork::degrade_link`].
+    ///
+    /// [`FlowNetwork::degrade_link`]: crate::netsim::FlowNetwork::degrade_link
+    pub fn degrade_link(&mut self, link: LinkId, fraction: f64) {
+        for c in &mut self.cores {
+            c.degrade_link(link, fraction);
+        }
+        if self.tracing {
+            self.sink.record(TraceEvent::Fault {
+                t: self.now().as_secs(),
+                link: link.0 as u32,
+                capacity_fraction: fraction,
+                evicted: 0,
+            });
+        }
+        self.merge_events();
+    }
+
+    /// Preempts flows by tag across every core (core order, then slot
+    /// order within a core); same contract as
+    /// [`FlowNetwork::evict_flows_matching`].
+    ///
+    /// [`FlowNetwork::evict_flows_matching`]: crate::netsim::FlowNetwork::evict_flows_matching
+    pub fn evict_flows_matching(&mut self, mut pred: impl FnMut(u64) -> bool) -> Vec<EvictedFlow> {
+        let mut evicted = Vec::new();
+        for c in &mut self.cores {
+            evicted.extend(c.evict_flows_matching(&mut pred));
+        }
+        for e in &evicted {
+            self.boundary.remove(&e.id.0);
+        }
+        self.merge_events();
+        evicted
+    }
+
+    /// Effective worker count for the current mode (fusion is the
+    /// serial limit).
+    fn worker_count(&self) -> usize {
+        if self.fused {
+            1
+        } else {
+            self.threads
+        }
+    }
+
+    /// The next instant at which any core's state changes on its own
+    /// (also the solver flush point in every core), if any.
+    pub fn next_event(&mut self) -> Option<Time> {
+        self.maybe_defuse();
+        let slots: Vec<std::sync::Mutex<Option<Time>>> = self
+            .cores
+            .iter()
+            .map(|_| std::sync::Mutex::new(None))
+            .collect();
+        let threads = self.worker_count();
+        par_each(&mut self.cores, threads, |i, c| {
+            *slots[i].lock().expect("next_event slot poisoned") = c.next_event();
+        });
+        self.merge_events();
+        slots
+            .into_iter()
+            .filter_map(|m| m.into_inner().expect("next_event slot poisoned"))
+            .min()
+    }
+
+    /// Advances every core to `t`, in parallel while unfused.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is in the past.
+    pub fn advance_to(&mut self, t: Time) {
+        self.maybe_defuse();
+        let threads = self.worker_count();
+        par_each(&mut self.cores, threads, |_, c| c.advance_to(t));
+        self.merge_events();
+    }
+
+    /// Removes and returns all buffered completions from every core,
+    /// merged by `(completed_at, id)` — a deterministic order
+    /// independent of the thread count. Completed boundary flows are
+    /// retired here, re-arming defusion.
+    pub fn drain_completed(&mut self) -> Vec<CompletedFlow> {
+        let mut out: Vec<CompletedFlow> = Vec::new();
+        for c in &mut self.cores {
+            out.extend(c.drain_completed());
+        }
+        out.sort_by(|a, b| a.completed_at.cmp(&b.completed_at).then(a.id.cmp(&b.id)));
+        if !self.boundary.is_empty() {
+            for c in &out {
+                self.boundary.remove(&c.id.0);
+            }
+        }
+        out
+    }
+
+    /// Runs until every in-flight flow has completed; per-core runs
+    /// execute in parallel while unfused. Completions are merged by
+    /// `(completed_at, id)` and the facade clock lands on the latest
+    /// core's final event time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if progress stalls in any core (same contract as
+    /// [`FlowNetwork::run_to_completion`]).
+    ///
+    /// [`FlowNetwork::run_to_completion`]: crate::netsim::FlowNetwork::run_to_completion
+    pub fn run_to_completion(&mut self) -> Vec<CompletedFlow> {
+        self.maybe_defuse();
+        let threads = self.worker_count();
+        par_each(&mut self.cores, threads, |_, c| c.run_all());
+        self.resync_clocks();
+        self.merge_events();
+        self.drain_completed()
+    }
+
+    /// Aligns every core's clock to the furthest core (cores advance
+    /// to their own final event during independent runs).
+    fn resync_clocks(&mut self) {
+        let latest = self
+            .cores
+            .iter()
+            .map(|c| c.now())
+            .max()
+            .expect("at least one core");
+        for c in &mut self.cores {
+            c.advance_to(latest);
+        }
+    }
+
+    /// The parallel driver loop: one [`ShardDriver`] per shard, each
+    /// injecting and reacting to completions in its own shard. While
+    /// the network is unfused the per-shard loops run concurrently on
+    /// worker threads with *no* cross-shard synchronization (the
+    /// shards are link-disjoint, so the conservative lookahead is
+    /// unbounded); a fused network runs one global event loop and
+    /// dispatches completions to drivers in shard order. Either way a
+    /// given driver observes exactly the same event sequence, which is
+    /// why results are bit-identical across thread counts.
+    ///
+    /// Returns all completions merged by `(completed_at, id)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drivers.len() != self.shards()` or a driver injects
+    /// a flow that leaves its shard.
+    pub fn run_sharded<D: ShardDriver>(&mut self, drivers: &mut [D]) -> Vec<CompletedFlow> {
+        assert_eq!(
+            drivers.len(),
+            self.shards(),
+            "need exactly one driver per shard"
+        );
+        self.maybe_defuse();
+        if self.fused {
+            self.run_sharded_fused(drivers);
+        } else {
+            let part = &self.part;
+            let fused_idx = self.fused_idx();
+            let threads = self.worker_count();
+            let drivers: Vec<std::sync::Mutex<&mut D>> =
+                drivers.iter_mut().map(std::sync::Mutex::new).collect();
+            let drivers = &drivers;
+            par_each(&mut self.cores, threads, |i, core| {
+                if i == fused_idx {
+                    // The spill core only holds drained-pending flows
+                    // while unfused; let their latencies expire.
+                    core.run_all();
+                    return;
+                }
+                let mut driver = drivers[i].lock().expect("driver poisoned");
+                let mut specs = Vec::new();
+                let mut finished: Vec<CompletedFlow> = Vec::new();
+                driver.begin(i, &mut specs);
+                inject_shard_local(core, part, i, &mut specs);
+                while core.in_flight() > 0 {
+                    let Some(te) = core.next_event() else { break };
+                    core.advance_to(te);
+                    let done = core.drain_completed();
+                    if done.is_empty() {
+                        continue;
+                    }
+                    driver.on_completions(i, &done, &mut specs);
+                    inject_shard_local(core, part, i, &mut specs);
+                    finished.extend(done);
+                }
+                // Re-buffer so the facade's merged drain returns them.
+                for c in finished {
+                    core.push_completed(c);
+                }
+            });
+        }
+        self.resync_clocks();
+        self.merge_events();
+        self.drain_completed()
+    }
+
+    /// Fused-mode driver loop: one global event sequence, completions
+    /// dispatched to their injecting driver in ascending shard order —
+    /// the serial semantics the parallel path must (and does) match.
+    fn run_sharded_fused<D: ShardDriver>(&mut self, drivers: &mut [D]) {
+        let fused_idx = self.fused_idx();
+        // Driver-injected flows are tracked by id so completions can be
+        // routed back to the shard that owns them (facade-injected
+        // boundary flows have no driver and are simply retired).
+        let mut owner_of: HashMap<u64, usize> = HashMap::new();
+        let mut specs = Vec::new();
+        let mut held: Vec<CompletedFlow> = Vec::new();
+        for (s, d) in drivers.iter_mut().enumerate() {
+            d.begin(s, &mut specs);
+            for spec in specs.drain(..) {
+                let shard = self
+                    .part
+                    .shard_of_route(&spec.route)
+                    .unwrap_or_else(|| panic!("driver {s} injected a cross-shard flow"));
+                assert_eq!(shard, s, "driver {s} injected into shard {shard}");
+                let id = self.cores[fused_idx]
+                    .inject(spec)
+                    .expect("driver injected an invalid route");
+                owner_of.insert(id.0, s);
+            }
+        }
+        loop {
+            let next = self.cores.iter_mut().filter_map(|c| c.next_event()).min();
+            let Some(te) = next else { break };
+            for c in &mut self.cores {
+                if c.now() < te {
+                    c.advance_to(te);
+                }
+            }
+            let mut done: Vec<CompletedFlow> = Vec::new();
+            for c in &mut self.cores {
+                done.extend(c.drain_completed());
+            }
+            if done.is_empty() {
+                continue;
+            }
+            done.sort_by(|a, b| a.completed_at.cmp(&b.completed_at).then(a.id.cmp(&b.id)));
+            for (s, driver) in drivers.iter_mut().enumerate() {
+                let batch: Vec<CompletedFlow> = done
+                    .iter()
+                    .filter(|c| owner_of.get(&c.id.0) == Some(&s))
+                    .cloned()
+                    .collect();
+                if batch.is_empty() {
+                    continue;
+                }
+                driver.on_completions(s, &batch, &mut specs);
+                for spec in specs.drain(..) {
+                    let shard = self
+                        .part
+                        .shard_of_route(&spec.route)
+                        .unwrap_or_else(|| panic!("driver {s} injected a cross-shard flow"));
+                    assert_eq!(shard, s, "driver {s} injected into shard {shard}");
+                    let id = self.cores[fused_idx]
+                        .inject(spec)
+                        .expect("driver injected an invalid route");
+                    owner_of.insert(id.0, s);
+                }
+            }
+            for c in &done {
+                self.boundary.remove(&c.id.0);
+                owner_of.remove(&c.id.0);
+            }
+            held.extend(done);
+        }
+        // Re-buffer completions so the shared drain path returns them.
+        for c in held {
+            self.cores[fused_idx].push_completed(c);
+        }
+    }
+
+    /// Drains every core's buffered telemetry and forwards it to the
+    /// sink in canonical merged order: ascending time; within one
+    /// instant injections, then drains, then completions (each by flow
+    /// id), then one *merged* rate epoch (active counts summed across
+    /// cores, changed counts summed over every core epoch at that
+    /// instant), then link utilisations (last sample per link, by link
+    /// id). The order depends only on simulation results, never on the
+    /// thread count.
+    fn merge_events(&mut self) {
+        if !self.tracing {
+            return;
+        }
+        let mut events: Vec<TraceEvent> = Vec::new();
+        let mut active_logs: Vec<Vec<(Time, u32)>> = Vec::with_capacity(self.cores.len());
+        for c in &mut self.cores {
+            events.extend(c.take_events());
+            active_logs.push(c.take_active_log());
+        }
+        if events.is_empty() {
+            for (i, log) in active_logs.iter().enumerate() {
+                if let Some(&(_, a)) = log.last() {
+                    self.last_active[i] = a;
+                }
+            }
+            return;
+        }
+        events.sort_by(|a, b| {
+            event_time(a)
+                .total_cmp(&event_time(b))
+                .then_with(|| event_rank(a).cmp(&event_rank(b)))
+                .then_with(|| event_ord(a).cmp(&event_ord(b)))
+        });
+        let mut cursors = vec![0usize; active_logs.len()];
+        let mut i = 0;
+        while i < events.len() {
+            let t = event_time(&events[i]);
+            let mut j = i;
+            let mut changed_sum: u32 = 0;
+            let mut saw_epoch = false;
+            while j < events.len() && event_time(&events[j]) == t {
+                if let TraceEvent::RateEpoch { changed, .. } = events[j] {
+                    changed_sum += changed;
+                    saw_epoch = true;
+                }
+                j += 1;
+            }
+            // Advance per-core active baselines through instant `t`.
+            for (c, log) in active_logs.iter().enumerate() {
+                while cursors[c] < log.len() && log[cursors[c]].0.as_secs() <= t {
+                    self.last_active[c] = log[cursors[c]].1;
+                    cursors[c] += 1;
+                }
+            }
+            let mut last_util: Vec<(u32, f64)> = Vec::new();
+            for e in &events[i..j] {
+                match e {
+                    TraceEvent::RateEpoch { .. } => {}
+                    TraceEvent::LinkUtil {
+                        link, utilization, ..
+                    } => match last_util.iter_mut().find(|(l, _)| l == link) {
+                        Some(slot) => slot.1 = *utilization,
+                        None => last_util.push((*link, *utilization)),
+                    },
+                    other => self.sink.record(other.clone()),
+                }
+            }
+            if saw_epoch {
+                let active: u32 = self.last_active.iter().sum();
+                self.sink.record(TraceEvent::RateEpoch {
+                    t,
+                    active_flows: active,
+                    changed: changed_sum,
+                });
+            }
+            last_util.sort_by_key(|&(l, _)| l);
+            for (link, utilization) in last_util {
+                self.sink.record(TraceEvent::LinkUtil {
+                    t,
+                    link,
+                    utilization,
+                });
+            }
+            i = j;
+        }
+        // Account for any trailing active-log entries (e.g. silent
+        // migrations that emitted no events).
+        for (c, log) in active_logs.iter().enumerate() {
+            if cursors[c] < log.len() {
+                self.last_active[c] = log[log.len() - 1].1;
+            }
+        }
+    }
+}
+
+/// Runs `f(core_index, core)` over every core, fanning out over
+/// `threads` worker threads when more than one is requested. Cores are
+/// link- and flow-disjoint whenever this runs with `threads > 1` (the
+/// fused mode forces 1), so any partition of cores onto threads
+/// produces identical per-core results; worker threads flush their
+/// profiler samples at the join barrier so scope timers survive into
+/// the caller's snapshot.
+fn par_each<F>(cores: &mut [Core], threads: usize, f: F)
+where
+    F: Fn(usize, &mut Core) + Send + Sync,
+{
+    if threads <= 1 || cores.len() <= 1 {
+        for (i, c) in cores.iter_mut().enumerate() {
+            f(i, c);
+        }
+        return;
+    }
+    let chunk = cores.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (t, group) in cores.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                for (j, c) in group.iter_mut().enumerate() {
+                    f(t * chunk + j, c);
+                }
+                fred_telemetry::prof::flush_thread();
+            });
+        }
+    });
+}
+
+/// Validates and injects a driver's shard-local specs into its core.
+fn inject_shard_local(
+    core: &mut Core,
+    part: &PartitionMap,
+    shard: usize,
+    specs: &mut Vec<FlowSpec>,
+) {
+    for spec in specs.drain(..) {
+        let owner = part
+            .shard_of_route(&spec.route)
+            .unwrap_or_else(|| panic!("driver {shard} injected a cross-shard flow"));
+        assert_eq!(owner, shard, "driver {shard} injected into shard {owner}");
+        core.inject(spec).expect("driver injected an invalid route");
+    }
+}
+
+fn event_time(e: &TraceEvent) -> f64 {
+    match e {
+        TraceEvent::Topology { t, .. }
+        | TraceEvent::FlowInjected { t, .. }
+        | TraceEvent::FlowDrained { t, .. }
+        | TraceEvent::FlowCompleted { t, .. }
+        | TraceEvent::RateEpoch { t, .. }
+        | TraceEvent::LinkUtil { t, .. }
+        | TraceEvent::PhaseBegin { t, .. }
+        | TraceEvent::PhaseEnd { t, .. }
+        | TraceEvent::SpanDep { t, .. }
+        | TraceEvent::IterStage { t, .. }
+        | TraceEvent::Fault { t, .. }
+        | TraceEvent::Sample { t, .. } => *t,
+    }
+}
+
+/// Merge rank within one instant: injections, drains, completions,
+/// everything else, epochs, link utilisations.
+fn event_rank(e: &TraceEvent) -> u8 {
+    match e {
+        TraceEvent::FlowInjected { .. } => 0,
+        TraceEvent::FlowDrained { .. } => 1,
+        TraceEvent::FlowCompleted { .. } => 2,
+        TraceEvent::RateEpoch { .. } => 4,
+        TraceEvent::LinkUtil { .. } => 5,
+        _ => 3,
+    }
+}
+
+fn event_ord(e: &TraceEvent) -> u64 {
+    match e {
+        TraceEvent::FlowInjected { id, .. }
+        | TraceEvent::FlowDrained { id, .. }
+        | TraceEvent::FlowCompleted { id, .. } => *id,
+        TraceEvent::LinkUtil { link, .. } => *link as u64,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::Priority;
+    use crate::netsim::FlowNetwork;
+    use crate::topology::NodeKind;
+
+    /// Two disjoint two-node islands (links 0 and 1) — the minimal
+    /// two-shard fabric — plus a partition map splitting them.
+    fn two_islands() -> (Topology, PartitionMap, LinkId, LinkId) {
+        let mut topo = Topology::new();
+        let a = topo.add_node(NodeKind::Npu, "a0");
+        let b = topo.add_node(NodeKind::Npu, "b0");
+        let c = topo.add_node(NodeKind::Npu, "a1");
+        let d = topo.add_node(NodeKind::Npu, "b1");
+        let l0 = topo.add_link(a, b, 100.0, 0.0);
+        let l1 = topo.add_link(c, d, 100.0, 0.0);
+        // A bridging link so boundary routes exist.
+        let _bridge = topo.add_link(b, c, 100.0, 0.0);
+        let part = PartitionMap::new(vec![0, 1, 0], 2);
+        (topo, part, l0, l1)
+    }
+
+    #[test]
+    fn partition_map_classifies_routes() {
+        let (_, part, l0, l1) = two_islands();
+        assert_eq!(part.shards(), 2);
+        assert_eq!(part.shard_of_route(&[l0]), Some(0));
+        assert_eq!(part.shard_of_route(&[l1]), Some(1));
+        assert_eq!(part.shard_of_route(&[]), Some(0));
+        assert_eq!(part.shard_of_route(&[l0, LinkId(2), l1]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range shard")]
+    fn partition_map_rejects_bad_entries() {
+        PartitionMap::new(vec![0, 3], 2);
+    }
+
+    #[test]
+    fn shard_local_flows_match_single_core() {
+        let (topo, part, l0, l1) = two_islands();
+        let mut single = FlowNetwork::new(topo.clone());
+        let mut sharded = ShardedNetwork::new(topo, part, 2);
+        single
+            .inject(FlowSpec::new(vec![l0], 200.0).with_tag(1))
+            .unwrap();
+        single
+            .inject(FlowSpec::new(vec![l1], 400.0).with_tag(2))
+            .unwrap();
+        sharded
+            .inject(FlowSpec::new(vec![l0], 200.0).with_tag(1))
+            .unwrap();
+        sharded
+            .inject(FlowSpec::new(vec![l1], 400.0).with_tag(2))
+            .unwrap();
+        assert!(!sharded.is_fused());
+        let a = single.run_to_completion();
+        let b = sharded.run_to_completion();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.tag, y.tag);
+            assert_eq!(x.completed_at, y.completed_at, "bit-identical times");
+        }
+        assert_eq!(
+            single.link_carried_bytes(l0),
+            sharded.link_carried_bytes(l0)
+        );
+    }
+
+    #[test]
+    fn boundary_flow_fuses_then_defuses() {
+        let (topo, part, l0, l1) = two_islands();
+        let mut net = ShardedNetwork::new(topo, part, 2);
+        net.inject(FlowSpec::new(vec![l0], 100.0).with_tag(0))
+            .unwrap();
+        assert!(!net.is_fused());
+        // Cross-shard route: l0 (shard 0) → bridge (shard 0) → l1 (shard 1).
+        net.inject(
+            FlowSpec::new(vec![LinkId(2), l1], 50.0)
+                .with_tag(9)
+                .with_priority(Priority::Mp),
+        )
+        .unwrap();
+        assert!(net.is_fused());
+        let done = net.run_to_completion();
+        assert_eq!(done.len(), 2);
+        // Boundary flow completed; the next time-advancing call defuses.
+        net.inject(FlowSpec::new(vec![l0], 10.0).with_tag(1))
+            .unwrap();
+        net.next_event();
+        assert!(!net.is_fused());
+        let done = net.run_to_completion();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].tag, 1);
+    }
+
+    #[test]
+    fn fused_matches_single_core_exactly() {
+        // All traffic crosses shards: the fused core must reproduce the
+        // single-core simulator bit for bit.
+        let (topo, part, l0, l1) = two_islands();
+        let run_single = || {
+            let mut net = FlowNetwork::new(topo.clone());
+            net.inject(FlowSpec::new(vec![l0, LinkId(2), l1], 300.0).with_tag(0))
+                .unwrap();
+            net.inject(FlowSpec::new(vec![LinkId(2), l1], 100.0).with_tag(1))
+                .unwrap();
+            net.run_to_completion()
+        };
+        let run_sharded = |threads: usize| {
+            let mut net = ShardedNetwork::new(topo.clone(), part.clone(), threads);
+            net.inject(FlowSpec::new(vec![l0, LinkId(2), l1], 300.0).with_tag(0))
+                .unwrap();
+            net.inject(FlowSpec::new(vec![LinkId(2), l1], 100.0).with_tag(1))
+                .unwrap();
+            net.run_to_completion()
+        };
+        let a = run_single();
+        for threads in [1, 2] {
+            let b = run_sharded(threads);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.tag, y.tag);
+                assert_eq!(x.completed_at, y.completed_at);
+            }
+        }
+    }
+
+    #[test]
+    fn fail_link_broadcasts_and_evicts_across_cores() {
+        let (topo, part, l0, l1) = two_islands();
+        let mut net = ShardedNetwork::new(topo, part, 2);
+        net.inject(FlowSpec::new(vec![l0], 200.0).with_tag(0))
+            .unwrap();
+        net.inject(FlowSpec::new(vec![l1], 200.0).with_tag(1))
+            .unwrap();
+        net.advance_to(Time::from_secs(1.0));
+        let evicted = net.fail_link(l1);
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].tag, 1);
+        assert!((evicted[0].remaining_bytes - 100.0).abs() < 1e-9);
+        assert!(net.is_link_failed(l1));
+        assert!(net.inject(FlowSpec::new(vec![l1], 1.0)).is_err());
+        let done = net.run_to_completion();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].tag, 0);
+        assert!((done[0].completed_at.as_secs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evict_flows_matching_spans_cores() {
+        let (topo, part, l0, l1) = two_islands();
+        let mut net = ShardedNetwork::new(topo, part, 1);
+        net.inject(FlowSpec::new(vec![l0], 100.0).with_tag(10))
+            .unwrap();
+        net.inject(FlowSpec::new(vec![l1], 100.0).with_tag(20))
+            .unwrap();
+        let evicted = net.evict_flows_matching(|tag| tag >= 10);
+        let mut tags: Vec<u64> = evicted.iter().map(|e| e.tag).collect();
+        tags.sort_unstable();
+        assert_eq!(tags, vec![10, 20]);
+        assert_eq!(net.in_flight(), 0);
+    }
+
+    struct PingDriver {
+        link: LinkId,
+        left: u32,
+    }
+    impl ShardDriver for PingDriver {
+        fn begin(&mut self, shard: usize, out: &mut Vec<FlowSpec>) {
+            out.push(FlowSpec::new(vec![self.link], 100.0).with_tag(shard as u64));
+        }
+        fn on_completions(
+            &mut self,
+            shard: usize,
+            done: &[CompletedFlow],
+            out: &mut Vec<FlowSpec>,
+        ) {
+            assert!(done.iter().all(|c| c.tag == shard as u64));
+            if self.left > 0 {
+                self.left -= 1;
+                out.push(FlowSpec::new(vec![self.link], 100.0).with_tag(shard as u64));
+            }
+        }
+    }
+
+    #[test]
+    fn run_sharded_is_thread_count_invariant() {
+        let (topo, part, l0, l1) = two_islands();
+        let run = |threads: usize| {
+            let mut net = ShardedNetwork::new(topo.clone(), part.clone(), threads);
+            let mut drivers = vec![
+                PingDriver { link: l0, left: 3 },
+                PingDriver { link: l1, left: 5 },
+            ];
+            let done = net.run_sharded(&mut drivers);
+            (
+                done.iter()
+                    .map(|c| (c.tag, c.completed_at))
+                    .collect::<Vec<_>>(),
+                net.now(),
+            )
+        };
+        let (a, ta) = run(1);
+        let (b, tb) = run(2);
+        assert_eq!(a, b, "results must not depend on thread count");
+        assert_eq!(ta, tb);
+        assert_eq!(a.len(), 4 + 6);
+    }
+
+    #[test]
+    fn run_sharded_fused_dispatches_to_owning_driver() {
+        let (topo, part, l0, l1) = two_islands();
+        let mut net = ShardedNetwork::new(topo, part, 2);
+        // Force fusion with a boundary flow first.
+        net.inject(FlowSpec::new(vec![LinkId(2), l1], 500.0).with_tag(99))
+            .unwrap();
+        assert!(net.is_fused());
+        let mut drivers = vec![
+            PingDriver { link: l0, left: 1 },
+            PingDriver { link: l1, left: 1 },
+        ];
+        let done = net.run_sharded(&mut drivers);
+        // 2 per driver + the boundary flow.
+        assert_eq!(done.len(), 5);
+        assert!(done.iter().any(|c| c.tag == 99));
+    }
+
+    #[test]
+    #[should_panic(expected = "cross-shard flow")]
+    fn run_sharded_rejects_cross_shard_injection() {
+        let (topo, part, _l0, l1) = two_islands();
+        struct Rogue {
+            l1: LinkId,
+        }
+        impl ShardDriver for Rogue {
+            fn begin(&mut self, shard: usize, out: &mut Vec<FlowSpec>) {
+                if shard == 0 {
+                    out.push(FlowSpec::new(vec![LinkId(2), self.l1], 1.0));
+                }
+            }
+            fn on_completions(&mut self, _: usize, _: &[CompletedFlow], _: &mut Vec<FlowSpec>) {}
+        }
+        let mut net = ShardedNetwork::new(topo, part, 1);
+        let mut drivers = vec![Rogue { l1 }, Rogue { l1 }];
+        net.run_sharded(&mut drivers);
+    }
+
+    #[test]
+    fn merged_telemetry_is_deterministic_and_complete() {
+        use fred_telemetry::sink::RingRecorder;
+
+        let (topo, part, l0, l1) = two_islands();
+        let run = |threads: usize| {
+            let rec = Rc::new(RingRecorder::new());
+            let mut net =
+                ShardedNetwork::with_sink(topo.clone(), part.clone(), threads, rec.clone());
+            net.inject(FlowSpec::new(vec![l0], 100.0).with_tag(0))
+                .unwrap();
+            net.inject(FlowSpec::new(vec![l1], 300.0).with_tag(1))
+                .unwrap();
+            net.run_to_completion();
+            rec.events()
+                .iter()
+                .map(event_fingerprint)
+                .collect::<Vec<_>>()
+        };
+        let a = run(1);
+        let b = run(2);
+        assert_eq!(a, b, "merged event stream must not depend on threads");
+        // Lifecycle is complete: 2 injections, 2 drains, 2 completions.
+        let count = |pat: &str| a.iter().filter(|s| s.starts_with(pat)).count();
+        assert_eq!(count("inj"), 2);
+        assert_eq!(count("drn"), 2);
+        assert_eq!(count("cmp"), 2);
+        assert!(count("epoch") >= 1);
+    }
+
+    fn event_fingerprint(e: &TraceEvent) -> String {
+        match e {
+            TraceEvent::FlowInjected { t, tag, bytes, .. } => format!("inj {t} {tag} {bytes}"),
+            TraceEvent::FlowDrained { t, .. } => format!("drn {t}"),
+            TraceEvent::FlowCompleted { t, tag, .. } => format!("cmp {t} {tag}"),
+            TraceEvent::RateEpoch {
+                t,
+                active_flows,
+                changed,
+            } => format!("epoch {t} {active_flows} {changed}"),
+            TraceEvent::LinkUtil {
+                t,
+                link,
+                utilization,
+            } => format!("util {t} {link} {utilization}"),
+            TraceEvent::Fault { t, link, .. } => format!("fault {t} {link}"),
+            other => format!("{other:?}"),
+        }
+    }
+}

@@ -29,6 +29,7 @@
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use crate::json::{push_num, push_str_lit};
@@ -39,6 +40,11 @@ thread_local! {
     static SITES: RefCell<BTreeMap<&'static str, SiteStats>> =
         const { RefCell::new(BTreeMap::new()) };
 }
+
+/// Samples flushed out of worker threads' locals (see
+/// [`flush_thread`]). Locked only at flush/snapshot/reset — never on
+/// the instrumentation hot path, which stays thread-local.
+static FLUSHED: Mutex<BTreeMap<&'static str, SiteStats>> = Mutex::new(BTreeMap::new());
 
 /// Aggregate statistics for one instrumentation site.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -124,13 +130,55 @@ impl Drop for ScopeTimer {
     }
 }
 
-/// Clones out this thread's accumulated site table.
-pub fn snapshot() -> BTreeMap<&'static str, SiteStats> {
-    SITES.with(|s| s.borrow().clone())
+impl SiteStats {
+    fn merge(&mut self, other: &SiteStats) {
+        self.count += other.count;
+        self.total += other.total;
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
 }
 
-/// Clears this thread's site table (the enabled flag is untouched).
+/// Moves this thread's accumulated samples into the process-wide
+/// flushed table, leaving the local table empty. Worker threads call
+/// this right before exiting (the sharded runtime does it at every
+/// barrier join) so their samples survive the thread and show up in
+/// the draining thread's [`snapshot`]. Cheap no-op when the local
+/// table is empty.
+pub fn flush_thread() {
+    SITES.with(|s| {
+        let mut local = s.borrow_mut();
+        if local.is_empty() {
+            return;
+        }
+        let mut global = FLUSHED.lock().expect("prof flush table poisoned");
+        for (name, st) in std::mem::take(&mut *local) {
+            global.entry(name).or_default().merge(&st);
+        }
+    });
+}
+
+/// Clones out the accumulated site table: this thread's samples merged
+/// with everything worker threads have [`flush_thread`]-ed. A
+/// single-threaded caller sees exactly its own table, as before the
+/// profiler became multi-thread-aware.
+pub fn snapshot() -> BTreeMap<&'static str, SiteStats> {
+    let mut out = FLUSHED.lock().expect("prof flush table poisoned").clone();
+    SITES.with(|s| {
+        for (name, st) in s.borrow().iter() {
+            out.entry(name).or_default().merge(st);
+        }
+    });
+    out
+}
+
+/// Clears this thread's site table *and* the flushed cross-thread
+/// table (the enabled flag is untouched). Samples still sitting in
+/// other live threads' locals are not reachable and not cleared; flush
+/// or join those threads first.
 pub fn reset() {
+    FLUSHED.lock().expect("prof flush table poisoned").clear();
     SITES.with(|s| s.borrow_mut().clear());
 }
 
@@ -193,6 +241,27 @@ mod tests {
         let json = to_json(&snap);
         assert!(json.contains("\"test.value\""));
         assert!(json.contains("\"max\":5"));
+        reset();
+        assert!(snapshot().is_empty());
+
+        // Worker-thread samples reach the parent's snapshot once the
+        // worker flushes (and only then).
+        set_enabled(true);
+        record_value("test.cross", 1.0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                record_value("test.cross", 2.0);
+                record_value("test.worker_only", 7.0);
+                flush_thread();
+            });
+        });
+        let snap = snapshot();
+        set_enabled(false);
+        let c = snap["test.cross"];
+        assert_eq!(c.count, 2);
+        assert_eq!(c.total, 3.0);
+        assert_eq!(c.max, 2.0);
+        assert_eq!(snap["test.worker_only"].count, 1);
         reset();
         assert!(snapshot().is_empty());
     }
