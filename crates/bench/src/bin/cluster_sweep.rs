@@ -22,13 +22,24 @@
 //! job on each fabric and asserts its service time is *bit-identical*
 //! to the standalone trainer — the scheduler adds no modeling error,
 //! only tenancy.
+//!
+//! Snapshot modes (exclusive with the sweep, on the Fred-D
+//! highest-load scenario): `--snapshot-at <secs>` captures mid-run to
+//! `cluster_sweep.snapshot.bin`, continues, then reloads and verifies
+//! the resumed run bit-identical; `--restore <path>` resumes a
+//! snapshot and verifies it against the uninterrupted run.
+
+use std::path::Path;
 
 use fred_bench::table::{fmt_secs, Table};
 use fred_bench::traceopt::TraceOpts;
 use fred_cluster::arrivals::{paper_mix, poisson_arrivals, DEFAULT_CLASS_MIX};
-use fred_cluster::{run_cluster_traced, ClusterConfig, JobClass, JobSpec};
+use fred_cluster::{run_cluster_traced, Cluster, ClusterConfig, ClusterState, JobClass, JobSpec};
+use fred_core::codec::SnapshotError;
 use fred_core::params::FabricConfig;
 use fred_core::placement::Strategy3D;
+use fred_core::snapshot::SimState;
+use fred_sim::time::Time;
 use fred_workloads::backend::FabricBackend;
 use fred_workloads::model::DnnModel;
 use fred_workloads::schedule::ScheduleParams;
@@ -44,15 +55,15 @@ const LOADS: [f64; 3] = [0.3, 0.6, 0.9];
 /// Jobs per load point.
 const JOBS: usize = 16;
 
-fn main() {
-    let mut opts = TraceOpts::from_args("cluster_sweep");
-    let templates = paper_mix();
+/// Section name carrying the cluster state inside the snapshot file.
+const SECTION: &str = "cluster";
 
-    // Calibrate the arrival rate against Fred-D solo makespans: the
-    // expected NPU-seconds one arrival brings.
+/// Expected NPU-seconds one arrival brings, measured on Fred-D solo
+/// makespans — the arrival-rate calibration shared by the sweep and
+/// the snapshot scenario.
+fn calibrate(templates: &[fred_cluster::arrivals::JobTemplate]) -> f64 {
     let fredd = FabricBackend::new(FabricConfig::FredD);
-    let slots = fredd.npu_count() as f64;
-    let mean_work: f64 = templates
+    templates
         .iter()
         .map(|t| {
             let solo = simulate(&t.model, t.strategy, &fredd, t.params)
@@ -60,7 +71,123 @@ fn main() {
             t.npus() as f64 * solo.total.as_secs()
         })
         .sum::<f64>()
-        / templates.len() as f64;
+        / templates.len() as f64
+}
+
+/// The deterministic scenario snapshot/restore operates on: Fred-D at
+/// the highest swept load — the point with queueing and preemption, so
+/// the capture exercises the scheduler's full state.
+fn snapshot_scenario() -> (ClusterConfig, Vec<JobSpec>) {
+    let templates = paper_mix();
+    let slots = FabricBackend::new(FabricConfig::FredD).npu_count() as f64;
+    let rate = LOADS[2] * slots / calibrate(&templates);
+    let jobs = poisson_arrivals(&templates, rate, JOBS, DEFAULT_CLASS_MIX, SEED + 2);
+    (ClusterConfig::new(FabricConfig::FredD), jobs)
+}
+
+fn read_snapshot(path: &Path) -> Result<ClusterState, SnapshotError> {
+    ClusterState::from_value(SimState::read_binary(path)?.section(SECTION)?)
+}
+
+/// Asserts two reports of the same scenario are bit-identical where it
+/// matters: makespan, preemptions, and every job's first-start and
+/// completion times.
+fn assert_reports_identical(a: &fred_cluster::ClusterReport, b: &fred_cluster::ClusterReport) {
+    assert_eq!(
+        a.makespan.as_secs().to_bits(),
+        b.makespan.as_secs().to_bits(),
+        "RESUME VIOLATION: makespan diverged"
+    );
+    assert_eq!(a.records.len(), b.records.len());
+    for (ra, rb) in a.records.iter().zip(&b.records) {
+        assert_eq!(
+            ra.first_start.as_secs().to_bits(),
+            rb.first_start.as_secs().to_bits(),
+            "RESUME VIOLATION: {} first-start diverged",
+            ra.name
+        );
+        assert_eq!(
+            ra.completion.as_secs().to_bits(),
+            rb.completion.as_secs().to_bits(),
+            "RESUME VIOLATION: {} completion diverged",
+            ra.name
+        );
+        assert_eq!(
+            ra.preemptions, rb.preemptions,
+            "RESUME VIOLATION: {} preemption count diverged",
+            ra.name
+        );
+    }
+}
+
+fn main() {
+    let mut opts = TraceOpts::from_args("cluster_sweep");
+    if let Some(path) = opts.restore_path() {
+        let (cfg, jobs) = snapshot_scenario();
+        let state = read_snapshot(path).unwrap_or_else(|e| {
+            eprintln!("cluster_sweep: cannot restore {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        let mut reference =
+            Cluster::new(cfg.clone(), jobs.clone(), opts.sink()).expect("snapshot scenario admits");
+        reference
+            .run_to_completion()
+            .expect("uninterrupted reference run completes");
+        let mut resumed = Cluster::restore(cfg, jobs, opts.sink(), state)
+            .expect("snapshot pairs with the scenario");
+        resumed.run_to_completion().expect("resumed run completes");
+        let full = reference.into_report();
+        assert_reports_identical(&resumed.into_report(), &full);
+        println!(
+            "cluster_sweep: resumed {} to completion; makespan {} and every job's \
+             timeline bit-identical to the uninterrupted run",
+            path.display(),
+            fmt_secs(full.makespan.as_secs())
+        );
+        return;
+    }
+    if let Some(at) = opts.snapshot_at() {
+        let (cfg, jobs) = snapshot_scenario();
+        let mut cluster =
+            Cluster::new(cfg.clone(), jobs.clone(), opts.sink()).expect("snapshot scenario admits");
+        cluster
+            .run_until(Time::from_secs(at))
+            .expect("run to the capture point completes");
+        assert!(
+            !cluster.is_done(),
+            "cluster_sweep: --snapshot-at {at} is past the end of the run"
+        );
+        let state = cluster.snapshot();
+        let path = Path::new("cluster_sweep.snapshot.bin");
+        let mut sim = SimState::new();
+        sim.insert(SECTION, state.to_value());
+        sim.write_binary(path)
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        cluster
+            .run_to_completion()
+            .expect("continued run completes");
+        let full = cluster.into_report();
+        let reread = read_snapshot(path)
+            .unwrap_or_else(|e| panic!("snapshot file failed to round-trip: {e}"));
+        let mut resumed = Cluster::restore(cfg, jobs, opts.sink(), reread)
+            .expect("snapshot pairs with the scenario");
+        resumed.run_to_completion().expect("resumed run completes");
+        assert_reports_identical(&resumed.into_report(), &full);
+        println!(
+            "cluster_sweep: captured at {at} s into {} and verified the resumed run \
+             bit-identical (makespan {})",
+            path.display(),
+            fmt_secs(full.makespan.as_secs())
+        );
+        return;
+    }
+    let templates = paper_mix();
+
+    // Calibrate the arrival rate against Fred-D solo makespans: the
+    // expected NPU-seconds one arrival brings.
+    let fredd = FabricBackend::new(FabricConfig::FredD);
+    let slots = fredd.npu_count() as f64;
+    let mean_work = calibrate(&templates);
 
     // Zero-churn self-check: a cluster of one High job reproduces the
     // standalone trainer bit-for-bit on both fabrics.

@@ -22,16 +22,103 @@
 //! Report keys (`--report`): `shard/<npus>/t<k>/events_per_sec`,
 //! `shard/<npus>/makespan_ms`, `shard/<npus>/checksum_secs`,
 //! `shard/<npus>/speedup_t4`.
+//!
+//! Snapshot modes (exclusive with the sweep, on the headline
+//! [`SHARD_SWEEP[0]`] configuration):
+//!
+//! * `--snapshot-at <secs>` — run to the capture point, write the
+//!   state to `shard_bench.snapshot.bin`, continue to completion,
+//!   then reload the file, resume at the same thread count and
+//!   hard-assert the resumed run is bit-identical;
+//! * `--restore <path>` — load a snapshot, resume to completion and
+//!   hard-assert bit-identity against the uninterrupted reference.
+
+use std::path::Path;
 
 use fred_bench::churn::{
-    run_churn_sharded, run_churn_sharded_reference, run_churn_sharded_traced, shard_churn_mesh,
+    resume_churn_sharded, run_churn_sharded, run_churn_sharded_reference,
+    run_churn_sharded_resumable, run_churn_sharded_traced, shard_churn_mesh, ShardChurnState,
     SHARD_SWEEP,
 };
 use fred_bench::table::Table;
 use fred_bench::traceopt::TraceOpts;
+use fred_core::codec::SnapshotError;
+use fred_core::snapshot::SimState;
+
+/// Section name carrying the churn state inside the snapshot file.
+const SECTION: &str = "shard_churn";
+
+fn read_snapshot(path: &Path) -> Result<ShardChurnState, SnapshotError> {
+    ShardChurnState::from_value(SimState::read_binary(path)?.section(SECTION)?)
+}
 
 fn main() {
     let mut opts = TraceOpts::from_args("shard_bench");
+    if let Some(path) = opts.restore_path() {
+        let cfg = &SHARD_SWEEP[0];
+        let threads = opts.threads().max(1);
+        let state = read_snapshot(path).unwrap_or_else(|e| {
+            eprintln!("shard_bench: cannot restore {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        let reference = run_churn_sharded_reference(cfg);
+        let resumed = resume_churn_sharded(cfg, threads, state);
+        assert_eq!(
+            resumed.makespan_secs.to_bits(),
+            reference.makespan_secs.to_bits(),
+            "RESUME VIOLATION: restored makespan diverged from the uninterrupted run"
+        );
+        assert_eq!(
+            resumed.completion_checksum.to_bits(),
+            reference.completion_checksum.to_bits(),
+            "RESUME VIOLATION: restored checksum diverged from the uninterrupted run"
+        );
+        println!(
+            "shard_bench: resumed {} at {threads} thread(s); makespan {:.3} ms and \
+             checksum bit-identical to the uninterrupted run",
+            path.display(),
+            resumed.makespan_secs * 1e3
+        );
+        return;
+    }
+    if let Some(at) = opts.snapshot_at() {
+        let cfg = &SHARD_SWEEP[0];
+        let threads = opts.threads().max(1);
+        let (full, captured) = run_churn_sharded_resumable(cfg, threads, Some(at));
+        let state = captured.unwrap_or_else(|| {
+            eprintln!(
+                "shard_bench: --snapshot-at {at} is past the end of the run \
+                 ({:.6} s)",
+                full.makespan_secs
+            );
+            std::process::exit(1);
+        });
+        let path = Path::new("shard_bench.snapshot.bin");
+        let mut sim = SimState::new();
+        sim.insert(SECTION, state.to_value());
+        sim.write_binary(path)
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        let reread = read_snapshot(path)
+            .unwrap_or_else(|e| panic!("snapshot file failed to round-trip: {e}"));
+        let resumed = resume_churn_sharded(cfg, threads, reread);
+        assert_eq!(
+            resumed.makespan_secs.to_bits(),
+            full.makespan_secs.to_bits(),
+            "RESUME VIOLATION: snapshot round-trip diverged on makespan"
+        );
+        assert_eq!(
+            resumed.completion_checksum.to_bits(),
+            full.completion_checksum.to_bits(),
+            "RESUME VIOLATION: snapshot round-trip diverged on checksum"
+        );
+        println!(
+            "shard_bench: captured at {at} s into {} and verified the resumed run \
+             bit-identical (makespan {:.3} ms)",
+            path.display(),
+            full.makespan_secs * 1e3
+        );
+        return;
+    }
     let thread_counts: Vec<usize> = if opts.threads() > 0 {
         vec![opts.threads()]
     } else {

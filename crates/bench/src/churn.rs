@@ -394,6 +394,243 @@ fn run_churn_sharded_on(
     }
 }
 
+// ---------------------------------------------------------------------
+// Resumable sharded churn (snapshot / restore).
+// ---------------------------------------------------------------------
+
+use fred_core::codec::{SnapshotError, Value};
+use fred_core::snapshot::{
+    arr_of, f64_of, field, sharded_state_from_value, sharded_state_to_value, u64_of, usize_of,
+    v_f64, v_u64,
+};
+use fred_sim::shard::ShardedState;
+
+/// Captured mid-run state of a sharded churn: the network, each tile
+/// driver's RNG stream and draw count, and the completions banked
+/// before the capture point (the checksum is a tag-ordered sum, so the
+/// banked pairs must travel with the snapshot).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardChurnState {
+    /// The sharded network.
+    pub net: ShardedState,
+    /// Per-tile `(rng_state, drawn)` in tile order.
+    pub drivers: Vec<(u64, usize)>,
+    /// `(tag, completed_at_secs)` pairs banked so far.
+    pub banked: Vec<(u64, f64)>,
+}
+
+impl ShardChurnState {
+    /// Encodes the state for the shared snapshot codec.
+    pub fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("net".into(), sharded_state_to_value(&self.net)),
+            (
+                "drivers".into(),
+                Value::Arr(
+                    self.drivers
+                        .iter()
+                        .map(|&(rng, drawn)| Value::Arr(vec![v_u64(rng), v_u64(drawn as u64)]))
+                        .collect(),
+                ),
+            ),
+            (
+                "banked".into(),
+                Value::Arr(
+                    self.banked
+                        .iter()
+                        .map(|&(tag, at)| Value::Arr(vec![v_u64(tag), v_f64(at)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Decodes [`ShardChurnState::to_value`] with typed errors.
+    pub fn from_value(v: &Value) -> Result<ShardChurnState, SnapshotError> {
+        let ctx = "shard_churn";
+        let drivers = arr_of(field(v, "drivers", ctx)?, ctx)?
+            .iter()
+            .map(|d| {
+                let d = arr_of(d, "shard_churn.driver")?;
+                if d.len() != 2 {
+                    return Err(SnapshotError::Mismatch(
+                        "shard_churn.driver: expected 2 elements".into(),
+                    ));
+                }
+                Ok((
+                    u64_of(&d[0], "shard_churn.driver.rng")?,
+                    usize_of(&d[1], "shard_churn.driver.drawn")?,
+                ))
+            })
+            .collect::<Result<Vec<_>, SnapshotError>>()?;
+        let banked = arr_of(field(v, "banked", ctx)?, ctx)?
+            .iter()
+            .map(|p| {
+                let p = arr_of(p, "shard_churn.banked")?;
+                if p.len() != 2 {
+                    return Err(SnapshotError::Mismatch(
+                        "shard_churn.banked: expected 2 elements".into(),
+                    ));
+                }
+                Ok((
+                    u64_of(&p[0], "shard_churn.banked.tag")?,
+                    f64_of(&p[1], "shard_churn.banked.at")?,
+                ))
+            })
+            .collect::<Result<Vec<_>, SnapshotError>>()?;
+        Ok(ShardChurnState {
+            net: sharded_state_from_value(field(v, "net", ctx)?)?,
+            drivers,
+            banked,
+        })
+    }
+}
+
+/// The facade-stepped drive loop shared by the resumable paths: global
+/// event order, drivers serviced in ascending tile order. For
+/// tile-local churn this is bit-identical to [`run_churn_sharded`]'s
+/// per-shard loops (tiles are link-disjoint, so each shard observes
+/// exactly the same event sequence either way). When `snapshot_at` is
+/// set, captures the full state at the last event instant at or before
+/// it.
+fn churn_drive(
+    net: &mut ShardedNetwork,
+    drivers: &mut [TileDriver<'_>],
+    cfg: &ShardChurnConfig,
+    banked: &mut Vec<(u64, f64)>,
+    mut snapshot_at: Option<f64>,
+) -> Option<ShardChurnState> {
+    let total = cfg.total_flows();
+    let mut captured = None;
+    while banked.len() < total {
+        let te = net
+            .next_event()
+            .expect("resumable churn stalled: flows outstanding but no pending event");
+        if let Some(t) = snapshot_at {
+            if te.as_secs() > t {
+                captured = Some(ShardChurnState {
+                    net: net.snapshot(),
+                    drivers: drivers.iter().map(|d| (d.rng.state(), d.drawn)).collect(),
+                    banked: banked.clone(),
+                });
+                snapshot_at = None;
+            }
+        }
+        net.advance_to(te);
+        let done = net.drain_completed();
+        if done.is_empty() {
+            continue;
+        }
+        let mut specs = Vec::new();
+        let mut batch = Vec::new();
+        for (s, d) in drivers.iter_mut().enumerate() {
+            let mine: Vec<CompletedFlow> = done
+                .iter()
+                .filter(|c| (c.tag >> 32) as usize == s)
+                .cloned()
+                .collect();
+            if mine.is_empty() {
+                continue;
+            }
+            d.on_completions(s, &mine, &mut specs);
+            batch.append(&mut specs);
+        }
+        if !batch.is_empty() {
+            net.inject_batch(batch)
+                .expect("tile churn draws XY routes on a healthy mesh");
+        }
+        banked.extend(done.iter().map(|c| (c.tag, c.completed_at.as_secs())));
+    }
+    captured
+}
+
+/// Tag-ordered checksum over banked pairs — same fold order as
+/// [`tag_ordered_checksum`], so resumed and uninterrupted runs agree
+/// bit for bit.
+fn checksum_of_banked(banked: &mut [(u64, f64)]) -> f64 {
+    banked.sort_by_key(|&(tag, _)| tag);
+    banked.iter().map(|&(_, t)| t).sum()
+}
+
+/// [`run_churn_sharded`] through the facade-stepped loop, optionally
+/// capturing a [`ShardChurnState`] at the last event instant at or
+/// before `snapshot_at` simulated seconds. The run always continues to
+/// completion; the capture is a side output.
+pub fn run_churn_sharded_resumable(
+    cfg: &ShardChurnConfig,
+    threads: usize,
+    snapshot_at: Option<f64>,
+) -> (ChurnResult, Option<ShardChurnState>) {
+    let mesh = shard_churn_mesh(cfg);
+    let part = mesh.tile_partition(cfg.tiles, cfg.tiles);
+    let mut net = ShardedNetwork::new(mesh.clone_topology(), part, threads);
+    let mut drivers = tile_drivers(&mesh, cfg);
+    let started = Instant::now();
+    let mut specs = Vec::new();
+    let mut batch = Vec::new();
+    for (s, d) in drivers.iter_mut().enumerate() {
+        d.begin(s, &mut specs);
+        batch.append(&mut specs);
+    }
+    net.inject_batch(batch)
+        .expect("tile churn draws XY routes on a healthy mesh");
+    let mut banked = Vec::new();
+    let captured = churn_drive(&mut net, &mut drivers, cfg, &mut banked, snapshot_at);
+    let result = ChurnResult {
+        makespan_secs: net.now().as_secs(),
+        completion_checksum: checksum_of_banked(&mut banked),
+        events: 3 * cfg.total_flows() as u64,
+        wall_secs: started.elapsed().as_secs_f64(),
+    };
+    (result, captured)
+}
+
+/// Resumes a [`ShardChurnState`] to completion at any thread count.
+/// The returned result is bit-identical (makespan, checksum) to the
+/// uninterrupted run that produced the capture.
+///
+/// # Panics
+///
+/// Panics if the state's driver count disagrees with `cfg` — a
+/// snapshot/config pairing error.
+pub fn resume_churn_sharded(
+    cfg: &ShardChurnConfig,
+    threads: usize,
+    state: ShardChurnState,
+) -> ChurnResult {
+    let mesh = shard_churn_mesh(cfg);
+    let part = mesh.tile_partition(cfg.tiles, cfg.tiles);
+    let mut net = ShardedNetwork::restore(mesh.clone_topology(), part, threads, state.net);
+    assert_eq!(
+        state.drivers.len(),
+        cfg.shards(),
+        "driver count does not match the tile grid"
+    );
+    let ts = cfg.tile_side();
+    let mut drivers: Vec<TileDriver> = state
+        .drivers
+        .iter()
+        .enumerate()
+        .map(|(s, &(rng, drawn))| TileDriver {
+            mesh: &mesh,
+            cfg: *cfg,
+            x0: (s % cfg.tiles) * ts,
+            y0: (s / cfg.tiles) * ts,
+            rng: Rng64::from_state(rng),
+            drawn,
+        })
+        .collect();
+    let mut banked = state.banked;
+    let started = Instant::now();
+    churn_drive(&mut net, &mut drivers, cfg, &mut banked, None);
+    ChurnResult {
+        makespan_secs: net.now().as_secs(),
+        completion_checksum: checksum_of_banked(&mut banked),
+        events: 3 * cfg.total_flows() as u64,
+        wall_secs: started.elapsed().as_secs_f64(),
+    }
+}
+
 /// Single-core reference for [`run_churn_sharded`]: the identical
 /// per-tile driver interactions replayed against one [`FlowNetwork`]
 /// (global event order, drivers serviced in ascending tile order).
@@ -527,6 +764,67 @@ mod tests {
             a.completion_checksum.to_bits(),
             b.completion_checksum.to_bits()
         );
+    }
+
+    #[test]
+    fn resumable_facade_loop_matches_reference_bitwise() {
+        let cfg = tiny_sharded();
+        let reference = run_churn_sharded_reference(&cfg);
+        for threads in [1, 2, 4] {
+            let (r, captured) = run_churn_sharded_resumable(&cfg, threads, None);
+            assert!(captured.is_none());
+            assert_eq!(
+                r.makespan_secs.to_bits(),
+                reference.makespan_secs.to_bits(),
+                "resumable makespan diverged at threads={threads}"
+            );
+            assert_eq!(
+                r.completion_checksum.to_bits(),
+                reference.completion_checksum.to_bits(),
+                "resumable checksum diverged at threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn mid_run_snapshot_resumes_bit_identically_at_any_thread_count() {
+        let cfg = tiny_sharded();
+        let (reference, captured) =
+            run_churn_sharded_resumable(&cfg, 2, Some(reference_midpoint(&cfg)));
+        let state = captured.expect("snapshot point falls inside the run");
+        assert!(!state.banked.is_empty(), "capture should be mid-run");
+        assert!(
+            state.banked.len() < cfg.total_flows(),
+            "capture should precede completion"
+        );
+        // Round-trip through both codecs before resuming: what resumes
+        // is what a file on disk would hold.
+        let v = state.to_value();
+        let bin = fred_core::codec::to_binary(&v);
+        let decoded =
+            ShardChurnState::from_value(&fred_core::codec::from_binary(&bin).unwrap()).unwrap();
+        assert_eq!(decoded, state);
+        let json = fred_core::codec::to_json(&v);
+        let reparsed = fred_core::codec::parse(&json).unwrap();
+        assert_eq!(ShardChurnState::from_value(&reparsed).unwrap(), state);
+        for threads in [1, 2, 4] {
+            let resumed = resume_churn_sharded(&cfg, threads, decoded.clone());
+            assert_eq!(
+                resumed.makespan_secs.to_bits(),
+                reference.makespan_secs.to_bits(),
+                "resumed makespan diverged at threads={threads}"
+            );
+            assert_eq!(
+                resumed.completion_checksum.to_bits(),
+                reference.completion_checksum.to_bits(),
+                "resumed checksum diverged at threads={threads}"
+            );
+        }
+    }
+
+    /// A capture point roughly halfway through the uninterrupted run.
+    fn reference_midpoint(cfg: &ShardChurnConfig) -> f64 {
+        run_churn_sharded_reference(cfg).makespan_secs * 0.5
     }
 
     #[test]

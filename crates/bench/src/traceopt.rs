@@ -25,7 +25,14 @@
 //!   sharded simulator ([`ShardedNetwork`](fred_sim::shard::ShardedNetwork));
 //!   `0`/absent defers to the `FRED_THREADS` environment variable.
 //!   Results are bit-identical at every thread count — this is purely
-//!   a wall-clock knob.
+//!   a wall-clock knob;
+//! * `--snapshot-at <secs>` — for binaries with a resumable
+//!   simulation: capture a [`SimState`](fred_core::snapshot::SimState)
+//!   snapshot at the last event at or before `<secs>` simulated
+//!   seconds (written next to the binary's other outputs);
+//! * `--restore <path>` — resume from a snapshot file instead of
+//!   starting fresh. Resumed runs are bit-identical to uninterrupted
+//!   ones.
 //!
 //! Any flag alone turns recording on; with none, the binary runs
 //! untraced through the zero-overhead `NullSink` and produces
@@ -75,6 +82,8 @@ pub struct TraceOpts {
     solver_at_start: SolverStats,
     compactions_at_start: u64,
     threads: usize,
+    snapshot_at: Option<f64>,
+    restore_path: Option<PathBuf>,
 }
 
 impl TraceOpts {
@@ -95,6 +104,8 @@ impl TraceOpts {
         let mut prom_path = None;
         let mut prof_enabled = false;
         let mut threads = 0usize;
+        let mut snapshot_at = None;
+        let mut restore_path = None;
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -127,6 +138,26 @@ impl TraceOpts {
                     prom_path = Some(PathBuf::from(v));
                 }
                 "--prof" => prof_enabled = true,
+                "--snapshot-at" => {
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage(process_name, "--snapshot-at"));
+                    let t: f64 = v.parse().unwrap_or_else(|_| {
+                        eprintln!("{process_name}: --snapshot-at expects seconds, got `{v}`");
+                        usage(process_name, "--snapshot-at");
+                    });
+                    if !t.is_finite() || t < 0.0 {
+                        eprintln!("{process_name}: --snapshot-at expects finite secs >= 0");
+                        usage(process_name, "--snapshot-at");
+                    }
+                    snapshot_at = Some(t);
+                }
+                "--restore" => {
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage(process_name, "--restore"));
+                    restore_path = Some(PathBuf::from(v));
+                }
                 "--threads" => {
                     let v = args
                         .next()
@@ -173,7 +204,21 @@ impl TraceOpts {
             solver_at_start: fred_sim::solver::global_solver_stats(),
             compactions_at_start: fred_sim::netsim::global_heap_compactions(),
             threads,
+            snapshot_at,
+            restore_path,
         }
+    }
+
+    /// The `--snapshot-at <secs>` capture point, if given. Binaries
+    /// with a resumable simulation capture a snapshot at the last
+    /// event at or before this simulated time; others reject the flag.
+    pub fn snapshot_at(&self) -> Option<f64> {
+        self.snapshot_at
+    }
+
+    /// The `--restore <path>` snapshot file to resume from, if given.
+    pub fn restore_path(&self) -> Option<&PathBuf> {
+        self.restore_path.as_ref()
     }
 
     /// Worker-thread count for sharded simulations: the `--threads N`
@@ -389,7 +434,8 @@ impl TraceOpts {
 fn usage(process_name: &str, flag: &str) -> ! {
     eprintln!(
         "usage: {process_name} [--trace <path>] [--metrics <path>] [--report <path>] \
-         [--dashboard <path>] [--prom <path>] [--prof] [--threads <n>]  (failed at `{flag}`)"
+         [--dashboard <path>] [--prom <path>] [--prof] [--threads <n>] \
+         [--snapshot-at <secs>] [--restore <path>]  (failed at `{flag}`)"
     );
     std::process::exit(2);
 }

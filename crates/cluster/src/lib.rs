@@ -35,4 +35,6 @@ pub mod scheduler;
 pub use job::{JobClass, JobSpec};
 pub use metrics::{ClusterReport, JobRecord};
 pub use placement::{FitPolicy, SlotMap};
-pub use scheduler::{run_cluster, run_cluster_traced, ClusterConfig, ClusterError};
+pub use scheduler::{
+    run_cluster, run_cluster_traced, Cluster, ClusterConfig, ClusterError, ClusterState,
+};

@@ -161,6 +161,9 @@ impl Error for ClusterError {}
 struct Running {
     /// Index into the submitted job list.
     job: usize,
+    /// First slot of the job's contiguous carve-out (restores rebuild
+    /// the schedule from the same placement base).
+    base: usize,
     exec: ScheduleExecutor,
 }
 
@@ -186,69 +189,20 @@ pub fn run_cluster_traced(
     jobs: Vec<JobSpec>,
     sink: Rc<dyn TraceSink>,
 ) -> Result<ClusterReport, ClusterError> {
-    let backend = FabricBackend::new(cfg.fabric);
-    let slots = backend.npu_count();
-    for j in &jobs {
-        if !j.is_schedulable() {
-            return Err(ClusterError::UnsupportedExecution {
-                job: j.name.clone(),
-            });
-        }
-        if j.npus() > slots {
-            return Err(ClusterError::JobTooWide {
-                job: j.name.clone(),
-                npus: j.npus(),
-                slots,
-            });
-        }
-    }
-    // Arrival order; stable sort keeps submission order on ties.
-    let mut order: Vec<usize> = (0..jobs.len()).collect();
-    order.sort_by(|&a, &b| {
-        jobs[a]
-            .arrival
-            .partial_cmp(&jobs[b].arrival)
-            .expect("finite arrival time")
-    });
-    let policy = if cfg.fabric.is_fred() {
-        PlacementPolicy::MpPpDp
-    } else {
-        PlacementPolicy::MpDpPp
-    };
-    let n = jobs.len();
-    let net = FlowNetwork::with_sink(backend.topology(), sink.clone());
-    let tracing = sink.enabled();
-    // Baseline, not zero: the caller may hand us a sink that already
-    // dropped events in an earlier run; the report carries this run's
-    // losses only.
-    let dropped_baseline = sink.dropped();
-    let sim = ClusterSim {
-        cfg,
-        jobs,
-        backend,
-        policy,
-        net,
-        sink,
-        tracing,
-        dropped_baseline,
-        slotmap: SlotMap::new(slots),
-        queues: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
-        running: Vec::new(),
-        order,
-        arrival_cursor: 0,
-        next_tag_base: 0,
-        first_start: vec![None; n],
-        completion: vec![Time::ZERO; n],
-        preempt_count: vec![0; n],
-        fault_cursor: vec![0; n],
-        done_count: 0,
-        busy_npu_secs: 0.0,
-    };
-    sim.run()
+    let mut cluster = Cluster::new(cfg.clone(), jobs, sink)?;
+    cluster.run_to_completion()?;
+    Ok(cluster.into_report())
 }
 
-struct ClusterSim<'a> {
-    cfg: &'a ClusterConfig,
+/// A resumable cluster simulation: [`run_cluster`] is
+/// [`Cluster::new`] + [`Cluster::run_to_completion`] +
+/// [`Cluster::into_report`], but the pieces compose — a driver can run
+/// to a chosen instant, [`Cluster::snapshot`] the whole stack
+/// (scheduler, every in-flight executor, the shared network), and
+/// later [`Cluster::restore`] it to resume bit-identically, including
+/// mid-fault and mid-preemption.
+pub struct Cluster {
+    cfg: ClusterConfig,
     jobs: Vec<JobSpec>,
     backend: FabricBackend,
     policy: PlacementPolicy,
@@ -277,64 +231,326 @@ struct ClusterSim<'a> {
     busy_npu_secs: f64,
 }
 
-impl ClusterSim<'_> {
-    fn run(mut self) -> Result<ClusterReport, ClusterError> {
-        self.admit_arrivals(Time::ZERO);
-        self.dispatch()?;
-        self.emit_sched_samples(Time::ZERO);
-        loop {
-            if self.done_count == self.jobs.len() {
-                break;
+/// Validates `jobs` against the fabric and derives the arrival order
+/// and placement policy shared by [`Cluster::new`] and
+/// [`Cluster::restore`].
+fn validate_and_order(
+    cfg: &ClusterConfig,
+    jobs: &[JobSpec],
+    backend: &FabricBackend,
+) -> Result<(Vec<usize>, PlacementPolicy), ClusterError> {
+    let slots = backend.npu_count();
+    for j in jobs {
+        if !j.is_schedulable() {
+            return Err(ClusterError::UnsupportedExecution {
+                job: j.name.clone(),
+            });
+        }
+        if j.npus() > slots {
+            return Err(ClusterError::JobTooWide {
+                job: j.name.clone(),
+                npus: j.npus(),
+                slots,
+            });
+        }
+    }
+    // Arrival order; stable sort keeps submission order on ties.
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by(|&a, &b| {
+        jobs[a]
+            .arrival
+            .partial_cmp(&jobs[b].arrival)
+            .expect("finite arrival time")
+    });
+    let policy = if cfg.fabric.is_fred() {
+        PlacementPolicy::MpPpDp
+    } else {
+        PlacementPolicy::MpDpPp
+    };
+    Ok((order, policy))
+}
+
+impl Cluster {
+    /// Validates `jobs`, builds the shared network, and admits and
+    /// places everything due at time zero. Nothing has advanced yet.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClusterError`].
+    pub fn new(
+        cfg: ClusterConfig,
+        jobs: Vec<JobSpec>,
+        sink: Rc<dyn TraceSink>,
+    ) -> Result<Cluster, ClusterError> {
+        let backend = FabricBackend::new(cfg.fabric);
+        let slots = backend.npu_count();
+        let (order, policy) = validate_and_order(&cfg, &jobs, &backend)?;
+        let n = jobs.len();
+        let net = FlowNetwork::with_sink(backend.topology(), sink.clone());
+        let tracing = sink.enabled();
+        // Baseline, not zero: the caller may hand us a sink that
+        // already dropped events in an earlier run; the report carries
+        // this run's losses only.
+        let dropped_baseline = sink.dropped();
+        let mut cluster = Cluster {
+            cfg,
+            jobs,
+            backend,
+            policy,
+            net,
+            sink,
+            tracing,
+            dropped_baseline,
+            slotmap: SlotMap::new(slots),
+            queues: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+            running: Vec::new(),
+            order,
+            arrival_cursor: 0,
+            next_tag_base: 0,
+            first_start: vec![None; n],
+            completion: vec![Time::ZERO; n],
+            preempt_count: vec![0; n],
+            fault_cursor: vec![0; n],
+            done_count: 0,
+            busy_npu_secs: 0.0,
+        };
+        cluster.admit_arrivals(Time::ZERO);
+        cluster.dispatch()?;
+        cluster.emit_sched_samples(Time::ZERO);
+        Ok(cluster)
+    }
+
+    /// The shared clock.
+    pub fn now(&self) -> Time {
+        self.net.now()
+    }
+
+    /// Whether every job has completed.
+    pub fn is_done(&self) -> bool {
+        self.done_count == self.jobs.len()
+    }
+
+    /// The instant of the next pending event (arrival, compute finish,
+    /// network event or fault horizon), if any. (`&mut` because the
+    /// network prunes stale drain predictions lazily while peeking.)
+    pub fn next_event(&mut self) -> Option<Time> {
+        let now = self.net.now();
+        let ta = self
+            .order
+            .get(self.arrival_cursor)
+            .map(|&j| self.jobs[j].arrival);
+        let tc = self
+            .running
+            .iter()
+            .filter_map(|r| r.exec.next_compute_time())
+            .min();
+        let tn = self.net.next_event();
+        let tf = self.next_fault_time(now);
+        [ta, tc, tn, tf].into_iter().flatten().min()
+    }
+
+    fn stalled(&self) -> ClusterError {
+        ClusterError::Stalled {
+            queued: self.queues.iter().map(VecDeque::len).sum(),
+            running: self.running.len(),
+            completed: self.done_count,
+        }
+    }
+
+    /// Processes exactly one event instant: advances the clock to
+    /// `next`, fires due faults, routes completions, settles every
+    /// executor, retires finished jobs and dispatches the queues.
+    fn step_at(&mut self, next: Time) -> Result<(), ClusterError> {
+        let now = self.net.now();
+        // Occupancy integrates between event instants (membership only
+        // changes at instants).
+        self.busy_npu_secs +=
+            self.slotmap.used() as f64 * (next.as_secs() - now.as_secs()).max(0.0);
+        self.net.advance_to(next);
+        self.fire_faults(next)?;
+        for c in self.net.drain_completed() {
+            self.route_completion(c.tag)?;
+        }
+        for k in 0..self.running.len() {
+            let job = self.running[k].job;
+            if let Err(e) = self.running[k]
+                .exec
+                .flush_staged(&mut self.net, &self.backend)
+            {
+                return Err(self.train_err(job, e));
             }
-            let now = self.net.now();
-            // Next event: arrival, compute finish, network event or
-            // fault horizon — whichever comes first.
-            let ta = self
-                .order
-                .get(self.arrival_cursor)
-                .map(|&j| self.jobs[j].arrival);
-            let tc = self
+            self.running[k].exec.release_computes_due(next);
+            if let Err(e) = self.running[k].exec.settle(&mut self.net, &self.backend) {
+                return Err(self.train_err(job, e));
+            }
+        }
+        self.retire_finished();
+        self.admit_arrivals(next);
+        self.dispatch()?;
+        self.emit_sched_samples(next);
+        Ok(())
+    }
+
+    /// Runs until every job completes.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClusterError`]; [`ClusterError::Stalled`] when events run
+    /// out with jobs unfinished.
+    pub fn run_to_completion(&mut self) -> Result<(), ClusterError> {
+        while !self.is_done() {
+            let Some(next) = self.next_event() else {
+                return Err(self.stalled());
+            };
+            self.step_at(next)?;
+        }
+        Ok(())
+    }
+
+    /// Processes every event at or before `t`, leaving the clock at
+    /// the last processed instant — a clean capture point for
+    /// [`Cluster::snapshot`]. Returns early (Ok) once the next event
+    /// lies beyond `t` or the run completes.
+    ///
+    /// # Errors
+    ///
+    /// See [`Cluster::run_to_completion`].
+    pub fn run_until(&mut self, t: Time) -> Result<(), ClusterError> {
+        while !self.is_done() {
+            let Some(next) = self.next_event() else {
+                return Err(self.stalled());
+            };
+            if next > t {
+                return Ok(());
+            }
+            self.step_at(next)?;
+        }
+        Ok(())
+    }
+
+    /// Captures the entire cluster stack — scheduler bookkeeping,
+    /// every in-flight executor, and the shared network — as plain
+    /// data. The job list and config are *not* captured;
+    /// [`Cluster::restore`] is handed the same ones again.
+    pub fn snapshot(&self) -> ClusterState {
+        ClusterState {
+            net: self.net.snapshot(),
+            slot_owners: self.slotmap.owners().to_vec(),
+            queues: [
+                self.queues[0].iter().copied().collect(),
+                self.queues[1].iter().copied().collect(),
+                self.queues[2].iter().copied().collect(),
+            ],
+            running: self
                 .running
                 .iter()
-                .filter_map(|r| r.exec.next_compute_time())
-                .min();
-            let tn = self.net.next_event();
-            let tf = self.next_fault_time(now);
-            let Some(next) = [ta, tc, tn, tf].into_iter().flatten().min() else {
-                return Err(ClusterError::Stalled {
-                    queued: self.queues.iter().map(VecDeque::len).sum(),
-                    running: self.running.len(),
-                    completed: self.done_count,
-                });
-            };
-            // Occupancy integrates between event instants (membership
-            // only changes at instants).
-            self.busy_npu_secs +=
-                self.slotmap.used() as f64 * (next.as_secs() - now.as_secs()).max(0.0);
-            self.net.advance_to(next);
-            self.fire_faults(next)?;
-            for c in self.net.drain_completed() {
-                self.route_completion(c.tag)?;
-            }
-            for k in 0..self.running.len() {
-                let job = self.running[k].job;
-                if let Err(e) = self.running[k]
-                    .exec
-                    .flush_staged(&mut self.net, &self.backend)
-                {
-                    return Err(self.train_err(job, e));
-                }
-                self.running[k].exec.release_computes_due(next);
-                if let Err(e) = self.running[k].exec.settle(&mut self.net, &self.backend) {
-                    return Err(self.train_err(job, e));
-                }
-            }
-            self.retire_finished();
-            self.admit_arrivals(next);
-            self.dispatch()?;
-            self.emit_sched_samples(next);
+                .map(|r| RunningState {
+                    job: r.job,
+                    base: r.base,
+                    exec: r.exec.snapshot(),
+                })
+                .collect(),
+            arrival_cursor: self.arrival_cursor,
+            next_tag_base: self.next_tag_base,
+            first_start: self.first_start.clone(),
+            completion: self.completion.clone(),
+            preempt_count: self.preempt_count.clone(),
+            fault_cursor: self.fault_cursor.clone(),
+            done_count: self.done_count,
+            busy_npu_secs: self.busy_npu_secs,
         }
-        Ok(self.report())
+    }
+
+    /// Rebuilds a cluster from a [`Cluster::snapshot`], the same
+    /// config and the same job list it was captured against. Running
+    /// forward from here is bit-identical to the uninterrupted run
+    /// (telemetry excepted: traces restart at the restore point).
+    ///
+    /// # Errors
+    ///
+    /// The same job-validation errors as [`Cluster::new`].
+    ///
+    /// # Panics
+    ///
+    /// If the state disagrees with the config/job list in shape (slot
+    /// count, job count, per-job vector lengths) — a snapshot pairing
+    /// error; file-level corruption is caught earlier by the codec's
+    /// typed errors.
+    pub fn restore(
+        cfg: ClusterConfig,
+        jobs: Vec<JobSpec>,
+        sink: Rc<dyn TraceSink>,
+        state: ClusterState,
+    ) -> Result<Cluster, ClusterError> {
+        let backend = FabricBackend::new(cfg.fabric);
+        let slots = backend.npu_count();
+        let (order, policy) = validate_and_order(&cfg, &jobs, &backend)?;
+        let n = jobs.len();
+        assert_eq!(state.slot_owners.len(), slots, "slot-count mismatch");
+        assert_eq!(state.first_start.len(), n, "first_start/job-count mismatch");
+        assert_eq!(state.completion.len(), n, "completion/job-count mismatch");
+        assert_eq!(state.preempt_count.len(), n, "preempt/job-count mismatch");
+        assert_eq!(state.fault_cursor.len(), n, "fault/job-count mismatch");
+        assert!(state.arrival_cursor <= n, "arrival cursor out of range");
+        for q in &state.queues {
+            for &j in q {
+                assert!(j < n, "queued job {j} out of range");
+            }
+        }
+        let net = FlowNetwork::restore_with_sink(backend.topology(), sink.clone(), state.net);
+        let tracing = sink.enabled();
+        let dropped_baseline = sink.dropped();
+        let running = state
+            .running
+            .iter()
+            .map(|r| {
+                assert!(r.job < n, "running job {} out of range", r.job);
+                let spec = &jobs[r.job];
+                let placement = Placement::with_base(spec.strategy, policy, r.base);
+                let schedule = build_schedule(
+                    &spec.model,
+                    spec.strategy,
+                    &placement,
+                    &backend,
+                    spec.params,
+                );
+                Running {
+                    job: r.job,
+                    base: r.base,
+                    exec: ScheduleExecutor::restore(
+                        Rc::new(schedule),
+                        sink.clone(),
+                        r.exec.clone(),
+                    ),
+                }
+            })
+            .collect();
+        Ok(Cluster {
+            cfg,
+            jobs,
+            backend,
+            policy,
+            net,
+            sink,
+            tracing,
+            dropped_baseline,
+            slotmap: SlotMap::from_owners(state.slot_owners),
+            queues: [
+                state.queues[0].iter().copied().collect(),
+                state.queues[1].iter().copied().collect(),
+                state.queues[2].iter().copied().collect(),
+            ],
+            running,
+            order,
+            arrival_cursor: state.arrival_cursor,
+            next_tag_base: state.next_tag_base,
+            first_start: state.first_start,
+            completion: state.completion,
+            preempt_count: state.preempt_count,
+            fault_cursor: state.fault_cursor,
+            done_count: state.done_count,
+            busy_npu_secs: state.busy_npu_secs,
+        })
     }
 
     /// Scheduler-state gauges for the flight recorder: per-class queue
@@ -563,7 +779,7 @@ impl ClusterSim<'_> {
         if let Err(e) = exec.settle(&mut self.net, &self.backend) {
             return Err(self.train_err(job, e));
         }
-        self.running.push(Running { job, exec });
+        self.running.push(Running { job, base, exec });
         Ok(())
     }
 
@@ -666,8 +882,9 @@ impl ClusterSim<'_> {
 
     /// Builds the report; solo makespans (the stretch denominator) run
     /// each distinct (model, strategy, params) once on a private
-    /// network of the same fabric.
-    fn report(self) -> ClusterReport {
+    /// network of the same fabric. Meaningful once
+    /// [`Cluster::is_done`].
+    pub fn into_report(self) -> ClusterReport {
         let mut solo_cache: BTreeMap<String, f64> = BTreeMap::new();
         let mut records = Vec::with_capacity(self.jobs.len());
         let mut makespan = Time::ZERO;
@@ -732,6 +949,182 @@ impl ClusterSim<'_> {
             preemptions: self.preempt_count.iter().sum(),
             dropped_events,
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Snapshot state and serialization.
+// ---------------------------------------------------------------------
+
+use fred_core::codec::{SnapshotError, Value};
+use fred_core::snapshot::{
+    arr_of, core_state_from_value, core_state_to_value, f64_of, field, time_of, u32s, u32s_of,
+    u64_of, usize_of, usizes, usizes_of, v_f64, v_time, v_u64,
+};
+use fred_sim::netsim::CoreState;
+use fred_workloads::exec::ExecState;
+
+/// One running job inside a [`ClusterState`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunningState {
+    /// Index into the submitted job list.
+    pub job: usize,
+    /// First slot of the job's carve-out.
+    pub base: usize,
+    /// The executor's captured progress.
+    pub exec: ExecState,
+}
+
+/// Captured cluster progress: everything [`Cluster`] mutates while
+/// running, as plain data. The config and job list are configuration
+/// and are handed to [`Cluster::restore`] alongside this.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterState {
+    /// The shared network.
+    pub net: CoreState,
+    /// Slot-ownership vector (see
+    /// [`crate::placement::SlotMap::owners`]).
+    pub slot_owners: Vec<Option<usize>>,
+    /// Per-class FIFO queues of pending job indices, front first.
+    pub queues: [Vec<usize>; 3],
+    /// In-flight jobs in placement order.
+    pub running: Vec<RunningState>,
+    /// Next unprocessed index into the arrival order.
+    pub arrival_cursor: usize,
+    /// Next fresh tag-namespace base.
+    pub next_tag_base: u64,
+    /// First-start instant per job.
+    pub first_start: Vec<Option<Time>>,
+    /// Completion instant per job (ZERO until finished).
+    pub completion: Vec<Time>,
+    /// Preemptions suffered per job.
+    pub preempt_count: Vec<u32>,
+    /// Per-job cursor into its fault plan.
+    pub fault_cursor: Vec<usize>,
+    /// Jobs completed so far.
+    pub done_count: usize,
+    /// Integrated slot-seconds of occupancy.
+    pub busy_npu_secs: f64,
+}
+
+impl ClusterState {
+    /// Encodes the state for the shared snapshot codec.
+    pub fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("net".into(), core_state_to_value(&self.net)),
+            (
+                "slot_owners".into(),
+                Value::Arr(
+                    self.slot_owners
+                        .iter()
+                        .map(|o| match o {
+                            None => Value::Null,
+                            Some(j) => v_u64(*j as u64),
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "queues".into(),
+                Value::Arr(self.queues.iter().map(|q| usizes(q)).collect()),
+            ),
+            (
+                "running".into(),
+                Value::Arr(
+                    self.running
+                        .iter()
+                        .map(|r| {
+                            Value::Obj(vec![
+                                ("job".into(), v_u64(r.job as u64)),
+                                ("base".into(), v_u64(r.base as u64)),
+                                ("exec".into(), r.exec.to_value()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("arrival_cursor".into(), v_u64(self.arrival_cursor as u64)),
+            ("next_tag_base".into(), v_u64(self.next_tag_base)),
+            (
+                "first_start".into(),
+                Value::Arr(
+                    self.first_start
+                        .iter()
+                        .map(|t| match t {
+                            None => Value::Null,
+                            Some(t) => v_time(*t),
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "completion".into(),
+                Value::Arr(self.completion.iter().map(|&t| v_time(t)).collect()),
+            ),
+            ("preempt_count".into(), u32s(&self.preempt_count)),
+            ("fault_cursor".into(), usizes(&self.fault_cursor)),
+            ("done_count".into(), v_u64(self.done_count as u64)),
+            ("busy_npu_secs".into(), v_f64(self.busy_npu_secs)),
+        ])
+    }
+
+    /// Decodes [`ClusterState::to_value`] with typed errors on any
+    /// shape mismatch.
+    pub fn from_value(v: &Value) -> Result<ClusterState, SnapshotError> {
+        let ctx = "cluster";
+        let slot_owners = arr_of(field(v, "slot_owners", ctx)?, ctx)?
+            .iter()
+            .map(|o| match o {
+                Value::Null => Ok(None),
+                j => usize_of(j, "cluster.slot_owners").map(Some),
+            })
+            .collect::<Result<Vec<_>, SnapshotError>>()?;
+        let queues_raw = arr_of(field(v, "queues", ctx)?, ctx)?;
+        if queues_raw.len() != 3 {
+            return Err(SnapshotError::Mismatch(
+                "cluster.queues: expected 3 class queues".into(),
+            ));
+        }
+        let queues = [
+            usizes_of(&queues_raw[0], "cluster.queues")?,
+            usizes_of(&queues_raw[1], "cluster.queues")?,
+            usizes_of(&queues_raw[2], "cluster.queues")?,
+        ];
+        let running = arr_of(field(v, "running", ctx)?, ctx)?
+            .iter()
+            .map(|r| {
+                Ok(RunningState {
+                    job: usize_of(field(r, "job", "cluster.running")?, "cluster.running.job")?,
+                    base: usize_of(field(r, "base", "cluster.running")?, "cluster.running.base")?,
+                    exec: ExecState::from_value(field(r, "exec", "cluster.running")?)?,
+                })
+            })
+            .collect::<Result<Vec<_>, SnapshotError>>()?;
+        let first_start = arr_of(field(v, "first_start", ctx)?, ctx)?
+            .iter()
+            .map(|t| match t {
+                Value::Null => Ok(None),
+                t => time_of(t, "cluster.first_start").map(Some),
+            })
+            .collect::<Result<Vec<_>, SnapshotError>>()?;
+        let completion = arr_of(field(v, "completion", ctx)?, ctx)?
+            .iter()
+            .map(|t| time_of(t, "cluster.completion"))
+            .collect::<Result<Vec<_>, SnapshotError>>()?;
+        Ok(ClusterState {
+            net: core_state_from_value(field(v, "net", ctx)?)?,
+            slot_owners,
+            queues,
+            running,
+            arrival_cursor: usize_of(field(v, "arrival_cursor", ctx)?, ctx)?,
+            next_tag_base: u64_of(field(v, "next_tag_base", ctx)?, ctx)?,
+            first_start,
+            completion,
+            preempt_count: u32s_of(field(v, "preempt_count", ctx)?, ctx)?,
+            fault_cursor: usizes_of(field(v, "fault_cursor", ctx)?, ctx)?,
+            done_count: usize_of(field(v, "done_count", ctx)?, ctx)?,
+            busy_npu_secs: f64_of(field(v, "busy_npu_secs", ctx)?, ctx)?,
+        })
     }
 }
 
@@ -867,6 +1260,62 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, ClusterError::JobTooWide { npus: 21, .. }));
+    }
+
+    #[test]
+    fn snapshot_restore_mid_preemption_run_is_bit_identical() {
+        use fred_telemetry::sink::NullSink;
+        // Same shape as the preemption test: the High arrival at 25%
+        // of the Low solo time forces an eviction; capturing right
+        // before it exercises restore with queued + running jobs and
+        // in-flight flows.
+        let low_a = resnet_job("low-a", 10).with_class(JobClass::Low);
+        let low_b = resnet_job("low-b", 10).with_class(JobClass::Low);
+        let backend = FabricBackend::new(FabricConfig::FredD);
+        let solo = simulate(&low_a.model, low_a.strategy, &backend, low_a.params).unwrap();
+        let high_at = solo.total.as_secs() * 0.25;
+        let mk = || {
+            vec![
+                low_a.clone(),
+                low_b.clone(),
+                resnet_job("high", 10)
+                    .with_class(JobClass::High)
+                    .with_arrival(Time::from_secs(high_at)),
+            ]
+        };
+        let cfg = ClusterConfig::new(FabricConfig::FredD);
+        let reference = run_cluster(&cfg, mk()).unwrap();
+        for frac in [0.2, 0.5] {
+            let mut cluster = Cluster::new(cfg.clone(), mk(), Rc::new(NullSink)).unwrap();
+            cluster
+                .run_until(Time::from_secs(high_at * frac / 0.25))
+                .unwrap();
+            let state = cluster.snapshot();
+            // Through the full codec: Value -> binary -> Value -> state.
+            let bytes = fred_core::codec::to_binary(&state.to_value());
+            let decoded =
+                ClusterState::from_value(&fred_core::codec::from_binary(&bytes).unwrap()).unwrap();
+            assert_eq!(decoded, state);
+            let mut resumed =
+                Cluster::restore(cfg.clone(), mk(), Rc::new(NullSink), decoded).unwrap();
+            // The restored stack re-captures identically.
+            assert_eq!(resumed.snapshot(), state);
+            resumed.run_to_completion().unwrap();
+            let report = resumed.into_report();
+            assert_eq!(report.makespan, reference.makespan, "frac {frac}");
+            assert_eq!(report.busy_npu_secs, reference.busy_npu_secs);
+            assert_eq!(report.preemptions, reference.preemptions);
+            for (a, b) in report.records.iter().zip(&reference.records) {
+                assert_eq!(a.first_start, b.first_start);
+                assert_eq!(
+                    a.completion.as_secs().to_bits(),
+                    b.completion.as_secs().to_bits(),
+                    "job {} diverged after restore at frac {frac}",
+                    a.name
+                );
+                assert_eq!(a.preemptions, b.preemptions);
+            }
+        }
     }
 
     #[test]

@@ -30,7 +30,12 @@
 //! * [`resolve`] — the §5.3 conflict-resolution strategies (blocking
 //!   and endpoint decomposition),
 //! * [`multiwafer`] — the §8.3 multi-wafer hierarchy and its
-//!   three-step global All-Reduce.
+//!   three-step global All-Reduce,
+//! * [`codec`] — the workspace's shared serde-free JSON + binary value
+//!   codec (no external dependencies),
+//! * [`snapshot`] — the versioned [`snapshot::SimState`] container and
+//!   the `Value` conversions for every simulator layer's state, the
+//!   foundation of bit-identical snapshot/resume.
 //!
 //! ## Quick example: route two concurrent All-Reduces on Fred₂(8)
 //!
@@ -50,6 +55,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod codec;
 pub mod collective;
 pub mod conflict;
 pub mod fabric;
@@ -62,6 +68,7 @@ pub mod params;
 pub mod placement;
 pub mod resolve;
 pub mod routing;
+pub mod snapshot;
 pub mod switch;
 
 pub use conflict::RoutingConflict;

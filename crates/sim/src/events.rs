@@ -89,6 +89,38 @@ impl<E: Eq> EventQueue<E> {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// The sequence number the next [`EventQueue::schedule`] will use.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Every pending entry, sorted by `(at, seq)` — the queue's pop
+    /// order is a pure function of this set, so snapshots serialize it
+    /// and [`EventQueue::from_entries`] rebuilds an equivalent heap.
+    pub fn entries(&self) -> Vec<(Time, u64, E)>
+    where
+        E: Clone,
+    {
+        let mut out: Vec<(Time, u64, E)> = self
+            .heap
+            .iter()
+            .map(|Reverse(s)| (s.at, s.seq, s.event.clone()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        out
+    }
+
+    /// Rebuilds a queue from [`EventQueue::entries`] and
+    /// [`EventQueue::next_seq`] captures. Pop order (and all future
+    /// tie-breaking) matches the captured queue exactly.
+    pub fn from_entries(entries: Vec<(Time, u64, E)>, next_seq: u64) -> EventQueue<E> {
+        let heap = entries
+            .into_iter()
+            .map(|(at, seq, event)| Reverse(Scheduled { at, seq, event }))
+            .collect();
+        EventQueue { heap, next_seq }
+    }
 }
 
 #[cfg(test)]
@@ -104,6 +136,23 @@ mod tests {
         q.schedule(Time::from_secs(2.0), 20);
         let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
         assert_eq!(order, vec![10, 11, 20, 30]);
+    }
+
+    #[test]
+    fn entries_round_trip_preserves_pop_order_and_sequencing() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_secs(2.0), 'b');
+        q.schedule(Time::from_secs(1.0), 'a');
+        q.schedule(Time::from_secs(1.0), 'c');
+        q.pop();
+        let mut r = EventQueue::from_entries(q.entries(), q.next_seq());
+        // New same-instant events in both queues keep FIFO parity.
+        q.schedule(Time::from_secs(1.0), 'd');
+        r.schedule(Time::from_secs(1.0), 'd');
+        let drain = |q: &mut EventQueue<char>| -> Vec<(f64, char)> {
+            std::iter::from_fn(|| q.pop().map(|s| (s.at.as_secs(), s.event))).collect()
+        };
+        assert_eq!(drain(&mut q), drain(&mut r));
     }
 
     #[test]

@@ -216,6 +216,92 @@ impl MigratedFlow {
     }
 }
 
+/// Serializable image of one in-flight flow inside a [`CoreState`].
+/// Plain data: every field that feeds future arithmetic (lazy byte
+/// accounting watermark, rate, drain-entry generation) is carried
+/// verbatim so a restored core continues the exact float sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowState {
+    /// The flow id ([`FlowId`] raw value).
+    pub id: u64,
+    /// Route as raw link indices.
+    pub links: Vec<usize>,
+    /// Priority class.
+    pub priority: Priority,
+    /// Tenant rank.
+    pub tenant: u8,
+    /// Caller tag.
+    pub tag: u64,
+    /// Bytes left as of `updated_at`.
+    pub remaining: f64,
+    /// Current allocated rate.
+    pub rate: f64,
+    /// Watermark of the last byte settlement / rate change.
+    pub updated_at: Time,
+    /// Generation of the flow's live drain-heap entry.
+    pub generation: u64,
+    /// Injection instant.
+    pub injected_at: Time,
+    /// Tail (route) latency.
+    pub latency: Duration,
+}
+
+/// Serializable image of one simulator core: everything mutable that
+/// the next event needs, structurally faithful down to slab holes and
+/// heap entry sets. Captured by [`FlowNetwork::snapshot`] (and, per
+/// core, by [`crate::shard::ShardedNetwork::snapshot`]); restoring and
+/// running to completion is bit-identical to never having paused.
+///
+/// Deliberately excluded: telemetry buffers (`buf`, `active_log` — the
+/// facades drain them after every public call, so they are empty at
+/// any capture point), solver scratch (epoch-stamped, provably inert
+/// after restore), and the process-wide event/compaction counters
+/// (monotonic profiling aggregates, not simulation state).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreState {
+    /// Simulation clock.
+    pub now: Time,
+    /// Next flow id to allocate.
+    pub next_id: u64,
+    /// Id-namespace stride (configuration; validated on restore).
+    pub id_stride: u64,
+    /// The flow slab, holes included (slot = solver [`FlowKey`]).
+    pub flows: Vec<Option<FlowState>>,
+    /// Number of live slots in `flows`.
+    pub active_count: usize,
+    /// The fair-share solver's image.
+    pub solver: crate::solver::SolverState,
+    /// Drain-heap entries `(when, flow id, generation, slot)`, sorted
+    /// ascending — a binary heap's pop order is a pure function of its
+    /// entry set, so the heap is rebuilt from this verbatim.
+    pub drains: Vec<(Time, u64, u64, u32)>,
+    /// Live (non-stale) entry count within `drains`.
+    pub live_drains: usize,
+    /// Heap size below which compaction never runs.
+    pub compaction_min: usize,
+    /// Compactions performed so far (per-core statistic).
+    pub compactions: u64,
+    /// Drain-entry generation counter.
+    pub next_generation: u64,
+    /// Drained flows waiting out their tail latency, as
+    /// `(due, tie-break seq, record)` sorted ascending.
+    pub pending: Vec<(Time, u64, CompletedFlow)>,
+    /// Completions buffered but not yet drained by the caller.
+    pub completed: Vec<CompletedFlow>,
+    /// Bytes settled per link.
+    pub link_bytes: Vec<f64>,
+    /// Current link capacities (post-fault/degrade).
+    pub capacities: Vec<f64>,
+    /// Links killed by faults.
+    pub failed: Vec<bool>,
+    /// Lifecycle events processed by this core.
+    pub events: u64,
+    /// Last emitted per-link allocated rate (feeds the delta check in
+    /// rate-epoch emission, so it must survive a snapshot for the
+    /// restored trace to stay canonical).
+    pub link_alloc: Vec<f64>,
+}
+
 /// The engine state of one simulator core. `Send`: worker threads in
 /// [`crate::shard::ShardedNetwork`] advance disjoint cores in
 /// parallel. All telemetry goes into [`Core::buf`]; the owning facade
@@ -925,6 +1011,135 @@ impl Core {
             self.link_carried_bytes(link) / denom
         }
     }
+
+    /// Captures the core's full mutable state. The telemetry buffers
+    /// must already be drained (the owning facade drains them after
+    /// every public call, so any facade-level capture point qualifies).
+    pub(crate) fn snapshot(&self) -> CoreState {
+        assert!(
+            self.buf.is_empty() && self.active_log.is_empty(),
+            "snapshot with undrained telemetry buffers"
+        );
+        let mut drains: Vec<(Time, u64, u64, u32)> =
+            self.drains.iter().map(|&Reverse(e)| e).collect();
+        drains.sort();
+        let mut pending: Vec<(Time, u64, CompletedFlow)> = self
+            .pending
+            .iter()
+            .map(|Reverse(p)| (p.at, p.seq, p.flow.clone()))
+            .collect();
+        pending.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        CoreState {
+            now: self.now,
+            next_id: self.next_id,
+            id_stride: self.id_stride,
+            flows: self
+                .flows
+                .iter()
+                .map(|slot| {
+                    slot.as_ref().map(|f| FlowState {
+                        id: f.id.0,
+                        links: f.links.clone(),
+                        priority: f.priority,
+                        tenant: f.tenant,
+                        tag: f.tag,
+                        remaining: f.remaining,
+                        rate: f.rate,
+                        updated_at: f.updated_at,
+                        generation: f.generation,
+                        injected_at: f.injected_at,
+                        latency: f.latency,
+                    })
+                })
+                .collect(),
+            active_count: self.active_count,
+            solver: self.solver.snapshot(),
+            drains,
+            live_drains: self.live_drains,
+            compaction_min: self.compaction_min,
+            compactions: self.compactions,
+            next_generation: self.next_generation,
+            pending,
+            completed: self.completed.clone(),
+            link_bytes: self.link_bytes.clone(),
+            capacities: self.capacities.clone(),
+            failed: self.failed.clone(),
+            events: self.events,
+            link_alloc: self.link_alloc.clone(),
+        }
+    }
+
+    /// Rebuilds a core from a [`CoreState`] over `topo`. `tracing` and
+    /// `log_active` are configuration, supplied by the facade (they do
+    /// not affect simulation results). Panics if the state's per-link
+    /// vectors disagree with the topology — a snapshot only restores
+    /// over the topology it was captured from.
+    pub(crate) fn restore(
+        topo: Arc<Topology>,
+        tracing: bool,
+        log_active: bool,
+        state: CoreState,
+    ) -> Core {
+        let n = topo.links().count();
+        assert!(state.id_stride > 0, "id stride must be positive");
+        assert_eq!(
+            state.capacities.len(),
+            n,
+            "snapshot link count does not match the topology"
+        );
+        assert_eq!(state.link_bytes.len(), n, "corrupt snapshot: link_bytes");
+        assert_eq!(state.failed.len(), n, "corrupt snapshot: failed");
+        assert_eq!(state.link_alloc.len(), n, "corrupt snapshot: link_alloc");
+        let flows: Vec<Option<ActiveFlow>> = state
+            .flows
+            .into_iter()
+            .map(|slot| {
+                slot.map(|f| ActiveFlow {
+                    id: FlowId(f.id),
+                    links: f.links,
+                    priority: f.priority,
+                    tenant: f.tenant,
+                    tag: f.tag,
+                    remaining: f.remaining,
+                    rate: f.rate,
+                    updated_at: f.updated_at,
+                    generation: f.generation,
+                    injected_at: f.injected_at,
+                    latency: f.latency,
+                })
+            })
+            .collect();
+        Core {
+            topo,
+            now: state.now,
+            next_id: state.next_id,
+            id_stride: state.id_stride,
+            flows,
+            active_count: state.active_count,
+            solver: FairShareSolver::restore(state.solver),
+            drains: state.drains.into_iter().map(Reverse).collect(),
+            live_drains: state.live_drains,
+            compaction_min: state.compaction_min,
+            compactions: state.compactions,
+            next_generation: state.next_generation,
+            pending: state
+                .pending
+                .into_iter()
+                .map(|(at, seq, flow)| Reverse(PendingNotice { at, seq, flow }))
+                .collect(),
+            completed: state.completed,
+            link_bytes: state.link_bytes,
+            capacities: state.capacities,
+            failed: state.failed,
+            events: state.events,
+            tracing,
+            log_active,
+            buf: Vec::new(),
+            active_log: Vec::new(),
+            link_alloc: state.link_alloc,
+            changed_scratch: Vec::new(),
+        }
+    }
 }
 
 /// Flow-level network simulator over a fixed [`Topology`].
@@ -1202,6 +1417,48 @@ impl FlowNetwork {
     /// compaction entirely).
     pub fn set_heap_compaction_min(&mut self, min: usize) {
         self.core.set_compaction_min(min);
+    }
+
+    /// Captures the simulator's complete mutable state. Restoring the
+    /// capture with [`FlowNetwork::restore`] and running to completion
+    /// is bit-identical (completion times, rate epochs, byte
+    /// accounting) to never having paused. Valid at any point between
+    /// public calls, including mid-fault with evicted flows awaiting
+    /// re-injection.
+    pub fn snapshot(&self) -> CoreState {
+        self.core.snapshot()
+    }
+
+    /// Rebuilds a simulator from a [`FlowNetwork::snapshot`] capture
+    /// over `topo` (which must be the topology the capture was taken
+    /// from), with tracing disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state's per-link vectors do not match `topo`.
+    pub fn restore(topo: Topology, state: CoreState) -> FlowNetwork {
+        FlowNetwork::restore_with_sink(topo, Rc::new(NullSink), state)
+    }
+
+    /// [`FlowNetwork::restore`] recording into `sink`. When the sink is
+    /// enabled a fresh [`TraceEvent::Topology`] marker is emitted at
+    /// the restored clock — the same segment marker
+    /// [`FlowNetwork::with_sink`] emits at construction — so analysis
+    /// layers can re-cost the resumed segment on its own.
+    pub fn restore_with_sink(
+        topo: Topology,
+        sink: Rc<dyn TraceSink>,
+        state: CoreState,
+    ) -> FlowNetwork {
+        let tracing = sink.enabled();
+        let core = Core::restore(Arc::new(topo), tracing, false, state);
+        if tracing {
+            sink.record(TraceEvent::Topology {
+                t: core.now().as_secs(),
+                capacities: core.capacities.clone().into_boxed_slice(),
+            });
+        }
+        FlowNetwork { core, sink }
     }
 }
 
@@ -1771,5 +2028,67 @@ mod tests {
             })
             .collect();
         assert_eq!(faults, vec![(l0.0 as u32, 0.0, 1), (l1.0 as u32, 0.5, 0)]);
+    }
+
+    #[test]
+    fn snapshot_restore_mid_fault_is_bit_identical() {
+        // A run with staggered injections, a mid-run link failure and a
+        // re-injection of the evicted bytes. Snapshot immediately after
+        // the fault (evicted flows in hand, completions buffered,
+        // pending deltas unsolved), restore into a fresh network, and
+        // the remainder must match the uninterrupted run bit for bit.
+        let build = || {
+            let mut topo = Topology::new();
+            let a = topo.add_node(NodeKind::Npu, "a");
+            let b = topo.add_node(NodeKind::Npu, "b");
+            let l0 = topo.add_link(a, b, 100.0, 1e-6);
+            let l1 = topo.add_link(a, b, 80.0, 2e-6);
+            (topo, l0, l1)
+        };
+        let phase1 = |net: &mut FlowNetwork, l0: LinkId, l1: LinkId| {
+            for i in 0..6u64 {
+                let l = if i % 2 == 0 { l0 } else { l1 };
+                net.inject(FlowSpec::new(vec![l], 120.0 + i as f64).with_tag(i))
+                    .unwrap();
+            }
+            net.advance_to(Time::from_secs(1.0));
+            net.inject(FlowSpec::new(vec![l0], 300.0).with_tag(100))
+                .unwrap();
+            net.advance_to(Time::from_secs(1.5));
+            net.fail_link(l0)
+        };
+        let finish = |net: &mut FlowNetwork, l1: LinkId, evicted: Vec<EvictedFlow>| {
+            // Re-route the evicted bytes over the surviving link.
+            for ev in evicted {
+                net.inject(
+                    FlowSpec::new(vec![l1], ev.remaining_bytes)
+                        .with_priority(ev.priority)
+                        .with_tag(ev.tag + 1000),
+                )
+                .unwrap();
+            }
+            let mut done = net.run_to_completion();
+            done.sort_by_key(|c| c.tag);
+            done.iter()
+                .map(|c| (c.tag, c.completed_at.as_secs().to_bits()))
+                .collect::<Vec<_>>()
+        };
+
+        let (topo, l0, l1) = build();
+        let mut base = FlowNetwork::new(topo);
+        let ev = phase1(&mut base, l0, l1);
+        let uninterrupted = finish(&mut base, l1, ev.clone());
+
+        let (topo, l0b, l1b) = build();
+        let mut paused = FlowNetwork::new(topo);
+        let ev2 = phase1(&mut paused, l0b, l1b);
+        assert_eq!(ev, ev2);
+        let state = paused.snapshot();
+        drop(paused);
+        let (topo, _, l1c) = build();
+        let mut resumed = FlowNetwork::restore(topo, state.clone());
+        // A snapshot of the restored (untouched) network is stable.
+        assert_eq!(resumed.snapshot(), state);
+        assert_eq!(finish(&mut resumed, l1c, ev2), uninterrupted);
     }
 }

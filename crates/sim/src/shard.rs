@@ -44,10 +44,27 @@ use fred_telemetry::event::TraceEvent;
 use fred_telemetry::sink::{NullSink, TraceSink};
 
 use crate::flow::{FlowId, FlowSpec};
-use crate::netsim::{CompletedFlow, Core, EvictedFlow};
+use crate::netsim::{CompletedFlow, Core, CoreState, EvictedFlow};
 use crate::solver::SolverStats;
 use crate::time::Time;
 use crate::topology::{LinkId, RouteError, Topology};
+
+/// Serializable image of a [`ShardedNetwork`]: one [`CoreState`] per
+/// shard core plus the fused spill core, and the fusion bookkeeping.
+/// The partition map, thread count, topology and sink are
+/// configuration, re-supplied on restore — the thread count may even
+/// differ, because results are thread-count-invariant by contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedState {
+    /// `cores[0..shards]` shard cores, `cores[shards]` the fused core.
+    pub cores: Vec<CoreState>,
+    /// Whether all live flows sit in the fused core.
+    pub fused: bool,
+    /// Ids of live boundary flows, sorted ascending.
+    pub boundary: Vec<u64>,
+    /// Per-core last merged active count (epoch-merge baseline).
+    pub last_active: Vec<u32>,
+}
 
 /// Assignment of every link in a topology to one shard.
 ///
@@ -203,16 +220,7 @@ impl ShardedNetwork {
             part.links(),
             topo.link_count()
         );
-        let threads = if threads == 0 {
-            std::env::var("FRED_THREADS")
-                .ok()
-                .and_then(|v| v.parse::<usize>().ok())
-                .filter(|&t| t > 0)
-                .unwrap_or(1)
-        } else {
-            threads
-        };
-        let threads = threads.min(part.shards()).max(1);
+        let threads = resolve_threads(threads, part.shards());
         let tracing = sink.enabled();
         let topo = Arc::new(topo);
         let n = part.shards() + 1;
@@ -854,6 +862,116 @@ impl ShardedNetwork {
             }
         }
     }
+
+    /// Captures the complete mutable state of every core plus the
+    /// fusion bookkeeping. Valid between any two public calls —
+    /// including while fused, with boundary flows live. Restoring via
+    /// [`ShardedNetwork::restore`] (at *any* thread count) and running
+    /// to completion is bit-identical to never having paused.
+    pub fn snapshot(&self) -> ShardedState {
+        let mut boundary: Vec<u64> = self.boundary.iter().copied().collect();
+        boundary.sort_unstable();
+        ShardedState {
+            cores: self.cores.iter().map(|c| c.snapshot()).collect(),
+            fused: self.fused,
+            boundary,
+            last_active: self.last_active.clone(),
+        }
+    }
+
+    /// Rebuilds a sharded simulator from a
+    /// [`ShardedNetwork::snapshot`] capture, with tracing disabled.
+    /// `topo` and `part` must be the topology and partition the capture
+    /// was taken over; `threads` follows the
+    /// [`ShardedNetwork::new`] convention (0 reads `FRED_THREADS`) and
+    /// need not match the capturing network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state's core count or id namespaces disagree with
+    /// `part`, or its per-link vectors disagree with `topo`.
+    pub fn restore(
+        topo: Topology,
+        part: PartitionMap,
+        threads: usize,
+        state: ShardedState,
+    ) -> ShardedNetwork {
+        ShardedNetwork::restore_with_sink(topo, part, threads, Rc::new(NullSink), state)
+    }
+
+    /// [`ShardedNetwork::restore`] recording into `sink`. When the
+    /// sink is enabled a fresh [`TraceEvent::Topology`] segment marker
+    /// is emitted at the restored clock.
+    pub fn restore_with_sink(
+        topo: Topology,
+        part: PartitionMap,
+        threads: usize,
+        sink: Rc<dyn TraceSink>,
+        state: ShardedState,
+    ) -> ShardedNetwork {
+        assert_eq!(
+            part.links(),
+            topo.link_count(),
+            "partition map covers {} links but the topology has {}",
+            part.links(),
+            topo.link_count()
+        );
+        let n = part.shards() + 1;
+        assert_eq!(
+            state.cores.len(),
+            n,
+            "snapshot core count does not match the partition"
+        );
+        assert_eq!(state.last_active.len(), n, "corrupt snapshot: last_active");
+        let threads = resolve_threads(threads, part.shards());
+        let tracing = sink.enabled();
+        let topo = Arc::new(topo);
+        let cores: Vec<Core> = state
+            .cores
+            .into_iter()
+            .enumerate()
+            .map(|(i, cs)| {
+                assert_eq!(cs.id_stride, n as u64, "snapshot id stride mismatch");
+                assert_eq!(
+                    cs.next_id % n as u64,
+                    i as u64,
+                    "snapshot core {i} owns a foreign id namespace"
+                );
+                Core::restore(topo.clone(), tracing, tracing, cs)
+            })
+            .collect();
+        if tracing {
+            sink.record(TraceEvent::Topology {
+                t: cores[0].now().as_secs(),
+                capacities: cores[0].snapshot().capacities.into_boxed_slice(),
+            });
+        }
+        ShardedNetwork {
+            last_active: state.last_active,
+            cores,
+            part,
+            threads,
+            fused: state.fused,
+            boundary: state.boundary.into_iter().collect(),
+            sink,
+            tracing,
+        }
+    }
+}
+
+/// Resolves a requested worker-thread count: `0` reads `FRED_THREADS`
+/// (defaulting to 1), and the result is clamped to `[1, shards]`.
+fn resolve_threads(threads: usize, shards: usize) -> usize {
+    let threads = if threads == 0 {
+        std::env::var("FRED_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&t| t > 0)
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    threads.min(shards).max(1)
 }
 
 /// Runs `f(core_index, core)` over every core, fanning out over
@@ -1220,6 +1338,54 @@ mod tests {
         assert_eq!(count("drn"), 2);
         assert_eq!(count("cmp"), 2);
         assert!(count("epoch") >= 1);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_sharded_run_bit_identically() {
+        // Capture mid-run in both regimes — unfused (shard-local
+        // traffic only) and fused (a live boundary flow) — and resume
+        // at a different thread count. Completions and the final clock
+        // must match the uninterrupted run exactly.
+        let (topo, part, l0, l1) = two_islands();
+        let load = |net: &mut ShardedNetwork, fuse: bool| {
+            net.inject(FlowSpec::new(vec![l0], 200.0).with_tag(0))
+                .unwrap();
+            net.inject(FlowSpec::new(vec![l1], 350.0).with_tag(1))
+                .unwrap();
+            if fuse {
+                net.inject(
+                    FlowSpec::new(vec![LinkId(2), l1], 120.0)
+                        .with_tag(9)
+                        .with_priority(Priority::Mp),
+                )
+                .unwrap();
+            }
+            net.advance_to(Time::from_secs(1.25));
+        };
+        let finish = |net: &mut ShardedNetwork| {
+            let done = net.run_to_completion();
+            (
+                done.iter()
+                    .map(|c| (c.tag, c.completed_at.as_secs().to_bits()))
+                    .collect::<Vec<_>>(),
+                net.now(),
+            )
+        };
+        for fuse in [false, true] {
+            let mut base = ShardedNetwork::new(topo.clone(), part.clone(), 2);
+            load(&mut base, fuse);
+            let expected = finish(&mut base);
+
+            let mut paused = ShardedNetwork::new(topo.clone(), part.clone(), 2);
+            load(&mut paused, fuse);
+            assert_eq!(paused.is_fused(), fuse);
+            let state = paused.snapshot();
+            drop(paused);
+            let mut resumed = ShardedNetwork::restore(topo.clone(), part.clone(), 1, state.clone());
+            assert_eq!(resumed.is_fused(), fuse);
+            assert_eq!(resumed.snapshot(), state, "snapshot must be stable");
+            assert_eq!(finish(&mut resumed), expected, "fuse={fuse}");
+        }
     }
 
     fn event_fingerprint(e: &TraceEvent) -> String {

@@ -52,6 +52,56 @@ struct SolverFlow {
     rate: f64,
 }
 
+/// Serialized form of one registered flow inside a [`SolverState`].
+/// Slab order and holes are preserved exactly (see [`SolverState`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverFlowState {
+    /// Link indices the flow crosses (multiset, in route order).
+    pub links: Vec<usize>,
+    /// Strict fill class (see [`FairShareSolver::add_flow_class`]).
+    pub class: u8,
+    /// Rate as of the last solve.
+    pub rate: f64,
+}
+
+/// Complete mutable state of a [`FairShareSolver`], captured by
+/// [`FairShareSolver::snapshot`] and revived by
+/// [`FairShareSolver::restore`].
+///
+/// The capture is *structural*, not merely semantic: slab holes, the
+/// free-key stack and per-link incidence order are preserved verbatim,
+/// because key reuse order and `swap_remove` incidence positions feed
+/// future arithmetic and tie-breaking. Epoch-stamped scratch vectors
+/// are deliberately **not** captured — restore re-zeros them, which is
+/// equivalent because the serialized `epoch` keeps every zero mark
+/// stale. Pending deltas (`seed_links`, `dirty`) are captured so a
+/// snapshot taken between a delta and its solve resumes exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverState {
+    /// Per-link capacities (bytes/s), indexed by `LinkId.0`.
+    pub capacities: Vec<f64>,
+    /// The flow slab, holes included.
+    pub flows: Vec<Option<SolverFlowState>>,
+    /// Free-key stack, top last.
+    pub free: Vec<u32>,
+    /// Live flow count.
+    pub live: usize,
+    /// Per-link incidence lists, in insertion/`swap_remove` order.
+    pub link_flows: Vec<Vec<u32>>,
+    /// Allocated rate sum per link.
+    pub link_alloc: Vec<f64>,
+    /// Dirty seed links pending the next solve (may repeat).
+    pub seed_links: Vec<usize>,
+    /// Whether deltas are pending.
+    pub dirty: bool,
+    /// Global-refill threshold fraction.
+    pub refill_fraction: f64,
+    /// Scratch-mark epoch (monotone; restored marks of zero stay stale).
+    pub epoch: u64,
+    /// Cost counters at capture.
+    pub stats: SolverStats,
+}
+
 /// Running cost counters, exposed for benchmarks and telemetry.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SolverStats {
@@ -459,6 +509,82 @@ impl FairShareSolver {
         true
     }
 
+    /// Captures the solver's complete mutable state. See
+    /// [`SolverState`] for what is (and is not) serialized.
+    pub fn snapshot(&self) -> SolverState {
+        SolverState {
+            capacities: self.capacities.clone(),
+            flows: self
+                .flows
+                .iter()
+                .map(|f| {
+                    f.as_ref().map(|f| SolverFlowState {
+                        links: f.links.to_vec(),
+                        class: f.class,
+                        rate: f.rate,
+                    })
+                })
+                .collect(),
+            free: self.free.clone(),
+            live: self.live,
+            link_flows: self.link_flows.clone(),
+            link_alloc: self.link_alloc.clone(),
+            seed_links: self.seed_links.clone(),
+            dirty: self.dirty,
+            refill_fraction: self.refill_fraction,
+            epoch: self.epoch,
+            stats: self.stats,
+        }
+    }
+
+    /// Rebuilds a solver from a [`FairShareSolver::snapshot`] capture.
+    /// Continuing the restored solver is bit-identical to continuing
+    /// the captured one: slab layout, free-key order, incidence order
+    /// and the pending-delta set are all revived verbatim; only the
+    /// epoch-stamped scratch is re-zeroed (safe — see [`SolverState`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is internally inconsistent (per-link vector
+    /// lengths disagree) — codec-level decoding reports corruption as
+    /// typed errors before this is reached.
+    pub fn restore(state: SolverState) -> FairShareSolver {
+        let n = state.capacities.len();
+        assert_eq!(state.link_flows.len(), n, "link_flows length mismatch");
+        assert_eq!(state.link_alloc.len(), n, "link_alloc length mismatch");
+        let slab = state.flows.len();
+        FairShareSolver {
+            capacities: state.capacities,
+            flows: state
+                .flows
+                .into_iter()
+                .map(|f| {
+                    f.map(|f| SolverFlow {
+                        links: f.links.into_boxed_slice(),
+                        class: f.class,
+                        rate: f.rate,
+                    })
+                })
+                .collect(),
+            free: state.free,
+            live: state.live,
+            link_flows: state.link_flows,
+            link_alloc: state.link_alloc,
+            seed_links: state.seed_links,
+            dirty: state.dirty,
+            refill_fraction: state.refill_fraction,
+            epoch: state.epoch,
+            link_mark: vec![0; n],
+            flow_mark: vec![0; slab],
+            remaining: vec![0.0; n],
+            counts: vec![0; n],
+            new_rate: vec![0.0; slab],
+            changed: Vec::new(),
+            touched_links: Vec::new(),
+            stats: state.stats,
+        }
+    }
+
     /// Progressive filling restricted to one component. `links` must
     /// contain every link crossed by a flow in `flow_keys` and no link
     /// crossed by any other flow; both slices must be sorted ascending.
@@ -756,6 +882,40 @@ mod tests {
         // No-op capacity writes stay clean.
         s.set_capacity(1, 60.0);
         assert!(!s.is_dirty());
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically_mid_dirty() {
+        // Build history that exercises slab holes, free-key reuse order
+        // and swap_remove incidence order, then capture with deltas
+        // still pending and compare continuations bitwise.
+        let caps = vec![9.0, 6.0, 4.0];
+        let mut s = FairShareSolver::new(caps);
+        let a = s.add_flow(&[0, 1], Priority::Bulk);
+        let _b = s.add_flow(&[1], Priority::Mp);
+        let c = s.add_flow(&[0, 2], Priority::Bulk);
+        s.solve();
+        s.remove_flow(a);
+        s.set_capacity(2, 2.0); // pending deltas at capture time
+        let state = s.snapshot();
+        assert!(state.dirty);
+        let mut r = FairShareSolver::restore(state.clone());
+        assert_eq!(r.snapshot(), state, "snapshot of a restore is stable");
+
+        // Identical continuation on both: solve, new flow (must reuse
+        // the same freed key), solve again.
+        let continue_run = |s: &mut FairShareSolver| -> Vec<(u32, u64)> {
+            s.solve();
+            let d = s.add_flow(&[0, 1, 2], Priority::Dp);
+            s.solve();
+            let mut out = vec![(d.0, s.rate(d).to_bits()), (c.0, s.rate(c).to_bits())];
+            out.push((u32::MAX, s.stats().solves));
+            for l in 0..3 {
+                out.push((l as u32, s.link_allocated(l).to_bits()));
+            }
+            out
+        };
+        assert_eq!(continue_run(&mut s), continue_run(&mut r));
     }
 
     #[test]

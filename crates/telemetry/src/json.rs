@@ -44,6 +44,19 @@ pub fn push_num(out: &mut String, x: f64) {
     }
 }
 
+/// [`push_num`] as an owned string — the one number formatter shared by
+/// the JSON writers, the Prometheus exporter and the snapshot codec.
+/// For finite inputs the rendering round-trips through `str::parse`
+/// bit-exactly (integers collapse to `i64` form only below 2^53, where
+/// the conversion is lossless; everything else uses Rust's
+/// shortest-round-trip `Display`), with the single exception of `-0.0`,
+/// which prints as `0`.
+pub fn fmt_num(x: f64) -> String {
+    let mut out = String::new();
+    push_num(&mut out, x);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,5 +93,25 @@ mod tests {
         assert_eq!(num(f64::NAN), "0");
         assert!(num(f64::INFINITY).starts_with("1"));
         assert!(num(f64::NEG_INFINITY).starts_with("-1"));
+    }
+
+    #[test]
+    fn fmt_num_round_trips_finite_values() {
+        for &x in &[
+            0.0,
+            3.0,
+            -2.0,
+            0.1,
+            1.0 / 3.0,
+            1e-300,
+            123456789.123456,
+            9.007199254740991e15, // 2^53 - 1, above the i64-collapse cap
+            f64::MAX,
+            f64::MIN_POSITIVE,
+        ] {
+            let s = fmt_num(x);
+            let back: f64 = s.parse().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} rendered as {s}");
+        }
     }
 }

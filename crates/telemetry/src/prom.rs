@@ -42,11 +42,7 @@ fn push_label_escaped(out: &mut String, v: &str) {
 }
 
 fn fmt_value(v: f64) -> String {
-    if v == v.trunc() && v.abs() < 1e15 {
-        format!("{}", v as i64)
-    } else {
-        format!("{v}")
-    }
+    crate::json::fmt_num(v)
 }
 
 fn push_sample(out: &mut String, name: &str, labels: &[(&str, &str)], value: f64) {

@@ -100,7 +100,7 @@ pub fn repair_flows(
 
 /// Identity of one executor within a shared network: its tag namespace,
 /// tenant rank and (optional) telemetry label prefix.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ExecConfig {
     /// Flows are tagged `tag_base + task_index + 1`; drivers sharing a
     /// network give each executor a disjoint range of
@@ -114,6 +114,45 @@ pub struct ExecConfig {
     /// attribution stays readable in shared traces. `None` keeps the
     /// classic single-job labels byte-for-byte.
     pub label: Option<String>,
+}
+
+/// Captured executor progress: everything [`ScheduleExecutor`] mutates
+/// while running, as plain data.
+///
+/// The schedule itself, the trace sink and the derived `dependents`
+/// adjacency are configuration — a restore is handed the same schedule
+/// and rebuilds them. Telemetry span bookkeeping (`spans`/`span_ids`)
+/// is deliberately excluded: traces restart at the restore point, so
+/// tasks already running resume without an open span (the dependency
+/// edge emitter skips the zero sentinel).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecState {
+    /// The executor's namespace identity.
+    pub cfg: ExecConfig,
+    /// Remaining unfinished-dependency count per task.
+    pub indegree: Vec<usize>,
+    /// Start time per task (ZERO until started).
+    pub start: Vec<Time>,
+    /// Finish time per task (ZERO until finished).
+    pub finish: Vec<Time>,
+    /// Finished flag per task.
+    pub done: Vec<bool>,
+    /// In-flight comm tasks as `(task, next_phase, outstanding)`,
+    /// sorted by task index.
+    pub comm: Vec<(usize, usize, usize)>,
+    /// Pending compute finishes (see
+    /// [`fred_sim::events::EventQueue::entries`]).
+    pub compute_queue: Vec<(Time, u64, usize)>,
+    /// The compute queue's next tie-break sequence number.
+    pub compute_next_seq: u64,
+    /// Tasks finished so far.
+    pub completed: usize,
+    /// Tasks ready to start (popped back-to-front).
+    pub ready_stack: Vec<usize>,
+    /// Tasks that finished at the current instant, awaiting settle.
+    pub finished_now: Vec<usize>,
+    /// Flows staged but not yet injected.
+    pub staged: Vec<FlowSpec>,
 }
 
 /// The trainer's dependency-driven event loop as a resumable state
@@ -183,6 +222,82 @@ impl ScheduleExecutor {
             ready_stack,
             finished_now: Vec::new(),
             staged: Vec::new(),
+        }
+    }
+
+    /// Captures every piece of mutable executor state as plain data.
+    /// Restoring with [`ScheduleExecutor::restore`] against the same
+    /// schedule resumes bit-identically (modulo telemetry spans — see
+    /// [`ExecState`]).
+    pub fn snapshot(&self) -> ExecState {
+        ExecState {
+            cfg: self.cfg.clone(),
+            indegree: self.indegree.clone(),
+            start: self.start.clone(),
+            finish: self.finish.clone(),
+            done: self.done.clone(),
+            comm: self
+                .comm
+                .iter()
+                .map(|(&i, s)| (i, s.phase, s.outstanding))
+                .collect(),
+            compute_queue: self.compute_queue.entries(),
+            compute_next_seq: self.compute_queue.next_seq(),
+            completed: self.completed,
+            ready_stack: self.ready_stack.clone(),
+            finished_now: self.finished_now.clone(),
+            staged: self.staged.clone(),
+        }
+    }
+
+    /// Rebuilds an executor from a [`ScheduleExecutor::snapshot`] and
+    /// the same schedule it was captured against.
+    ///
+    /// # Panics
+    ///
+    /// If the state's per-task vectors do not match the schedule's task
+    /// count or reference out-of-range tasks — a snapshot/schedule
+    /// pairing error, not file corruption (which the codec layer
+    /// reports as typed errors before state structs are ever built).
+    pub fn restore(schedule: Rc<Schedule>, sink: Rc<dyn TraceSink>, state: ExecState) -> Self {
+        let n = schedule.tasks.len();
+        assert_eq!(state.indegree.len(), n, "indegree/task-count mismatch");
+        assert_eq!(state.start.len(), n, "start/task-count mismatch");
+        assert_eq!(state.finish.len(), n, "finish/task-count mismatch");
+        assert_eq!(state.done.len(), n, "done/task-count mismatch");
+        let mut dependents: Vec<Vec<TaskId>> = vec![Vec::new(); n];
+        for (i, t) in schedule.tasks.iter().enumerate() {
+            for d in &t.deps {
+                dependents[d.0].push(TaskId(i));
+            }
+        }
+        let mut comm = BTreeMap::new();
+        for &(i, phase, outstanding) in &state.comm {
+            assert!(i < n, "comm task {i} out of range");
+            comm.insert(i, CommState { phase, outstanding });
+        }
+        for &i in state.ready_stack.iter().chain(&state.finished_now) {
+            assert!(i < n, "task {i} out of range");
+        }
+        let tracing = sink.enabled();
+        ScheduleExecutor {
+            schedule,
+            cfg: state.cfg,
+            sink,
+            tracing,
+            indegree: state.indegree,
+            dependents,
+            start: state.start,
+            finish: state.finish,
+            done: state.done,
+            comm,
+            compute_queue: EventQueue::from_entries(state.compute_queue, state.compute_next_seq),
+            completed: state.completed,
+            spans: vec![None; n],
+            span_ids: vec![0; n],
+            ready_stack: state.ready_stack,
+            finished_now: state.finished_now,
+            staged: state.staged,
         }
     }
 
@@ -503,5 +618,182 @@ impl ScheduleExecutor {
                 });
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Snapshot serialization.
+// ---------------------------------------------------------------------
+
+use fred_core::codec::{SnapshotError, Value};
+use fred_core::snapshot::{
+    arr_of, bools, bools_of, field, flow_spec_from_value, flow_spec_to_value, time_of, u64_of,
+    usize_of, usizes, usizes_of, v_time, v_u64,
+};
+
+impl ExecState {
+    /// Encodes the state for the shared snapshot codec.
+    pub fn to_value(&self) -> Value {
+        let comm = Value::Arr(
+            self.comm
+                .iter()
+                .map(|&(i, phase, outstanding)| {
+                    Value::Arr(vec![
+                        v_u64(i as u64),
+                        v_u64(phase as u64),
+                        v_u64(outstanding as u64),
+                    ])
+                })
+                .collect(),
+        );
+        let queue = Value::Arr(
+            self.compute_queue
+                .iter()
+                .map(|&(at, seq, task)| {
+                    Value::Arr(vec![v_time(at), v_u64(seq), v_u64(task as u64)])
+                })
+                .collect(),
+        );
+        Value::Obj(vec![
+            ("tag_base".into(), v_u64(self.cfg.tag_base)),
+            ("tenant".into(), v_u64(u64::from(self.cfg.tenant))),
+            (
+                "label".into(),
+                match &self.cfg.label {
+                    Some(l) => Value::Str(l.clone()),
+                    None => Value::Null,
+                },
+            ),
+            ("indegree".into(), usizes(&self.indegree)),
+            (
+                "start".into(),
+                Value::Arr(self.start.iter().map(|&t| v_time(t)).collect()),
+            ),
+            (
+                "finish".into(),
+                Value::Arr(self.finish.iter().map(|&t| v_time(t)).collect()),
+            ),
+            ("done".into(), bools(&self.done)),
+            ("comm".into(), comm),
+            ("compute_queue".into(), queue),
+            ("compute_next_seq".into(), v_u64(self.compute_next_seq)),
+            ("completed".into(), v_u64(self.completed as u64)),
+            ("ready_stack".into(), usizes(&self.ready_stack)),
+            ("finished_now".into(), usizes(&self.finished_now)),
+            (
+                "staged".into(),
+                Value::Arr(self.staged.iter().map(flow_spec_to_value).collect()),
+            ),
+        ])
+    }
+
+    /// Decodes [`ExecState::to_value`] with typed errors on any shape
+    /// mismatch.
+    pub fn from_value(v: &Value) -> Result<ExecState, SnapshotError> {
+        let ctx = "exec";
+        let comm = arr_of(field(v, "comm", ctx)?, ctx)?
+            .iter()
+            .map(|e| {
+                let e = arr_of(e, "exec.comm")?;
+                if e.len() != 3 {
+                    return Err(SnapshotError::Mismatch(
+                        "exec.comm: expected 3 elements".into(),
+                    ));
+                }
+                Ok((
+                    usize_of(&e[0], "exec.comm.task")?,
+                    usize_of(&e[1], "exec.comm.phase")?,
+                    usize_of(&e[2], "exec.comm.outstanding")?,
+                ))
+            })
+            .collect::<Result<Vec<_>, SnapshotError>>()?;
+        let compute_queue = arr_of(field(v, "compute_queue", ctx)?, ctx)?
+            .iter()
+            .map(|e| {
+                let e = arr_of(e, "exec.compute_queue")?;
+                if e.len() != 3 {
+                    return Err(SnapshotError::Mismatch(
+                        "exec.compute_queue: expected 3 elements".into(),
+                    ));
+                }
+                Ok((
+                    time_of(&e[0], "exec.compute_queue.at")?,
+                    u64_of(&e[1], "exec.compute_queue.seq")?,
+                    usize_of(&e[2], "exec.compute_queue.task")?,
+                ))
+            })
+            .collect::<Result<Vec<_>, SnapshotError>>()?;
+        let staged = arr_of(field(v, "staged", ctx)?, ctx)?
+            .iter()
+            .map(|f| flow_spec_from_value(f, "exec.staged"))
+            .collect::<Result<Vec<_>, SnapshotError>>()?;
+        let label = match field(v, "label", ctx)? {
+            Value::Null => None,
+            Value::Str(s) => Some(s.clone()),
+            other => {
+                return Err(SnapshotError::Mismatch(format!(
+                    "exec.label: expected string or null, found {other:?}"
+                )))
+            }
+        };
+        let time_vec = |key: &str| -> Result<Vec<Time>, SnapshotError> {
+            arr_of(field(v, key, ctx)?, ctx)?
+                .iter()
+                .map(|t| time_of(t, key))
+                .collect()
+        };
+        Ok(ExecState {
+            cfg: ExecConfig {
+                tag_base: u64_of(field(v, "tag_base", ctx)?, ctx)?,
+                tenant: u64_of(field(v, "tenant", ctx)?, ctx)? as u8,
+                label,
+            },
+            indegree: usizes_of(field(v, "indegree", ctx)?, ctx)?,
+            start: time_vec("start")?,
+            finish: time_vec("finish")?,
+            done: bools_of(field(v, "done", ctx)?, ctx)?,
+            comm,
+            compute_queue,
+            compute_next_seq: u64_of(field(v, "compute_next_seq", ctx)?, ctx)?,
+            completed: usize_of(field(v, "completed", ctx)?, ctx)?,
+            ready_stack: usizes_of(field(v, "ready_stack", ctx)?, ctx)?,
+            finished_now: usizes_of(field(v, "finished_now", ctx)?, ctx)?,
+            staged,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exec_state_round_trips_through_value() {
+        let state = ExecState {
+            cfg: ExecConfig {
+                tag_base: 64,
+                tenant: 2,
+                label: Some("job3".into()),
+            },
+            indegree: vec![0, 1, 2],
+            start: vec![Time::ZERO, Time::from_secs(0.5), Time::ZERO],
+            finish: vec![Time::from_secs(0.25), Time::ZERO, Time::ZERO],
+            done: vec![true, false, false],
+            comm: vec![(1, 2, 3)],
+            compute_queue: vec![(Time::from_secs(1.5), 7, 2)],
+            compute_next_seq: 8,
+            completed: 1,
+            ready_stack: vec![2],
+            finished_now: vec![],
+            staged: vec![FlowSpec::new(vec![LinkId(0), LinkId(3)], 1e9)
+                .with_tag(66)
+                .with_tenant(2)],
+        };
+        let v = state.to_value();
+        assert_eq!(ExecState::from_value(&v).unwrap(), state);
+        // And through the binary codec.
+        let bytes = fred_core::codec::to_binary(&v);
+        let back = fred_core::codec::from_binary(&bytes).unwrap();
+        assert_eq!(ExecState::from_value(&back).unwrap(), state);
     }
 }
