@@ -97,6 +97,23 @@ impl TraceOpts {
     /// Panics with a usage message when a flag is missing its value
     /// or an argument is unrecognised.
     pub fn from_args(process_name: &str) -> TraceOpts {
+        TraceOpts::from_args_with(process_name, |_, _| false)
+    }
+
+    /// [`TraceOpts::from_args`] with an escape hatch for binaries that
+    /// take extra flags: `custom(flag, next_arg)` is called for every
+    /// argument this parser does not recognise, with a closure that
+    /// pulls the flag's value off the argument stream. Return `true`
+    /// if the flag was consumed; `false` falls through to the usage
+    /// error.
+    ///
+    /// # Panics
+    ///
+    /// As [`TraceOpts::from_args`].
+    pub fn from_args_with(
+        process_name: &str,
+        mut custom: impl FnMut(&str, &mut dyn FnMut() -> Option<String>) -> bool,
+    ) -> TraceOpts {
         let mut trace_path = None;
         let mut metrics_path = None;
         let mut report_path = None;
@@ -168,8 +185,10 @@ impl TraceOpts {
                     });
                 }
                 other => {
-                    eprintln!("{process_name}: unknown argument `{other}`");
-                    usage(process_name, other);
+                    if !custom(other, &mut || args.next()) {
+                        eprintln!("{process_name}: unknown argument `{other}`");
+                        usage(process_name, other);
+                    }
                 }
             }
         }

@@ -464,3 +464,63 @@ fn damaged_snapshot_files_yield_typed_errors_not_panics() {
     claim.extend_from_slice(&[4, 0xFF, 0xFF, 0xFF, 0x7F]);
     assert!(codec::from_binary(&claim).is_err());
 }
+
+#[test]
+fn truncation_at_every_fixed_width_boundary_is_typed_truncated() {
+    use fred_core::codec::Value;
+    // A document whose binary image exercises every fixed-width field
+    // the format has — the 8-byte magic, the 4-byte version, and 8-byte
+    // f64 payloads (including negative-zero and non-finite bit
+    // patterns) — interleaved with variable-width strings and varints.
+    let v = Value::Obj(vec![
+        (
+            "nums".into(),
+            Value::Arr(vec![
+                Value::Num(0.0),
+                Value::Num(-0.0),
+                Value::Num(1.5e300),
+                Value::Num(f64::NEG_INFINITY),
+                Value::Num(f64::from_bits(0x7FF8_0000_DEAD_BEEF)),
+            ]),
+        ),
+        ("s".into(), Value::Str("tail".into())),
+        ("b".into(), Value::Bool(true)),
+    ]);
+    let bytes = codec::to_binary(&v);
+    assert!(codec::from_binary(&bytes).is_ok());
+
+    // Every strict prefix — cutting inside the magic, inside the
+    // version word, inside any f64 payload, or anywhere else — must be
+    // exactly `Truncated`: never a panic, never mis-typed.
+    for len in 0..bytes.len() {
+        let err = codec::from_binary(&bytes[..len]).unwrap_err();
+        assert!(
+            matches!(err, SnapshotError::Truncated),
+            "prefix of {len}/{} bytes gave {err:?}, expected Truncated",
+            bytes.len()
+        );
+    }
+
+    // Targeted minimal buffers: a version word cut at each of its four
+    // byte boundaries, and a number tag followed by 0..8 payload bytes.
+    for cut in 0..4 {
+        let mut short = Vec::new();
+        short.extend_from_slice(&codec::SNAPSHOT_MAGIC);
+        short.extend_from_slice(&codec::SNAPSHOT_VERSION.to_le_bytes()[..cut]);
+        assert!(
+            matches!(codec::from_binary(&short), Err(SnapshotError::Truncated)),
+            "version cut at byte {cut}"
+        );
+    }
+    for cut in 0..8 {
+        let mut short = Vec::new();
+        short.extend_from_slice(&codec::SNAPSHOT_MAGIC);
+        short.extend_from_slice(&codec::SNAPSHOT_VERSION.to_le_bytes());
+        short.push(3); // TAG_NUM
+        short.extend_from_slice(&1.25f64.to_bits().to_le_bytes()[..cut]);
+        assert!(
+            matches!(codec::from_binary(&short), Err(SnapshotError::Truncated)),
+            "f64 payload cut at byte {cut}"
+        );
+    }
+}

@@ -49,7 +49,16 @@ impl JobRecord {
     /// Makespan stretch: shared-fabric service time over solo
     /// makespan. 1.0 = no interference; 2.0 = the job took twice as
     /// long as it would have alone.
+    ///
+    /// A non-positive `solo_secs` denominator (a degenerate or
+    /// zero-length solo reference) is defined as stretch 1.0 rather
+    /// than `NaN`/`inf`: a `NaN` here would silently poison every
+    /// aggregate built on top (quantiles panic in their comparator,
+    /// means and Jain's index propagate it into `BENCH_*.json`).
     pub fn stretch(&self) -> f64 {
+        if self.solo_secs <= 0.0 {
+            return 1.0;
+        }
         self.service_secs() / self.solo_secs
     }
 }
@@ -103,8 +112,12 @@ impl ClusterReport {
         )
     }
 
-    /// The `q`-quantile of per-job makespan stretch.
+    /// The `q`-quantile of per-job makespan stretch. 1.0 (no observed
+    /// slowdown) for a run with zero completed jobs.
     pub fn stretch(&self, q: f64) -> f64 {
+        if self.records.is_empty() {
+            return 1.0;
+        }
         percentile(
             &self
                 .records
@@ -115,10 +128,11 @@ impl ClusterReport {
         )
     }
 
-    /// Mean makespan stretch across jobs.
+    /// Mean makespan stretch across jobs. 1.0 (no observed slowdown)
+    /// for a run with zero completed jobs.
     pub fn mean_stretch(&self) -> f64 {
         if self.records.is_empty() {
-            return 0.0;
+            return 1.0;
         }
         self.records.iter().map(JobRecord::stretch).sum::<f64>() / self.records.len() as f64
     }
@@ -126,14 +140,22 @@ impl ClusterReport {
     /// Jain's fairness index over per-job *speed* (1/stretch): 1.0
     /// when every job suffers the same slowdown, toward `1/n` when one
     /// job absorbs all the interference.
+    ///
+    /// Defined for every degenerate input: zero completed jobs is
+    /// vacuously fair (1.0), and jobs whose speed is non-finite (a
+    /// zero-stretch record from an instant completion) are skipped
+    /// rather than letting `inf` turn the whole index into `NaN`.
     pub fn jain_fairness(&self) -> f64 {
-        jain(
-            &self
-                .records
-                .iter()
-                .map(|r| 1.0 / r.stretch())
-                .collect::<Vec<_>>(),
-        )
+        let speeds: Vec<f64> = self
+            .records
+            .iter()
+            .map(|r| 1.0 / r.stretch())
+            .filter(|s| s.is_finite())
+            .collect();
+        if speeds.is_empty() {
+            return 1.0;
+        }
+        jain(&speeds)
     }
 }
 
@@ -202,5 +224,72 @@ mod tests {
         assert_eq!(r.queueing_delay_secs(), 2.0);
         assert_eq!(r.service_secs(), 4.0);
         assert_eq!(r.stretch(), 2.0);
+    }
+
+    fn record(service: f64, solo: f64) -> JobRecord {
+        JobRecord {
+            name: "j".into(),
+            class: JobClass::Normal,
+            npus: 4,
+            arrival: Time::ZERO,
+            first_start: Time::ZERO,
+            completion: Time::from_secs(service),
+            preemptions: 0,
+            solo_secs: solo,
+        }
+    }
+
+    fn report(records: Vec<JobRecord>) -> ClusterReport {
+        ClusterReport {
+            fabric: "fred-d".into(),
+            fit: "first-fit".into(),
+            preemption: true,
+            records,
+            makespan: Time::ZERO,
+            npu_slots: 20,
+            busy_npu_secs: 0.0,
+            preemptions: 0,
+            dropped_events: 0,
+        }
+    }
+
+    #[test]
+    fn zero_solo_makespan_defines_stretch_as_one() {
+        // Degenerate denominator: 0/0 and x/0 both stay finite.
+        assert_eq!(record(0.0, 0.0).stretch(), 1.0);
+        assert_eq!(record(4.0, 0.0).stretch(), 1.0);
+        assert_eq!(record(4.0, -1.0).stretch(), 1.0);
+        assert!(record(4.0, 2.0).stretch() == 2.0, "healthy path unchanged");
+    }
+
+    #[test]
+    fn empty_report_metrics_are_defined_not_nan() {
+        let r = report(Vec::new());
+        assert_eq!(r.mean_stretch(), 1.0);
+        assert_eq!(r.stretch(0.99), 1.0);
+        assert_eq!(r.jain_fairness(), 1.0);
+        assert_eq!(r.queueing_delay_secs(0.99), 0.0);
+        assert_eq!(r.utilization(), 0.0);
+    }
+
+    #[test]
+    fn degenerate_records_never_poison_aggregates() {
+        // One instant completion (stretch 0 → infinite speed), one
+        // zero-solo record, one healthy record: every aggregate must
+        // stay finite.
+        let r = report(vec![record(0.0, 5.0), record(3.0, 0.0), record(4.0, 2.0)]);
+        assert!(r.mean_stretch().is_finite());
+        assert!(r.stretch(0.5).is_finite());
+        let fairness = r.jain_fairness();
+        assert!(fairness.is_finite(), "got {fairness}");
+        assert!(fairness > 0.0 && fairness <= 1.0);
+    }
+
+    #[test]
+    fn all_degenerate_records_yield_vacuous_fairness() {
+        // Every speed filtered out (all instant completions): defined
+        // as vacuously fair rather than NaN.
+        let r = report(vec![record(0.0, 5.0), record(0.0, 9.0)]);
+        assert_eq!(r.jain_fairness(), 1.0);
     }
 }

@@ -419,26 +419,24 @@ fn encode(v: &Value, out: &mut Vec<u8>) {
 /// [`SnapshotError`] variants — a damaged file can never panic the
 /// decoder.
 pub fn from_binary(bytes: &[u8]) -> Result<Value, SnapshotError> {
-    if bytes.len() < SNAPSHOT_MAGIC.len() + 4 {
-        return Err(
-            if bytes.starts_with(&SNAPSHOT_MAGIC[..bytes.len().min(8)]) {
-                SnapshotError::Truncated
-            } else {
-                SnapshotError::BadMagic
-            },
-        );
+    if bytes.len() < SNAPSHOT_MAGIC.len() {
+        return Err(if SNAPSHOT_MAGIC.starts_with(bytes) {
+            SnapshotError::Truncated
+        } else {
+            SnapshotError::BadMagic
+        });
     }
     if bytes[..8] != SNAPSHOT_MAGIC {
         return Err(SnapshotError::BadMagic);
     }
-    let found = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    let mut pos = SNAPSHOT_MAGIC.len();
+    let found = get_u32_le(bytes, &mut pos)?;
     if found != SNAPSHOT_VERSION {
         return Err(SnapshotError::BadVersion {
             found,
             expected: SNAPSHOT_VERSION,
         });
     }
-    let mut pos = 12usize;
     let v = decode(bytes, &mut pos, 0)?;
     if pos != bytes.len() {
         return Err(SnapshotError::Corrupt(format!(
@@ -477,6 +475,22 @@ fn get_bytes<'a>(b: &'a [u8], pos: &mut usize, len: usize) -> Result<&'a [u8], S
     Ok(slice)
 }
 
+/// Length-checked little-endian `u32` read: a file truncated inside
+/// the 4-byte field is [`SnapshotError::Truncated`], never a slice or
+/// `try_into` panic.
+fn get_u32_le(b: &[u8], pos: &mut usize) -> Result<u32, SnapshotError> {
+    let raw = get_bytes(b, pos, 4)?;
+    let arr: [u8; 4] = raw.try_into().map_err(|_| SnapshotError::Truncated)?;
+    Ok(u32::from_le_bytes(arr))
+}
+
+/// Length-checked little-endian `u64` read (see [`get_u32_le`]).
+fn get_u64_le(b: &[u8], pos: &mut usize) -> Result<u64, SnapshotError> {
+    let raw = get_bytes(b, pos, 8)?;
+    let arr: [u8; 8] = raw.try_into().map_err(|_| SnapshotError::Truncated)?;
+    Ok(u64::from_le_bytes(arr))
+}
+
 fn get_str(b: &[u8], pos: &mut usize) -> Result<String, SnapshotError> {
     let len = get_varint(b, pos)?;
     let len = usize::try_from(len).map_err(|_| SnapshotError::Truncated)?;
@@ -496,12 +510,7 @@ fn decode(b: &[u8], pos: &mut usize, depth: u32) -> Result<Value, SnapshotError>
         TAG_NULL => Ok(Value::Null),
         TAG_FALSE => Ok(Value::Bool(false)),
         TAG_TRUE => Ok(Value::Bool(true)),
-        TAG_NUM => {
-            let raw = get_bytes(b, pos, 8)?;
-            Ok(Value::Num(f64::from_bits(u64::from_le_bytes(
-                raw.try_into().expect("8 bytes"),
-            ))))
-        }
+        TAG_NUM => Ok(Value::Num(f64::from_bits(get_u64_le(b, pos)?))),
         TAG_STR => Ok(Value::Str(get_str(b, pos)?)),
         TAG_ARR => {
             let n = get_varint(b, pos)?;

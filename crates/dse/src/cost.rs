@@ -1,0 +1,184 @@
+//! Analytic area / power / TCO model over [`fred_hwmodel`], plus the
+//! external-memory feasibility gate.
+//!
+//! The cluster simulation always runs on the paper's 20-NPU wafer
+//! (`FabricBackend` is calibrated to Table 3/4 and is not
+//! parameterizable); the array-dimension axis is evaluated
+//! *analytically* by scaling the [`WaferBudget::paper_fred`] budget
+//! per NPU and weak-scaling-normalizing the measured makespan: an
+//! array of `n` NPUs runs `n / 20` of the offered job stream
+//! concurrently, so its normalized makespan is `measured × 20 / n` —
+//! bigger arrays buy normalized throughput with area, power and
+//! capital. The bandwidth-ratio axis scales fabric power (escape
+//! wiring and switch power are bandwidth-proportional, Table 4) while
+//! its performance cost is *measured*, via the uniform link degrade
+//! the runner injects.
+//!
+//! Dollar figures are illustrative capacity-planning constants, not
+//! paper data; they are documented here and surfaced per run in
+//! `BENCH_dse.json` so regressions in the *model* are visible.
+
+use fred_cluster::arrivals::JobTemplate;
+use fred_hwmodel::wafer::WaferBudget;
+use fred_workloads::memory::footprint;
+
+use crate::spec::SweepPoint;
+
+/// Wafer capital cost per mm² of claimed area, $. Illustrative:
+/// ~\$52k for a fully used 300 mm wafer budget.
+pub const DOLLARS_PER_MM2: f64 = 1.0;
+
+/// Capital amortization horizon, seconds (3 years).
+pub const AMORTIZATION_SECS: f64 = 3.0 * 365.0 * 24.0 * 3600.0;
+
+/// Energy price, $ per kWh.
+pub const DOLLARS_PER_KWH: f64 = 0.10;
+
+/// External-memory hub cost per GB per NPU, $ (HBM-class pooled
+/// memory).
+pub const HUB_DOLLARS_PER_GB: f64 = 8.0;
+
+/// NPUs in the paper instance the budget is calibrated to.
+pub const PAPER_NPUS: f64 = 20.0;
+
+/// The analytic design-cost summary of one point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignCost {
+    /// Total claimed silicon area, mm².
+    pub area_mm2: f64,
+    /// Total power draw, W.
+    pub power_w: f64,
+    /// Cost rate: amortized capital + energy, $ per hour.
+    pub tco_per_hour: f64,
+}
+
+/// Scales the paper wafer budget to a point's array and bandwidth
+/// provisioning.
+///
+/// * compute area/power scale linearly with the NPU count (each NPU
+///   brings its share of I/O controllers);
+/// * fabric area scales with the NPU count (switch chiplets per
+///   served NPU, Table 4) — and fabric *power* additionally scales
+///   with the provisioned bandwidth ratio;
+/// * the external-memory hub adds capital but no wafer area.
+pub fn design_cost(point: &SweepPoint) -> DesignCost {
+    let paper = WaferBudget::paper_fred();
+    let scale = point.npus() as f64 / PAPER_NPUS;
+    let area_mm2 = (paper.compute_area + paper.fabric_area) * scale;
+    let power_w =
+        (paper.npu_power + paper.io_power) * scale + paper.fabric_power * scale * point.bw_ratio;
+    let capex =
+        area_mm2 * DOLLARS_PER_MM2 + point.hub_gb * point.npus() as f64 * HUB_DOLLARS_PER_GB;
+    let capital_per_hour = capex / (AMORTIZATION_SECS / 3600.0);
+    let energy_per_hour = power_w / 1000.0 * DOLLARS_PER_KWH;
+    DesignCost {
+        area_mm2,
+        power_w,
+        tco_per_hour: capital_per_hour + energy_per_hour,
+    }
+}
+
+/// Weak-scaling-normalized makespan: the measured 20-NPU makespan
+/// credited to an `npus`-wide array serving `npus / 20` times the job
+/// stream concurrently.
+pub fn normalized_makespan(measured_secs: f64, npus: usize) -> f64 {
+    measured_secs * PAPER_NPUS / npus as f64
+}
+
+/// Dollars to finish the normalized run at the design's cost rate.
+pub fn tco_dollars(cost: &DesignCost, norm_makespan_secs: f64) -> f64 {
+    cost.tco_per_hour * norm_makespan_secs / 3600.0
+}
+
+/// Per-NPU external-memory bytes a template spills to the hub: the
+/// ZeRO-2 gradient + optimizer shards (weights and activations stay
+/// in on-NPU HBM).
+pub fn hub_bytes_needed(template: &JobTemplate) -> f64 {
+    let fp = footprint(
+        &template.model,
+        template.strategy,
+        template.params.minibatch,
+    );
+    fp.gradients + fp.optimizer
+}
+
+/// The hub capacity (GB per NPU) a workload needs: the worst template
+/// in its mix. A point whose `hub_gb` is below this is infeasible —
+/// the optimizer state has nowhere to live — and is excluded from the
+/// Pareto front (but still counted in the sweep report).
+pub fn hub_gb_required(templates: &[JobTemplate]) -> f64 {
+    templates
+        .iter()
+        .map(|t| hub_bytes_needed(t) / 1e9)
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{SweepSpec, Workload};
+
+    fn point() -> SweepPoint {
+        SweepSpec::smoke().enumerate().remove(0)
+    }
+
+    #[test]
+    fn paper_array_at_full_bandwidth_matches_the_wafer_budget() {
+        let mut p = point();
+        p.array = (5, 4);
+        p.bw_ratio = 1.0;
+        let c = design_cost(&p);
+        let b = WaferBudget::paper_fred();
+        assert!((c.area_mm2 - b.total_area()).abs() < 1e-9);
+        assert!((c.power_w - b.total_power()).abs() < 1e-9);
+        assert!(c.tco_per_hour > 0.0);
+    }
+
+    #[test]
+    fn bigger_arrays_cost_more_but_normalize_faster() {
+        let mut small = point();
+        small.array = (4, 4);
+        let mut big = small.clone();
+        big.array = (8, 5);
+        let cs = design_cost(&small);
+        let cb = design_cost(&big);
+        assert!(cb.area_mm2 > cs.area_mm2);
+        assert!(cb.power_w > cs.power_w);
+        assert!(cb.tco_per_hour > cs.tco_per_hour);
+        let m = 100.0;
+        assert!(normalized_makespan(m, 40) < normalized_makespan(m, 16));
+    }
+
+    #[test]
+    fn thinner_links_save_fabric_power_only() {
+        let mut full = point();
+        full.bw_ratio = 1.0;
+        let mut half = full.clone();
+        half.bw_ratio = 0.5;
+        let cf = design_cost(&full);
+        let ch = design_cost(&half);
+        assert_eq!(cf.area_mm2, ch.area_mm2);
+        assert!(ch.power_w < cf.power_w);
+        let fabric = WaferBudget::paper_fred().fabric_power;
+        assert!((cf.power_w - ch.power_w - 0.5 * fabric).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hub_requirement_separates_the_model_zoo() {
+        // The 17B transformer's MP(2)-DP(1) template spills > 100 GB
+        // of FP32 optimizer state; ResNet-152 spills almost nothing.
+        let t17b = hub_gb_required(&Workload::T17b.templates());
+        let rn = hub_gb_required(&Workload::Rn152.templates());
+        assert!(t17b > 100.0, "t17b hub need {t17b} GB");
+        assert!(rn < 2.0, "rn152 hub need {rn} GB");
+        let mixed = hub_gb_required(&Workload::Mixed.templates());
+        assert_eq!(mixed, t17b, "the mix is gated by its worst template");
+    }
+
+    #[test]
+    fn tco_integrates_the_rate_over_the_run() {
+        let c = design_cost(&point());
+        assert!((tco_dollars(&c, 3600.0) - c.tco_per_hour).abs() < 1e-12);
+        assert_eq!(tco_dollars(&c, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! # fred-dse — design-space exploration over the FRED simulator
+//!
+//! The capacity-planning engine of ROADMAP item 4: a declarative
+//! sweep service that evaluates hundreds of fabric configurations
+//! against the multi-tenant cluster simulator and extracts the
+//! Pareto-efficient designs over makespan, area, power and TCO.
+//!
+//! * [`spec`] — [`SweepSpec`]: six design axes (NPU array dims, link
+//!   bandwidth ratio, external-memory hub capacity, model-zoo
+//!   workload, fault severity, tenant mix) as grid values plus seeded
+//!   random fill-in points, with deterministic enumeration and
+//!   per-point [`fred_sim::rng::Rng64`] split streams;
+//! * [`runner`] — chunked work-queue execution over
+//!   `std::thread::scope` with per-point panic isolation (a crashing
+//!   point becomes a typed [`PointOutcome::Error`] row), mid-sweep
+//!   checkpointing through `fred_core::codec`, and bit-identical
+//!   kill/resume;
+//! * [`cost`] — the analytic [`fred_hwmodel`]-based area/power/TCO
+//!   model, weak-scaling makespan normalization, and the
+//!   external-memory feasibility gate;
+//! * [`pareto`] — non-dominated front extraction with
+//!   dominated/infeasible/error accounting.
+//!
+//! See `DESIGN.md` §13 for the sweep model, the point-isolation and
+//! resume semantics, and the provenance of each Pareto axis. The
+//! `dse_sweep` bench binary drives this crate and emits
+//! `BENCH_dse.json`.
+
+pub mod cost;
+pub mod pareto;
+pub mod report;
+pub mod runner;
+pub mod spec;
+
+pub use cost::{design_cost, hub_gb_required, normalized_makespan, DesignCost};
+pub use pareto::{pareto_front, Objectives, ParetoFront};
+pub use report::bench_metrics;
+pub use runner::{
+    evaluate_point, load_checkpoint, run_sweep, write_checkpoint, PointError, PointMetrics,
+    PointOutcome, PointRow, RunOpts, SweepOutcome,
+};
+pub use spec::{SweepPoint, SweepSpec, Workload};

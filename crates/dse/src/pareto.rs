@@ -1,0 +1,189 @@
+//! Pareto-front extraction over the four capacity-planning
+//! objectives: normalized makespan, silicon area, power, and TCO —
+//! all minimized.
+//!
+//! Only rows that actually simulated ([`PointOutcome::Metrics`])
+//! compete; infeasible and errored rows are counted but excluded. A
+//! point is on the front iff no other candidate is at least as good
+//! on every objective and strictly better on one. Exact duplicates of
+//! a front member stay on the front (non-strict dominance), so
+//! symmetric designs are all reported.
+
+use crate::runner::{PointMetrics, PointOutcome, PointRow};
+
+/// The four minimized objectives of one candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Objectives {
+    /// Weak-scaling-normalized makespan, seconds.
+    pub norm_makespan_secs: f64,
+    /// Silicon area, mm².
+    pub area_mm2: f64,
+    /// Power draw, W.
+    pub power_w: f64,
+    /// Dollars to finish the normalized run.
+    pub tco_dollars: f64,
+}
+
+impl Objectives {
+    /// Extracts the objective vector from a row's metrics.
+    pub fn of(m: &PointMetrics) -> Objectives {
+        Objectives {
+            norm_makespan_secs: m.norm_makespan_secs,
+            area_mm2: m.area_mm2,
+            power_w: m.power_w,
+            tco_dollars: m.tco_dollars,
+        }
+    }
+
+    fn as_array(&self) -> [f64; 4] {
+        [
+            self.norm_makespan_secs,
+            self.area_mm2,
+            self.power_w,
+            self.tco_dollars,
+        ]
+    }
+
+    /// Whether `self` dominates `other`: at least as good everywhere,
+    /// strictly better somewhere.
+    pub fn dominates(&self, other: &Objectives) -> bool {
+        let a = self.as_array();
+        let b = other.as_array();
+        a.iter().zip(&b).all(|(x, y)| x <= y) && a.iter().zip(&b).any(|(x, y)| x < y)
+    }
+}
+
+/// The extracted front plus the dominated-point accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoFront {
+    /// Indices (into the row slice) of non-dominated simulated rows,
+    /// ascending.
+    pub front: Vec<usize>,
+    /// Simulated rows dominated by some other simulated row.
+    pub dominated: usize,
+    /// Rows excluded by the feasibility gate.
+    pub infeasible: usize,
+    /// Rows that errored or panicked.
+    pub errors: usize,
+}
+
+/// Extracts the Pareto front from a sweep's rows. `O(n²)` — sweeps
+/// are hundreds of points, not millions.
+pub fn pareto_front(rows: &[PointRow]) -> ParetoFront {
+    let mut candidates: Vec<(usize, Objectives)> = Vec::new();
+    let mut infeasible = 0;
+    let mut errors = 0;
+    for (i, row) in rows.iter().enumerate() {
+        match &row.outcome {
+            PointOutcome::Metrics(m) => candidates.push((i, Objectives::of(m))),
+            PointOutcome::Infeasible { .. } => infeasible += 1,
+            PointOutcome::Error(_) => errors += 1,
+        }
+    }
+    let mut front = Vec::new();
+    let mut dominated = 0;
+    for (i, obj) in &candidates {
+        if candidates
+            .iter()
+            .any(|(j, other)| j != i && other.dominates(obj))
+        {
+            dominated += 1;
+        } else {
+            front.push(*i);
+        }
+    }
+    ParetoFront {
+        front,
+        dominated,
+        infeasible,
+        errors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::PointError;
+    use crate::spec::{SweepSpec, Workload};
+
+    fn row(outcome: PointOutcome) -> PointRow {
+        let mut point = SweepSpec::smoke().enumerate().remove(0);
+        point.workload = Workload::Rn152;
+        PointRow { point, outcome }
+    }
+
+    fn metrics(norm: f64, area: f64, power: f64, tco: f64) -> PointOutcome {
+        PointOutcome::Metrics(PointMetrics {
+            makespan_secs: norm,
+            norm_makespan_secs: norm,
+            mean_stretch: 1.0,
+            p99_stretch: 1.0,
+            fairness: 1.0,
+            utilization: 0.5,
+            area_mm2: area,
+            power_w: power,
+            tco_dollars: tco,
+        })
+    }
+
+    #[test]
+    fn front_keeps_tradeoffs_and_drops_dominated_points() {
+        let rows = vec![
+            row(metrics(10.0, 100.0, 50.0, 5.0)), // fast but big
+            row(metrics(20.0, 40.0, 20.0, 2.0)),  // slow but small
+            row(metrics(25.0, 100.0, 50.0, 5.0)), // dominated by row 0
+            row(PointOutcome::Infeasible {
+                hub_gb_required: 120.0,
+            }),
+            row(PointOutcome::Error(PointError {
+                message: "boom".into(),
+            })),
+        ];
+        let f = pareto_front(&rows);
+        assert_eq!(f.front, vec![0, 1]);
+        assert_eq!(f.dominated, 1);
+        assert_eq!(f.infeasible, 1);
+        assert_eq!(f.errors, 1);
+    }
+
+    #[test]
+    fn exact_duplicates_share_the_front() {
+        let rows = vec![
+            row(metrics(10.0, 100.0, 50.0, 5.0)),
+            row(metrics(10.0, 100.0, 50.0, 5.0)),
+        ];
+        let f = pareto_front(&rows);
+        assert_eq!(f.front, vec![0, 1], "ties are not dominated");
+        assert_eq!(f.dominated, 0);
+    }
+
+    #[test]
+    fn dominance_is_strict_somewhere() {
+        let a = Objectives {
+            norm_makespan_secs: 1.0,
+            area_mm2: 2.0,
+            power_w: 3.0,
+            tco_dollars: 4.0,
+        };
+        assert!(!a.dominates(&a), "a point never dominates itself");
+        let mut b = a;
+        b.power_w = 3.5;
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        let mut c = a;
+        c.norm_makespan_secs = 0.5;
+        c.area_mm2 = 5.0;
+        assert!(!a.dominates(&c) && !c.dominates(&a), "tradeoffs coexist");
+    }
+
+    #[test]
+    fn empty_and_all_failed_sweeps_have_empty_fronts() {
+        assert_eq!(pareto_front(&[]).front, Vec::<usize>::new());
+        let rows = vec![row(PointOutcome::Error(PointError {
+            message: "x".into(),
+        }))];
+        let f = pareto_front(&rows);
+        assert!(f.front.is_empty());
+        assert_eq!(f.errors, 1);
+    }
+}

@@ -1,0 +1,95 @@
+//! The canonical `BENCH_dse.json` metric rows for a sweep.
+//!
+//! Emitted here (rather than inline in the bench binary) so the
+//! determinism property tests compare *exactly* what the report
+//! contains: the bin and the tests call the same function.
+
+use crate::pareto::ParetoFront;
+use crate::runner::{PointOutcome, PointRow};
+
+/// `status` metric values.
+pub const STATUS_OK: f64 = 0.0;
+/// Excluded by the feasibility gate.
+pub const STATUS_INFEASIBLE: f64 = 1.0;
+/// Panicked or returned a typed error.
+pub const STATUS_ERROR: f64 = 2.0;
+
+/// Flattens a sweep into the stable metric keys `bench-diff`
+/// compares: per-point rows (`dse/p<i>/…`) followed by sweep
+/// aggregates (`dse/…`). Deterministic in the rows — same rows, same
+/// key-value list.
+pub fn bench_metrics(rows: &[PointRow], front: &ParetoFront) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for row in rows {
+        let p = format!("dse/p{}", row.point.index);
+        match &row.outcome {
+            PointOutcome::Metrics(m) => {
+                out.push((format!("{p}/status"), STATUS_OK));
+                out.push((format!("{p}/norm_makespan_secs"), m.norm_makespan_secs));
+                out.push((format!("{p}/area_mm2"), m.area_mm2));
+                out.push((format!("{p}/power_w"), m.power_w));
+                out.push((format!("{p}/tco_dollars"), m.tco_dollars));
+                out.push((format!("{p}/mean_stretch"), m.mean_stretch));
+            }
+            PointOutcome::Infeasible { hub_gb_required } => {
+                out.push((format!("{p}/status"), STATUS_INFEASIBLE));
+                out.push((format!("{p}/hub_gb_required"), *hub_gb_required));
+            }
+            PointOutcome::Error(_) => {
+                out.push((format!("{p}/status"), STATUS_ERROR));
+            }
+        }
+    }
+    out.push(("dse/points".into(), rows.len() as f64));
+    let ok = rows
+        .iter()
+        .filter(|r| matches!(r.outcome, PointOutcome::Metrics(_)))
+        .count();
+    out.push(("dse/ok".into(), ok as f64));
+    out.push(("dse/infeasible".into(), front.infeasible as f64));
+    out.push(("dse/errors".into(), front.errors as f64));
+    out.push(("dse/front_size".into(), front.front.len() as f64));
+    out.push(("dse/dominated".into(), front.dominated as f64));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pareto::pareto_front;
+    use crate::runner::{run_sweep, RunOpts};
+    use crate::spec::{SweepSpec, Workload};
+
+    #[test]
+    fn metrics_cover_every_row_and_balance_the_counts() {
+        let mut spec = SweepSpec::smoke();
+        spec.jobs = 3;
+        spec.workload = vec![Workload::Rn152];
+        spec.random_points = 0;
+        let rows = run_sweep(&spec, &RunOpts::default()).unwrap().rows;
+        let front = pareto_front(&rows);
+        let metrics = bench_metrics(&rows, &front);
+        let get = |k: &str| {
+            metrics
+                .iter()
+                .find(|(key, _)| key == k)
+                .unwrap_or_else(|| panic!("missing key {k}"))
+                .1
+        };
+        assert_eq!(get("dse/points"), rows.len() as f64);
+        assert_eq!(
+            get("dse/ok") + get("dse/infeasible") + get("dse/errors"),
+            rows.len() as f64
+        );
+        assert_eq!(
+            get("dse/front_size") + get("dse/dominated"),
+            get("dse/ok"),
+            "every simulated point is on the front or dominated"
+        );
+        for row in &rows {
+            assert!(metrics
+                .iter()
+                .any(|(k, _)| *k == format!("dse/p{}/status", row.point.index)));
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! Declarative sweep specifications and deterministic point
+//! enumeration.
+//!
+//! A [`SweepSpec`] is pure data: six design axes (grid values each),
+//! an optional count of seeded random points filling the gaps between
+//! grid lines, and the per-point workload parameters. Enumeration is
+//! deterministic — the same spec always yields the same ordered point
+//! list, with the same per-point [`Rng64`] stream states — so a sweep
+//! can be killed, resumed, re-enumerated and compared bit for bit.
+//!
+//! Per-point randomness is derived *sequentially* during enumeration
+//! via [`Rng64::split`] from one root stream seeded with
+//! [`SweepSpec::seed`]: point `i`'s stream state depends only on the
+//! spec, never on which worker thread later evaluates the point or in
+//! what wall-clock order. That is the whole determinism argument for
+//! the runner.
+
+use fred_cluster::arrivals::{paper_mix, JobTemplate};
+use fred_sim::rng::Rng64;
+
+/// Which slice of the model zoo a point offers to the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Transformer-17B templates only (wide, fabric-hungry jobs).
+    T17b,
+    /// ResNet-152 templates only (narrow data-parallel jobs).
+    Rn152,
+    /// The full multi-tenant paper mix.
+    Mixed,
+}
+
+impl Workload {
+    /// Stable tag used in checkpoints and reports.
+    pub fn tag(self) -> u64 {
+        match self {
+            Workload::T17b => 0,
+            Workload::Rn152 => 1,
+            Workload::Mixed => 2,
+        }
+    }
+
+    /// Inverse of [`Workload::tag`].
+    pub fn from_tag(tag: u64) -> Option<Workload> {
+        match tag {
+            0 => Some(Workload::T17b),
+            1 => Some(Workload::Rn152),
+            2 => Some(Workload::Mixed),
+            _ => None,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::T17b => "t17b",
+            Workload::Rn152 => "rn152",
+            Workload::Mixed => "mixed",
+        }
+    }
+
+    /// The job templates this workload draws arrivals from — the
+    /// paper mix filtered by name stem.
+    pub fn templates(self) -> Vec<JobTemplate> {
+        let all = paper_mix();
+        match self {
+            Workload::Mixed => all,
+            Workload::T17b => all.into_iter().filter(|t| t.stem == "t17b").collect(),
+            Workload::Rn152 => all.into_iter().filter(|t| t.stem == "rn152").collect(),
+        }
+    }
+}
+
+/// One design point: a coordinate on every axis plus its private
+/// random stream state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Position in enumeration order (stable across re-enumeration).
+    pub index: usize,
+    /// NPU array dimensions `(cols, rows)`; the paper instance is
+    /// `(5, 4)` = 20 NPUs.
+    pub array: (usize, usize),
+    /// Provisioned link bandwidth as a fraction of the paper fabric's,
+    /// in `(0, 1]`. Applied as a uniform capacity degrade.
+    pub bw_ratio: f64,
+    /// External-memory hub capacity per NPU, GB — must hold the
+    /// ZeRO-2 optimizer + gradient shards the NPUs spill.
+    pub hub_gb: f64,
+    /// Model-zoo slice offered to the cluster.
+    pub workload: Workload,
+    /// Fraction of fabric links the point's fault plan kills.
+    pub fault_fraction: f64,
+    /// Tenant class mix `[High, Normal, Low]` fractions.
+    pub tenant_mix: [f64; 3],
+    /// [`Rng64`] stream state all of the point's randomness (arrival
+    /// trace, fault placement) derives from.
+    pub rng_state: u64,
+}
+
+impl SweepPoint {
+    /// NPU count of the point's array.
+    pub fn npus(&self) -> usize {
+        self.array.0 * self.array.1
+    }
+
+    /// One-line coordinate summary for tables and error messages.
+    pub fn label(&self) -> String {
+        format!(
+            "{}x{} bw{:.2} hub{:.0} {} f{:.2} mix{:.1}/{:.1}/{:.1}",
+            self.array.0,
+            self.array.1,
+            self.bw_ratio,
+            self.hub_gb,
+            self.workload.name(),
+            self.fault_fraction,
+            self.tenant_mix[0],
+            self.tenant_mix[1],
+            self.tenant_mix[2],
+        )
+    }
+}
+
+/// A declarative sweep: the grid values of each design axis, optional
+/// seeded random fill-in points, and the per-point cluster workload
+/// parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Sweep name (labels reports and checkpoints).
+    pub name: String,
+    /// Root seed every point's randomness derives from.
+    pub seed: u64,
+    /// Jobs offered to the cluster at each point.
+    pub jobs: usize,
+    /// Poisson arrival rate, jobs per simulated second.
+    pub arrival_rate: f64,
+    /// Points per checkpoint chunk (the kill/resume granularity).
+    pub chunk: usize,
+    /// Grid values: NPU array dimensions.
+    pub array_dims: Vec<(usize, usize)>,
+    /// Grid values: link-bandwidth ratios in `(0, 1]`.
+    pub bw_ratio: Vec<f64>,
+    /// Grid values: external-memory hub capacity per NPU, GB.
+    pub hub_gb: Vec<f64>,
+    /// Grid values: model-zoo workloads.
+    pub workload: Vec<Workload>,
+    /// Grid values: fault-plan severities (fraction of links killed).
+    pub fault_fraction: Vec<f64>,
+    /// Grid values: tenant class mixes.
+    pub tenant_mix: Vec<[f64; 3]>,
+    /// Seeded random points appended after the grid: discrete axes
+    /// drawn uniformly from their grid values, continuous axes
+    /// (bandwidth ratio, fault fraction) uniform over their grid's
+    /// min–max range.
+    pub random_points: usize,
+}
+
+impl SweepSpec {
+    /// The CI smoke sweep: a 16-point grid plus 2 random points, small
+    /// enough to run in debug mode in seconds.
+    pub fn smoke() -> SweepSpec {
+        SweepSpec {
+            name: "smoke".into(),
+            seed: 0xD5E_0001,
+            jobs: 5,
+            arrival_rate: 10.0,
+            chunk: 6,
+            array_dims: vec![(5, 4), (6, 5)],
+            bw_ratio: vec![0.6, 1.0],
+            hub_gb: vec![64.0, 192.0],
+            workload: vec![Workload::Rn152, Workload::Mixed],
+            fault_fraction: vec![0.0],
+            tenant_mix: vec![[0.2, 0.6, 0.2]],
+            random_points: 2,
+        }
+    }
+
+    /// The full capacity-planning sweep: a 216-point grid plus 8
+    /// random points (≥ 200 points total).
+    pub fn full() -> SweepSpec {
+        SweepSpec {
+            name: "full".into(),
+            seed: 0xD5E_0002,
+            jobs: 6,
+            arrival_rate: 10.0,
+            chunk: 32,
+            array_dims: vec![(4, 4), (5, 4), (6, 5)],
+            bw_ratio: vec![0.5, 0.75, 1.0],
+            hub_gb: vec![64.0, 192.0],
+            workload: vec![Workload::T17b, Workload::Rn152, Workload::Mixed],
+            fault_fraction: vec![0.0, 0.1],
+            tenant_mix: vec![[0.2, 0.6, 0.2], [0.6, 0.3, 0.1]],
+            random_points: 8,
+        }
+    }
+
+    /// Number of points the spec enumerates.
+    pub fn point_count(&self) -> usize {
+        self.array_dims.len()
+            * self.bw_ratio.len()
+            * self.hub_gb.len()
+            * self.workload.len()
+            * self.fault_fraction.len()
+            * self.tenant_mix.len()
+            + self.random_points
+    }
+
+    /// Panics with a descriptive message if any axis is empty or a
+    /// value is out of its documented domain.
+    pub fn validate(&self) {
+        assert!(!self.array_dims.is_empty(), "array_dims axis is empty");
+        assert!(!self.bw_ratio.is_empty(), "bw_ratio axis is empty");
+        assert!(!self.hub_gb.is_empty(), "hub_gb axis is empty");
+        assert!(!self.workload.is_empty(), "workload axis is empty");
+        assert!(
+            !self.fault_fraction.is_empty(),
+            "fault_fraction axis is empty"
+        );
+        assert!(!self.tenant_mix.is_empty(), "tenant_mix axis is empty");
+        assert!(self.jobs > 0, "jobs per point must be positive");
+        assert!(self.chunk > 0, "chunk size must be positive");
+        assert!(
+            self.arrival_rate > 0.0 && self.arrival_rate.is_finite(),
+            "arrival rate must be positive"
+        );
+        for &(c, r) in &self.array_dims {
+            assert!(c > 0 && r > 0, "array dims must be positive, got {c}x{r}");
+        }
+        for &b in &self.bw_ratio {
+            assert!(b > 0.0 && b <= 1.0, "bw_ratio {b} outside (0, 1]");
+        }
+        for &h in &self.hub_gb {
+            assert!(h > 0.0 && h.is_finite(), "hub capacity {h} GB invalid");
+        }
+        for &f in &self.fault_fraction {
+            assert!((0.0..1.0).contains(&f), "fault_fraction {f} outside [0, 1)");
+        }
+        for m in &self.tenant_mix {
+            let sum: f64 = m.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "tenant mix {m:?} must sum to 1");
+        }
+    }
+
+    /// Enumerates every design point in deterministic order: the full
+    /// cartesian grid (axes nested in declaration order), then the
+    /// seeded random points. Point `i` always receives the same
+    /// [`SweepPoint::rng_state`], regardless of thread count or
+    /// resume history.
+    ///
+    /// # Panics
+    ///
+    /// As [`SweepSpec::validate`].
+    pub fn enumerate(&self) -> Vec<SweepPoint> {
+        self.validate();
+        let mut root = Rng64::seed_from_u64(self.seed);
+        let mut points = Vec::with_capacity(self.point_count());
+        for &array in &self.array_dims {
+            for &bw_ratio in &self.bw_ratio {
+                for &hub_gb in &self.hub_gb {
+                    for &workload in &self.workload {
+                        for &fault_fraction in &self.fault_fraction {
+                            for &tenant_mix in &self.tenant_mix {
+                                points.push(SweepPoint {
+                                    index: points.len(),
+                                    array,
+                                    bw_ratio,
+                                    hub_gb,
+                                    workload,
+                                    fault_fraction,
+                                    tenant_mix,
+                                    rng_state: root.split().state(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let span = |xs: &[f64]| {
+            let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            (lo, hi)
+        };
+        let (bw_lo, bw_hi) = span(&self.bw_ratio);
+        let (ff_lo, ff_hi) = span(&self.fault_fraction);
+        for _ in 0..self.random_points {
+            // Draws use the root stream directly (before the split) so
+            // they are part of the same deterministic sequence.
+            let array = self.array_dims[root.gen_range(0, self.array_dims.len())];
+            let bw_ratio = bw_lo + root.gen_f64() * (bw_hi - bw_lo);
+            let hub_gb = self.hub_gb[root.gen_range(0, self.hub_gb.len())];
+            let workload = self.workload[root.gen_range(0, self.workload.len())];
+            let fault_fraction = ff_lo + root.gen_f64() * (ff_hi - ff_lo);
+            let tenant_mix = self.tenant_mix[root.gen_range(0, self.tenant_mix.len())];
+            points.push(SweepPoint {
+                index: points.len(),
+                array,
+                bw_ratio,
+                hub_gb,
+                workload,
+                fault_fraction,
+                tenant_mix,
+                rng_state: root.split().state(),
+            });
+        }
+        points
+    }
+
+    /// FNV-1a fingerprint of every spec field, stored in checkpoints:
+    /// resuming with a different spec is a hard error, not silent
+    /// garbage.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.bytes(self.name.as_bytes());
+        h.u64(self.seed);
+        h.u64(self.jobs as u64);
+        h.u64(self.arrival_rate.to_bits());
+        h.u64(self.chunk as u64);
+        for &(c, r) in &self.array_dims {
+            h.u64(c as u64);
+            h.u64(r as u64);
+        }
+        for &b in &self.bw_ratio {
+            h.u64(b.to_bits());
+        }
+        for &g in &self.hub_gb {
+            h.u64(g.to_bits());
+        }
+        for &w in &self.workload {
+            h.u64(w.tag());
+        }
+        for &f in &self.fault_fraction {
+            h.u64(f.to_bits());
+        }
+        for m in &self.tenant_mix {
+            for &x in m {
+                h.u64(x.to_bits());
+            }
+        }
+        h.u64(self.random_points as u64);
+        h.finish()
+    }
+}
+
+/// Minimal FNV-1a accumulator (the workspace is dependency-free).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn byte(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+    }
+    fn bytes(&mut self, bs: &[u8]) {
+        for &b in bs {
+            self.byte(b);
+        }
+    }
+    fn u64(&mut self, x: u64) {
+        self.bytes(&x.to_le_bytes());
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumeration_is_deterministic_and_complete() {
+        let spec = SweepSpec::smoke();
+        let a = spec.enumerate();
+        let b = spec.enumerate();
+        assert_eq!(a, b, "double enumeration must be identical");
+        assert_eq!(a.len(), spec.point_count());
+        assert_eq!(a.len(), 2 * 2 * 2 * 2 + 2);
+        for (i, p) in a.iter().enumerate() {
+            assert_eq!(p.index, i);
+        }
+        // Per-point streams are distinct.
+        let mut states: Vec<u64> = a.iter().map(|p| p.rng_state).collect();
+        states.sort_unstable();
+        states.dedup();
+        assert_eq!(states.len(), a.len(), "rng streams must not collide");
+    }
+
+    #[test]
+    fn random_points_stay_inside_axis_ranges() {
+        let spec = SweepSpec::full();
+        let pts = spec.enumerate();
+        assert!(pts.len() >= 200, "full sweep must have >= 200 points");
+        for p in &pts[spec.point_count() - spec.random_points..] {
+            assert!(p.bw_ratio >= 0.5 && p.bw_ratio <= 1.0);
+            assert!((0.0..0.1 + 1e-12).contains(&p.fault_fraction));
+            assert!(spec.array_dims.contains(&p.array));
+            assert!(spec.hub_gb.contains(&p.hub_gb));
+        }
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_specs() {
+        let a = SweepSpec::smoke();
+        let mut b = a.clone();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.bw_ratio[0] = 0.61;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let mut c = a.clone();
+        c.seed ^= 1;
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn workload_templates_filter_the_paper_mix() {
+        assert_eq!(Workload::Mixed.templates().len(), 6);
+        assert!(Workload::T17b.templates().iter().all(|t| t.stem == "t17b"));
+        assert!(Workload::Rn152
+            .templates()
+            .iter()
+            .all(|t| t.stem == "rn152"));
+        assert!(!Workload::T17b.templates().is_empty());
+        assert!(!Workload::Rn152.templates().is_empty());
+        for w in [Workload::T17b, Workload::Rn152, Workload::Mixed] {
+            assert_eq!(Workload::from_tag(w.tag()), Some(w));
+        }
+        assert_eq!(Workload::from_tag(9), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "bw_ratio")]
+    fn validate_rejects_out_of_domain_bandwidth() {
+        let mut spec = SweepSpec::smoke();
+        spec.bw_ratio.push(1.5);
+        spec.validate();
+    }
+}

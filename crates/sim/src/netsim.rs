@@ -214,6 +214,11 @@ impl MigratedFlow {
     pub(crate) fn link_indices(&self) -> &[usize] {
         &self.links
     }
+
+    /// The flow's id (stable across migration).
+    pub(crate) fn id(&self) -> FlowId {
+        self.id
+    }
 }
 
 /// Serializable image of one in-flight flow inside a [`CoreState`].

@@ -81,15 +81,26 @@ pub struct PartitionMap {
 impl PartitionMap {
     /// Builds a map from a per-link shard index table.
     ///
+    /// Shards with no links assigned ("empty shards", including the
+    /// case `shards > shard_of_link.len()`) are legal: their cores
+    /// simply never own a flow, and the effective worker count is
+    /// clamped elsewhere. Only the per-link entries are constrained.
+    ///
     /// # Panics
     ///
-    /// Panics if `shards` is zero or any entry is out of range.
+    /// Panics if `shards` is zero or any entry is out of range — the
+    /// two invariants every later lookup relies on, checked once at
+    /// construction so adversarial maps fail loudly here instead of
+    /// deep inside a run.
     pub fn new(shard_of_link: Vec<u32>, shards: usize) -> PartitionMap {
         assert!(shards > 0, "a partition needs at least one shard");
-        assert!(
-            shard_of_link.iter().all(|&s| (s as usize) < shards),
-            "link assigned to out-of-range shard"
-        );
+        if let Some((link, &s)) = shard_of_link
+            .iter()
+            .enumerate()
+            .find(|&(_, &s)| (s as usize) >= shards)
+        {
+            panic!("link {link} assigned to out-of-range shard {s} (shards = {shards})");
+        }
         PartitionMap {
             shard_of_link,
             shards,
@@ -112,28 +123,66 @@ impl PartitionMap {
         self.shard_of_link.len()
     }
 
+    /// Whether `link` is covered by this map (its index is within the
+    /// per-link table). A link outside the table is *unmapped* — the
+    /// map was built for a different (or smaller) topology.
+    pub fn covers(&self, link: LinkId) -> bool {
+        link.0 < self.shard_of_link.len()
+    }
+
+    /// The shard owning `link`, or `None` for an unmapped link (see
+    /// [`PartitionMap::covers`]). The non-panicking lookup for callers
+    /// holding links of unknown provenance.
+    pub fn try_shard_of_link(&self, link: LinkId) -> Option<usize> {
+        self.shard_of_link.get(link.0).map(|&s| s as usize)
+    }
+
     /// The shard owning `link`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message if `link` is not covered by
+    /// this map (use [`PartitionMap::try_shard_of_link`] to probe).
+    /// [`ShardedNetwork`] construction asserts the map covers its whole
+    /// topology, so this never fires from inside a sharded run.
     pub fn shard_of_link(&self, link: LinkId) -> usize {
-        self.shard_of_link[link.0] as usize
+        match self.try_shard_of_link(link) {
+            Some(s) => s,
+            None => panic!(
+                "link {} is not covered by the partition map ({} links mapped)",
+                link.0,
+                self.shard_of_link.len()
+            ),
+        }
     }
 
     /// The shard owning an entire route, or `None` if the route
     /// crosses shards (boundary traffic). Empty (node-local) routes
     /// belong to shard 0 by convention.
+    ///
+    /// # Panics
+    ///
+    /// As [`PartitionMap::shard_of_link`], if the route references an
+    /// unmapped link.
     pub fn shard_of_route(&self, route: &[LinkId]) -> Option<usize> {
-        let mut links = route.iter().map(|l| self.shard_of_link[l.0]);
+        let mut links = route.iter().map(|&l| self.shard_of_link(l) as u32);
         let Some(first) = links.next() else {
             return Some(0);
         };
         links.all(|s| s == first).then_some(first as usize)
     }
 
+    /// Total variant of [`PartitionMap::shard_of_route`] over raw link
+    /// indices: unmapped links classify the route as boundary traffic
+    /// (`None`) instead of panicking, so flows carried in from a
+    /// snapshot of unknown provenance degrade to fusion, not a crash.
     fn shard_of_indices(&self, links: &[usize]) -> Option<usize> {
-        let mut it = links.iter().map(|&l| self.shard_of_link[l]);
+        let mut it = links.iter().map(|&l| self.try_shard_of_link(LinkId(l)));
         let Some(first) = it.next() else {
             return Some(0);
         };
-        it.all(|s| s == first).then_some(first as usize)
+        let first = first?;
+        it.all(|s| s == Some(first)).then_some(first)
     }
 }
 
@@ -400,17 +449,38 @@ impl ShardedNetwork {
     /// Migrates flows back to their owning shard cores once no
     /// boundary flow remains. Called at the prologue of every
     /// time-advancing entry point.
+    ///
+    /// A live cross-shard flow found while the boundary set is empty
+    /// (possible only via a snapshot whose bookkeeping disagrees with
+    /// its flows) is *re-registered* as a boundary flow and the network
+    /// stays fused — the semantically correct classification — rather
+    /// than panicking mid-run.
     fn maybe_defuse(&mut self) {
         if !self.fused || !self.boundary.is_empty() {
             return;
         }
         let fused = self.fused_idx();
         let (head, tail) = self.cores.split_at_mut(fused);
-        for m in tail[0].extract_live() {
-            let shard = self
-                .part
-                .shard_of_indices(m.link_indices())
-                .expect("boundary set empty but a cross-shard flow is live");
+        let live = tail[0].extract_live();
+        if let Some(stray) = live
+            .iter()
+            .filter(|m| self.part.shard_of_indices(m.link_indices()).is_none())
+            .map(|m| m.id())
+            .next()
+        {
+            // Keep everything fused; re-arm defusion on the stray's
+            // completion.
+            self.boundary.insert(stray.0);
+            for m in live {
+                if self.part.shard_of_indices(m.link_indices()).is_none() {
+                    self.boundary.insert(m.id().0);
+                }
+                tail[0].adopt(m);
+            }
+            return;
+        }
+        for m in live {
+            let shard = self.part.shard_of_indices(m.link_indices()).unwrap_or(0); // unreachable: scanned above
             head[shard].adopt(m);
         }
         self.fused = false;
@@ -441,11 +511,12 @@ impl ShardedNetwork {
         }
         let owner = self.part.shard_of_route(&spec.route);
         let boundary = owner.is_none();
-        let core = if self.fused || boundary {
-            self.fuse();
-            self.fused_idx()
-        } else {
-            owner.expect("non-boundary route has an owner")
+        let core = match (self.fused, owner) {
+            (false, Some(s)) => s,
+            _ => {
+                self.fuse();
+                self.fused_idx()
+            }
         };
         let id = self.cores[core].inject(spec)?;
         if boundary {
@@ -556,12 +627,19 @@ impl ShardedNetwork {
             .collect();
         let threads = self.worker_count();
         par_each(&mut self.cores, threads, |i, c| {
-            *slots[i].lock().expect("next_event slot poisoned") = c.next_event();
+            // Poison recovery is sound: each slot holds plain data and
+            // is written at most once per call.
+            *slots[i]
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = c.next_event();
         });
         self.merge_events();
         slots
             .into_iter()
-            .filter_map(|m| m.into_inner().expect("next_event slot poisoned"))
+            .filter_map(|m| {
+                m.into_inner()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+            })
             .min()
     }
 
@@ -618,12 +696,9 @@ impl ShardedNetwork {
     /// Aligns every core's clock to the furthest core (cores advance
     /// to their own final event during independent runs).
     fn resync_clocks(&mut self) {
-        let latest = self
-            .cores
-            .iter()
-            .map(|c| c.now())
-            .max()
-            .expect("at least one core");
+        let Some(latest) = self.cores.iter().map(|c| c.now()).max() else {
+            return;
+        };
         for c in &mut self.cores {
             c.advance_to(latest);
         }
@@ -668,7 +743,12 @@ impl ShardedNetwork {
                     core.run_all();
                     return;
                 }
-                let mut driver = drivers[i].lock().expect("driver poisoned");
+                // Each driver mutex has exactly one locker (this
+                // worker), so poison recovery cannot observe a
+                // half-updated driver from another thread.
+                let mut driver = drivers[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
                 let mut specs = Vec::new();
                 let mut finished: Vec<CompletedFlow> = Vec::new();
                 driver.begin(i, &mut specs);
@@ -1386,6 +1466,100 @@ mod tests {
             assert_eq!(resumed.snapshot(), state, "snapshot must be stable");
             assert_eq!(finish(&mut resumed), expected, "fuse={fuse}");
         }
+    }
+
+    #[test]
+    fn empty_shards_and_excess_shard_count_run_end_to_end() {
+        // 5 shards over 3 links: shards 2..4 own nothing (including the
+        // shards > links regime). Previously such maps could fire
+        // asserts deep in a run; they are now documented-legal and must
+        // reproduce the single-core results exactly.
+        let (topo, _, l0, l1) = two_islands();
+        let empty = PartitionMap::new(Vec::new(), 3);
+        assert_eq!(empty.shards(), 3);
+        assert_eq!(empty.links(), 0);
+        let part = PartitionMap::new(vec![0, 1, 0], 5);
+        let mut single = FlowNetwork::new(topo.clone());
+        let mut sharded = ShardedNetwork::new(topo, part, 8);
+        assert_eq!(sharded.threads(), 5, "threads clamp to the shard count");
+        single
+            .inject(FlowSpec::new(vec![l0], 200.0).with_tag(1))
+            .unwrap();
+        single
+            .inject(FlowSpec::new(vec![l1], 400.0).with_tag(2))
+            .unwrap();
+        sharded
+            .inject(FlowSpec::new(vec![l0], 200.0).with_tag(1))
+            .unwrap();
+        sharded
+            .inject(FlowSpec::new(vec![l1], 400.0).with_tag(2))
+            .unwrap();
+        let a = single.run_to_completion();
+        let b = sharded.run_to_completion();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.tag, y.tag);
+            assert_eq!(x.completed_at, y.completed_at);
+        }
+    }
+
+    #[test]
+    fn unmapped_links_probe_as_none() {
+        let part = PartitionMap::new(vec![0, 1], 2);
+        assert!(part.covers(LinkId(1)));
+        assert!(!part.covers(LinkId(2)));
+        assert_eq!(part.try_shard_of_link(LinkId(0)), Some(0));
+        assert_eq!(part.try_shard_of_link(LinkId(2)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not covered by the partition map")]
+    fn shard_of_link_panics_descriptively_on_unmapped_link() {
+        PartitionMap::new(vec![0, 1], 2).shard_of_link(LinkId(7));
+    }
+
+    #[test]
+    fn restored_snapshot_with_inconsistent_boundary_set_recovers() {
+        // Adversarial snapshot: `fused` with a live cross-shard flow
+        // but an empty boundary set — bookkeeping that disagrees with
+        // the flows. The network must re-register the flow as boundary
+        // traffic and keep simulating (bit-identical to the honest
+        // snapshot), not panic in `maybe_defuse`.
+        let (topo, part, l0, l1) = two_islands();
+        let mut net = ShardedNetwork::new(topo.clone(), part.clone(), 2);
+        net.inject(FlowSpec::new(vec![l0], 200.0).with_tag(0))
+            .unwrap();
+        net.inject(
+            FlowSpec::new(vec![LinkId(2), l1], 120.0)
+                .with_tag(9)
+                .with_priority(Priority::Mp),
+        )
+        .unwrap();
+        assert!(net.is_fused());
+        net.advance_to(Time::from_secs(0.5));
+
+        let honest_state = net.snapshot();
+        let mut honest =
+            ShardedNetwork::restore(topo.clone(), part.clone(), 2, honest_state.clone());
+        let expected: Vec<_> = honest
+            .run_to_completion()
+            .iter()
+            .map(|c| (c.tag, c.completed_at))
+            .collect();
+
+        let mut doctored_state = honest_state;
+        doctored_state.boundary.clear();
+        let mut doctored = ShardedNetwork::restore(topo, part, 2, doctored_state);
+        let done = doctored.run_to_completion();
+        let got: Vec<_> = done.iter().map(|c| (c.tag, c.completed_at)).collect();
+        assert_eq!(got, expected, "recovery must not perturb the simulation");
+        assert!(done.iter().any(|c| c.tag == 9));
+        // Once the stray completes the network defuses as usual.
+        doctored
+            .inject(FlowSpec::new(vec![l0], 10.0).with_tag(3))
+            .unwrap();
+        doctored.next_event();
+        assert!(!doctored.is_fused());
     }
 
     fn event_fingerprint(e: &TraceEvent) -> String {

@@ -14,4 +14,10 @@ for b in $BINS; do
   cargo run --release -q -p fred-bench --bin "$b" | tee "results/$b.txt"
   echo "== $b done in $((SECONDS - start))s =="
 done
+echo "== dse_sweep (full capacity-planning sweep) =="
+start=$SECONDS
+cargo run --release -q -p fred-bench --bin dse_sweep -- --full \
+  --report results/BENCH_dse.json --dashboard results/dse-pareto.html \
+  | tee "results/dse_sweep.txt"
+echo "== dse_sweep done in $((SECONDS - start))s =="
 echo "All experiment outputs written to results/ in $((SECONDS - total_start))s."
